@@ -1,0 +1,80 @@
+// Command livesec-bench reruns the paper's evaluation (§V.B) and prints
+// each experiment's measured values next to the numbers the paper
+// reports.
+//
+// Usage:
+//
+//	livesec-bench [-scale full|ci] [-experiment all|E1|…|E7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"livesec/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "livesec-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("livesec-bench", flag.ContinueOnError)
+	scaleFlag := fs.String("scale", "full", "deployment scale: full (paper sizes) or ci (fast)")
+	expFlag := fs.String("experiment", "all", "experiment to run: all, E1…E7, or ablations A1…A4")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var scale experiments.Scale
+	switch strings.ToLower(*scaleFlag) {
+	case "full":
+		scale = experiments.ScaleFull
+	case "ci":
+		scale = experiments.ScaleCI
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleFlag)
+	}
+
+	runners := map[string]func() experiments.Result{
+		"E1": experiments.E1AccessThroughput,
+		"A1": experiments.AblationGrain,
+		"A2": experiments.AblationFlowSetup,
+		"A3": experiments.AblationDirectoryProxy,
+		"A4": experiments.AblationReverseSteering,
+		"E2": func() experiments.Result { return experiments.E2ServiceElementScaling(scale) },
+		"E3": func() experiments.Result { return experiments.E3AggregateCapacity(scale) },
+		"E4": func() experiments.Result { return experiments.E4LoadDeviation(scale) },
+		"E5": experiments.E5LatencyOverhead,
+		"E6": experiments.E6EventPipeline,
+		"E7": func() experiments.Result { return experiments.E7BaselineComparison(scale) },
+	}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "A1", "A2", "A3", "A4"}
+
+	want := strings.ToUpper(*expFlag)
+	if want != "ALL" {
+		r, ok := runners[want]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (want E1…E7, A1…A4, or all)", *expFlag)
+		}
+		order = []string{want}
+		_ = r
+	}
+
+	fmt.Printf("LiveSec evaluation reproduction (scale=%s)\n", *scaleFlag)
+	fmt.Println(strings.Repeat("=", 64))
+	start := time.Now()
+	for _, id := range order {
+		t0 := time.Now()
+		res := runners[id]()
+		fmt.Print(res.String())
+		fmt.Printf("  [%s in %.1fs]\n\n", id, time.Since(t0).Seconds())
+	}
+	fmt.Printf("total wall time: %.1fs\n", time.Since(start).Seconds())
+	return nil
+}

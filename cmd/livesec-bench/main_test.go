@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperimentCI(t *testing.T) {
+	if err := run([]string{"-scale", "ci", "-experiment", "E1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-scale", "bogus"}); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+	if err := run([]string{"-experiment", "E99"}); err == nil {
+		t.Fatal("bad experiment accepted")
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.json")
+	if err := doRecord(path); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("log file: %v %v", fi, err)
+	}
+	if err := doReplay(path, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A narrow window also works.
+	if err := doReplay(path, time.Second, 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "junk.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := doReplay(path, 0, 0); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := doReplay(filepath.Join(dir, "missing.json"), 0, 0); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,91 @@
+// Quickstart: the smallest complete LiveSec deployment. Two OpenFlow
+// switches, one user, one web server, one intrusion-detection service
+// element, and a policy steering all web traffic through it. Clean
+// traffic flows; an SQL-injection attempt is detected by the element,
+// reported to the controller, and the flow is blocked at the user's
+// ingress switch (§IV.A interactive policy enforcement).
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"livesec"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Policy: every flow to port 80 must traverse an IDS element.
+	policies := livesec.NewPolicyTable(livesec.Allow)
+	if err := policies.Add(&livesec.PolicyRule{
+		Name:     "inspect-web",
+		Priority: 10,
+		Match:    livesec.PolicyMatch{DstPort: 80},
+		Action:   livesec.Chain,
+		Services: []livesec.ServiceType{livesec.ServiceIDS},
+	}); err != nil {
+		return err
+	}
+
+	// 2. Build the network: user ─ ovs1 ═ legacy fabric ═ ovs2 ─ server,
+	//    with the IDS element hanging off ovs2.
+	net := livesec.NewNetwork(livesec.Options{Policies: policies, Monitor: true})
+	ovs1 := net.AddOvS("ovs1")
+	ovs2 := net.AddOvS("ovs2")
+	alice := net.AddWiredUser(ovs1, "alice", livesec.IP(10, 0, 0, 1))
+	server := net.AddServer(ovs2, "web", livesec.IP(166, 111, 1, 1))
+	net.AddElement(ovs2, livesec.MustIDS(livesec.CommunityRules), 0)
+
+	// 3. Boot: OpenFlow handshake, LLDP discovery, element registration.
+	if err := net.Discover(); err != nil {
+		return err
+	}
+	defer net.Shutdown()
+	if err := net.Run(600 * time.Millisecond); err != nil {
+		return err
+	}
+	fmt.Printf("topology: %d switches, full mesh = %v, %d service element(s)\n",
+		net.Controller.NumSwitches(), net.Controller.FullMesh(), len(net.Controller.Elements()))
+
+	// 4. A clean transaction passes through the element.
+	livesec.HTTPServer(server, 80, 10_000)
+	responses := 0
+	alice.HandleTCP(50000, func(*livesec.Packet) { responses++ })
+	alice.SendTCP(server.IP, 50000, 80, []byte("GET /index.html HTTP/1.1\r\n\r\n"), 0)
+	if err := net.Run(100 * time.Millisecond); err != nil {
+		return err
+	}
+	fmt.Printf("clean GET: %d response segment(s); element inspected %d packet(s)\n",
+		responses, net.Elements[0].Stats().Packets)
+
+	// 5. An attack is detected and blocked at the ingress switch.
+	if err := livesec.SendAttack(alice, server.IP, "sql-injection", 50001); err != nil {
+		return err
+	}
+	if err := net.Run(100 * time.Millisecond); err != nil {
+		return err
+	}
+	for _, ev := range net.Store.Events(livesec.EventFilter{Type: livesec.EventAttack}) {
+		fmt.Printf("ATTACK detected by se%d: %q severity=%d → drop rule at ingress\n",
+			ev.SE, ev.Detail, ev.Severity)
+	}
+
+	// 6. The attacker's flow is now dead at its entrance.
+	before := server.Stats().RxPackets
+	_ = livesec.SendAttack(alice, server.IP, "sql-injection", 50001)
+	if err := net.Run(100 * time.Millisecond); err != nil {
+		return err
+	}
+	if server.Stats().RxPackets == before {
+		fmt.Println("repeat attack packets: blocked at ovs1 (never reached the server)")
+	}
+	fmt.Printf("controller: %+v\n", net.Controller.Stats())
+	return nil
+}

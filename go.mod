@@ -1,0 +1,3 @@
+module livesec
+
+go 1.22

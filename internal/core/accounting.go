@@ -1,0 +1,60 @@
+package core
+
+import (
+	"livesec/internal/netpkt"
+	"livesec/internal/openflow"
+)
+
+// Service-aware traffic statistics (§IV.C): "LiveSec controller can
+// further master the network traffic distribution and service-aware
+// statistics". Data-plane counters come back with every FLOW_REMOVED
+// notification (the controller sets OFPFF_SEND_FLOW_REM on the entries
+// it installs at the flow's ingress switch), and are accumulated per
+// user here.
+
+// UserTraffic is the accumulated data-plane usage of one user.
+type UserTraffic struct {
+	Flows   uint64 `json:"flows"`
+	Packets uint64 `json:"packets"`
+	Bytes   uint64 `json:"bytes"`
+}
+
+// handleFlowRemoved folds expired-entry counters into the per-user
+// accounting. Only ingress entries are counted (the entry's in_port is
+// an access port and dl_src identifies the user), so steering legs do
+// not double-count.
+func (c *Controller) handleFlowRemoved(st *switchState, fr *openflow.FlowRemoved) {
+	if fr.Match.Wildcards != 0 {
+		return // only exact data entries carry attribution
+	}
+	key := fr.Match.Key
+	if st.uplinks[key.InPort] {
+		return // arrival leg at a transit switch, not the user's ingress
+	}
+	h, ok := c.hosts[key.EthSrc]
+	if !ok || h.DPID != st.dpid || h.Port != key.InPort {
+		return // not this user's ingress entry
+	}
+	// The ingress entry is gone: the session is over.
+	c.forgetSession(key)
+	if c.usage == nil {
+		c.usage = make(map[netpkt.MAC]*UserTraffic)
+	}
+	u := c.usage[key.EthSrc]
+	if u == nil {
+		u = &UserTraffic{}
+		c.usage[key.EthSrc] = u
+	}
+	u.Flows++
+	u.Packets += fr.Packets
+	u.Bytes += fr.Bytes
+}
+
+// UserUsage returns accumulated per-user traffic statistics (copy).
+func (c *Controller) UserUsage() map[netpkt.MAC]UserTraffic {
+	out := make(map[netpkt.MAC]UserTraffic, len(c.usage))
+	for mac, u := range c.usage {
+		out[mac] = *u
+	}
+	return out
+}

@@ -1,0 +1,14 @@
+package core
+
+// AnnounceAll re-floods location announcements for every known host into
+// the legacy fabric. The testbed calls it once topology discovery has
+// identified the uplink ports, so that hosts and service elements learned
+// before discovery (their first packets raced the LLDP exchange) are
+// reachable without flood-and-learn transients.
+func (c *Controller) AnnounceAll() {
+	for _, h := range c.sortedHosts() {
+		if st, ok := c.switches[h.DPID]; ok {
+			c.announceHost(st, h)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"livesec/internal/flow"
+	"livesec/internal/monitor"
+	"livesec/internal/openflow"
+	"livesec/internal/seproto"
+)
+
+// Application-aware traffic control (§IV.C): once the protocol
+// identification elements classify a flow, the controller "can further
+// master the network traffic distribution … and provide more interesting
+// function, such as aggregate flow control". This file implements the
+// enforcement half: per-application verdicts that block or rate-limit
+// the classified session at its ingress switch.
+
+// AppAction is the reaction to an identified application protocol.
+type AppAction int
+
+// Application policy actions.
+const (
+	// AppAllow leaves the flow alone (default).
+	AppAllow AppAction = iota
+	// AppBlock drops the classified session at its ingress switch.
+	AppBlock
+)
+
+// SetAppPolicy configures the reaction to an identified application
+// protocol (e.g. block "bittorrent"). Pass AppAllow to clear.
+func (c *Controller) SetAppPolicy(protocol string, action AppAction) {
+	if c.appPolicies == nil {
+		c.appPolicies = make(map[string]AppAction)
+	}
+	if action == AppAllow {
+		delete(c.appPolicies, protocol)
+		return
+	}
+	c.appPolicies[protocol] = action
+}
+
+// applyAppPolicy reacts to a protocol-identification event.
+func (c *Controller) applyAppPolicy(m *seproto.Event) {
+	action, ok := c.appPolicies[m.Detail]
+	if !ok || action != AppBlock {
+		return
+	}
+	h, ok := c.hosts[m.Flow.EthSrc]
+	if !ok {
+		return
+	}
+	st, ok := c.switches[h.DPID]
+	if !ok {
+		return
+	}
+	dropMatch := flow.Match{
+		Wildcards: flow.WildInPort | flow.WildEthDst | flow.WildVLAN | flow.WildIPTOS,
+		Key: flow.Key{
+			EthSrc:  m.Flow.EthSrc,
+			EthType: m.Flow.EthType,
+			IPSrc:   m.Flow.IPSrc,
+			IPDst:   m.Flow.IPDst,
+			IPProto: m.Flow.IPProto,
+			SrcPort: m.Flow.SrcPort,
+			DstPort: m.Flow.DstPort,
+		},
+	}
+	// Tear down the installed session both ways and block the forward
+	// direction at the entrance.
+	c.sendFlowMod(st, &openflow.FlowMod{Match: dropMatch, Command: openflow.FlowDelete})
+	c.installDrop(st, dropMatch, m.Flow, "application policy: "+m.Detail)
+	c.record(monitor.Event{Type: monitor.EventAppBlocked, Switch: st.dpid,
+		User: m.Flow.EthSrc.String(), Detail: m.Detail})
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"livesec/internal/openflow"
+)
+
+// Barrier-synchronized packet release. The first packet of a flow is
+// normally released with a packet-out immediately after the flow-mods
+// are sent; on a real network (and in the simulator) the packet can
+// overtake a flow-mod still in flight to a downstream switch, miss its
+// table, and bounce back to the controller. OpenFlow's BARRIER exists
+// for exactly this: when Config.UseBarriers is set, the controller sends
+// a BarrierRequest to every switch it just programmed and holds the
+// buffered packet until all BarrierReplies arrive.
+
+// pendingRelease is a packet-out waiting for barrier acknowledgements.
+type pendingRelease struct {
+	st      *switchState
+	po      *openflow.PacketOut
+	waiting map[uint32]bool // outstanding barrier xids
+}
+
+// barrierRelease wires one release: barriers go to every switch in
+// dpids; the packet-out fires when the last reply lands.
+func (c *Controller) barrierRelease(st *switchState, po *openflow.PacketOut, dpids map[uint64]bool) {
+	if c.pendingReleases == nil {
+		c.pendingReleases = make(map[uint32]*pendingRelease)
+	}
+	rel := &pendingRelease{st: st, po: po, waiting: make(map[uint32]bool, len(dpids))}
+	for dpid := range dpids {
+		target, ok := c.switches[dpid]
+		if !ok {
+			continue
+		}
+		xid := c.xid()
+		rel.waiting[xid] = true
+		c.pendingReleases[xid] = rel
+		target.conn.Send(&openflow.BarrierRequest{XID: xid})
+	}
+	if len(rel.waiting) == 0 {
+		c.sendPacketOut(st, po)
+	}
+}
+
+// handleBarrierReply resolves outstanding releases.
+func (c *Controller) handleBarrierReply(xid uint32) {
+	rel, ok := c.pendingReleases[xid]
+	if !ok {
+		return
+	}
+	delete(c.pendingReleases, xid)
+	delete(rel.waiting, xid)
+	if len(rel.waiting) == 0 {
+		c.sendPacketOut(rel.st, rel.po)
+	}
+}

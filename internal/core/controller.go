@@ -1,0 +1,538 @@
+// Package core implements the LiveSec controller, the paper's primary
+// contribution (§III–IV): the centralized control plane of the
+// Access-Switching layer. It discovers the logical full-mesh topology
+// over the legacy fabric (LLDP), learns host locations from ARP traffic
+// and proxies address resolution, computes abstract two-hop routes,
+// enforces the global policy table by installing flow entries —
+// including the four-entry interactive steering through off-path service
+// elements — balances security workload across elements, and reacts to
+// service-element event reports by blocking flows at their ingress
+// switch.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"livesec/internal/flow"
+	"livesec/internal/loadbalance"
+	"livesec/internal/monitor"
+	"livesec/internal/netpkt"
+	"livesec/internal/openflow"
+	"livesec/internal/policy"
+	"livesec/internal/seproto"
+	"livesec/internal/service"
+	"livesec/internal/sim"
+)
+
+// Flow-entry priorities used by the controller. Higher wins.
+const (
+	prioDrop    uint16 = 400 // security drop rules (§IV.A)
+	prioSteer   uint16 = 300 // steering entries at service-element switches
+	prioForward uint16 = 200 // end-to-end forwarding entries
+)
+
+// Defaults.
+const (
+	defaultFlowIdle    = 30 * time.Second
+	defaultHostTTL     = 300 * time.Second
+	defaultLLDPPeriod  = 5 * time.Second
+	defaultSETimeout   = 3 * service.HeartbeatInterval
+	housekeepingPeriod = time.Second
+)
+
+// Config configures a Controller.
+type Config struct {
+	// Engine drives virtual time. Required.
+	Engine *sim.Engine
+	// Store receives monitoring events; nil disables monitoring.
+	Store *monitor.Store
+	// Policies is the global policy table; nil means allow-all.
+	Policies *policy.Table
+	// Secret seeds service-element certification.
+	Secret []byte
+	// RequireCerts drops traffic from elements presenting bad
+	// certificates (§III.D.1).
+	RequireCerts bool
+	// DefaultAlgorithm is the dispatch algorithm when a policy rule does
+	// not choose one. Zero means LeastLoad (the deployed default).
+	DefaultAlgorithm loadbalance.Algorithm
+	// DefaultGrain is the balancing granularity default (FlowGrain).
+	DefaultGrain loadbalance.Grain
+	// SteerReverse also steers the reply direction of chained sessions
+	// through the same elements (bidirectional session handling,
+	// §III.C.3). Defaults to true; set SteerForwardOnly to disable.
+	SteerForwardOnly bool
+	// FlowIdle is the idle timeout of installed data entries.
+	FlowIdle time.Duration
+	// HostTTL expires silent hosts from the routing table.
+	HostTTL time.Duration
+	// LLDPPeriod is the topology-discovery refresh period.
+	LLDPPeriod time.Duration
+	// Seed makes load-balancer tie-breaking reproducible.
+	Seed int64
+	// DHCP enables controller-managed address leasing (directory proxy,
+	// §III.C.2). Zero disables it.
+	DHCP DHCPPool
+	// UseBarriers synchronizes first-packet release with OpenFlow
+	// barriers so the packet cannot overtake its own flow entries on
+	// multi-switch paths.
+	UseBarriers bool
+}
+
+// switchState is one registered AS switch.
+type switchState struct {
+	dpid  uint64
+	conn  openflow.Conn
+	name  string
+	ports map[uint32]openflow.PortDesc
+	// uplinks are ports with discovered logical links to peer switches.
+	uplinks map[uint32]bool
+	// peers maps a reachable peer dpid to the local output port.
+	peers map[uint64]uint32
+	ready bool // features reply received
+}
+
+// HostLoc is one routing-table entry (§III.C.2: connected AS switch,
+// port, addresses).
+type HostLoc struct {
+	MAC      netpkt.MAC
+	IP       netpkt.IPv4Addr
+	DPID     uint64
+	Port     uint32
+	LastSeen time.Duration
+	// SEID is nonzero when the host is a registered service element.
+	SEID uint64
+}
+
+// seState is one registered service element.
+type seState struct {
+	id       uint64
+	mac      netpkt.MAC
+	ip       netpkt.IPv4Addr
+	dpid     uint64
+	port     uint32
+	service  seproto.ServiceType
+	capacity uint64
+	load     seproto.Load
+	lastSeen time.Duration
+	certOK   bool
+	// pendingAssign counts flows assigned since the element's last load
+	// report; it keeps minimum-load dispatch balanced between heartbeats
+	// instead of herding every new flow onto the same element.
+	pendingAssign uint64
+}
+
+// Stats counts controller activity.
+type Stats struct {
+	PacketIns     uint64
+	FlowModsSent  uint64
+	PacketOuts    uint64
+	ARPProxied    uint64
+	FlowsRouted   uint64
+	FlowsChained  uint64
+	FlowsBlocked  uint64
+	SEEvents      uint64
+	DropRules     uint64
+	IgnoredUplink uint64
+	DHCPLeases    uint64
+	SwitchErrors  uint64
+}
+
+// Controller is the LiveSec controller.
+type Controller struct {
+	cfg       Config
+	eng       *sim.Engine
+	store     *monitor.Store
+	policies  *policy.Table
+	certifier *seproto.Certifier
+
+	switches map[uint64]*switchState
+	hosts    map[netpkt.MAC]*HostLoc
+	byIP     map[netpkt.IPv4Addr]netpkt.MAC
+	elements map[uint64]*seState
+	byMAC    map[netpkt.MAC]*seState
+
+	balancers map[balancerKey]*loadbalance.Balancer
+	nextXID   uint32
+	stops     []func()
+
+	// blockedUsers tracks users with installed drop rules so repeated
+	// events do not reinstall.
+	blockedUsers map[netpkt.MAC]bool
+	// appPolicies maps identified application protocols to reactions
+	// (§IV.C aggregate flow control).
+	appPolicies map[string]AppAction
+	// leases is the DHCP directory: MAC → leased IP.
+	leases map[netpkt.MAC]netpkt.IPv4Addr
+	// portSamples/portLoads back the link-load monitoring (§IV.D).
+	portSamples map[[2]uint64]portSample
+	portLoads   map[[2]uint64]PortLoad
+	// usage accumulates per-user data-plane counters (§IV.C).
+	usage map[netpkt.MAC]*UserTraffic
+	// sessions tracks installed flows for live policy re-application.
+	sessions map[flow.Key]sessionRecord
+	// discoverPending debounces join-triggered discovery rounds.
+	discoverPending bool
+	// pendingReleases holds packet-outs awaiting barrier replies.
+	pendingReleases map[uint32]*pendingRelease
+
+	stats Stats
+}
+
+type balancerKey struct {
+	algo  loadbalance.Algorithm
+	grain loadbalance.Grain
+}
+
+// New creates a controller. Call AddSwitch for each AS switch's secure
+// channel, then Start to begin discovery and housekeeping.
+func New(cfg Config) *Controller {
+	if cfg.Engine == nil {
+		panic("core: Config.Engine is required")
+	}
+	if cfg.Policies == nil {
+		cfg.Policies = policy.NewTable(policy.Allow)
+	}
+	if cfg.DefaultAlgorithm == 0 {
+		cfg.DefaultAlgorithm = loadbalance.LeastLoad
+	}
+	if cfg.DefaultGrain == 0 {
+		cfg.DefaultGrain = loadbalance.FlowGrain
+	}
+	if cfg.FlowIdle == 0 {
+		cfg.FlowIdle = defaultFlowIdle
+	}
+	if cfg.HostTTL == 0 {
+		cfg.HostTTL = defaultHostTTL
+	}
+	if cfg.LLDPPeriod == 0 {
+		cfg.LLDPPeriod = defaultLLDPPeriod
+	}
+	if len(cfg.Secret) == 0 {
+		cfg.Secret = []byte("livesec-default-secret")
+	}
+	return &Controller{
+		cfg:          cfg,
+		eng:          cfg.Engine,
+		store:        cfg.Store,
+		policies:     cfg.Policies,
+		certifier:    seproto.NewCertifier(cfg.Secret),
+		switches:     make(map[uint64]*switchState),
+		hosts:        make(map[netpkt.MAC]*HostLoc),
+		byIP:         make(map[netpkt.IPv4Addr]netpkt.MAC),
+		elements:     make(map[uint64]*seState),
+		byMAC:        make(map[netpkt.MAC]*seState),
+		balancers:    make(map[balancerKey]*loadbalance.Balancer),
+		blockedUsers: make(map[netpkt.MAC]bool),
+		leases:       make(map[netpkt.MAC]netpkt.IPv4Addr),
+	}
+}
+
+// sortedSwitches returns registered switches in ascending dpid order so
+// message emission and event recording are deterministic (map iteration
+// order is randomized in Go).
+func (c *Controller) sortedSwitches() []*switchState {
+	out := make([]*switchState, 0, len(c.switches))
+	for _, st := range c.switches {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].dpid < out[j].dpid })
+	return out
+}
+
+// sortedHosts returns routing-table entries ordered by MAC.
+func (c *Controller) sortedHosts() []*HostLoc {
+	out := make([]*HostLoc, 0, len(c.hosts))
+	for _, h := range c.hosts {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return bytesLessMAC(out[i].MAC, out[j].MAC)
+	})
+	return out
+}
+
+func bytesLessMAC(a, b netpkt.MAC) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// Stats returns a copy of the controller counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Policies returns the live policy table.
+func (c *Controller) Policies() *policy.Table { return c.policies }
+
+// Certify issues a service-element certificate (the administrator hands
+// it to the element at provisioning time).
+func (c *Controller) Certify(seID uint64, mac netpkt.MAC) seproto.Cert {
+	return c.certifier.Issue(seID, mac)
+}
+
+func (c *Controller) xid() uint32 {
+	c.nextXID++
+	return c.nextXID
+}
+
+// AddSwitch registers the controller side of an AS switch secure
+// channel and starts the OpenFlow handshake.
+func (c *Controller) AddSwitch(conn openflow.Conn) {
+	st := &switchState{
+		conn:    conn,
+		ports:   make(map[uint32]openflow.PortDesc),
+		uplinks: make(map[uint32]bool),
+		peers:   make(map[uint64]uint32),
+	}
+	conn.SetHandler(func(m openflow.Message) { c.handleMessage(st, m) })
+	conn.Send(&openflow.Hello{XID: c.xid()})
+	conn.Send(&openflow.FeaturesRequest{XID: c.xid()})
+}
+
+// Start launches periodic topology discovery and housekeeping. It
+// returns immediately; activity happens on the simulation engine.
+func (c *Controller) Start() {
+	c.stops = append(c.stops,
+		c.eng.Ticker(c.cfg.LLDPPeriod, c.DiscoverNow),
+		c.eng.Ticker(housekeepingPeriod, c.housekeep),
+	)
+}
+
+// Shutdown stops periodic activity.
+func (c *Controller) Shutdown() {
+	for _, stop := range c.stops {
+		stop()
+	}
+	c.stops = nil
+}
+
+func (c *Controller) handleMessage(st *switchState, m openflow.Message) {
+	switch msg := m.(type) {
+	case *openflow.Hello:
+		// Handshake: nothing further here; features request already sent.
+	case *openflow.EchoRequest:
+		st.conn.Send(&openflow.EchoReply{XID: msg.XID, Data: msg.Data})
+	case *openflow.FeaturesReply:
+		c.registerSwitch(st, msg)
+	case *openflow.PacketIn:
+		c.handlePacketIn(st, msg)
+	case *openflow.FlowRemoved:
+		c.handleFlowRemoved(st, msg)
+	case *openflow.PortStatus:
+		c.handlePortStatus(st, msg)
+	case *openflow.StatsReply:
+		if msg.Kind == openflow.StatsPort && c.portSamples != nil {
+			c.handlePortStats(st, msg)
+		}
+	case *openflow.BarrierReply:
+		c.handleBarrierReply(msg.XID)
+	case *openflow.EchoReply:
+		// Liveness acknowledged; nothing to do.
+	case *openflow.ErrorMsg:
+		c.stats.SwitchErrors++
+		c.record(monitor.Event{Type: monitor.EventSwitchError, Switch: st.dpid,
+			Detail: fmt.Sprintf("error code %d: %s", msg.Code, msg.Data)})
+	}
+}
+
+func (c *Controller) registerSwitch(st *switchState, fr *openflow.FeaturesReply) {
+	st.dpid = fr.DPID
+	st.ready = true
+	for _, p := range fr.Ports {
+		st.ports[p.No] = p
+		if st.name == "" && p.Name != "" {
+			// Port names are "<switch>-p<no>"; recover the switch name.
+			for i := len(p.Name) - 1; i >= 0; i-- {
+				if p.Name[i] == '-' {
+					st.name = p.Name[:i]
+					break
+				}
+			}
+		}
+	}
+	c.switches[fr.DPID] = st
+	c.record(monitor.Event{Type: monitor.EventSwitchJoin, Switch: fr.DPID, Detail: st.name})
+	// Kick a full discovery round: the newcomer probes its links, and
+	// existing switches re-probe so both directions of every new logical
+	// link are learned without waiting for the periodic LLDP tick. The
+	// round is debounced so a batch of joining switches (network boot)
+	// triggers one round instead of one per join.
+	if !c.discoverPending {
+		c.discoverPending = true
+		c.eng.Schedule(time.Millisecond, func() {
+			c.discoverPending = false
+			c.DiscoverNow()
+		})
+	}
+}
+
+// handlePortStatus keeps the switch's port inventory current (hosts and
+// elements can be attached while the datapath is live).
+func (c *Controller) handlePortStatus(st *switchState, ps *openflow.PortStatus) {
+	switch ps.Reason {
+	case openflow.PortAdded, openflow.PortModified:
+		st.ports[ps.Desc.No] = ps.Desc
+	case openflow.PortDeleted:
+		delete(st.ports, ps.Desc.No)
+		delete(st.uplinks, ps.Desc.No)
+	}
+}
+
+// record writes a monitoring event stamped with virtual time.
+func (c *Controller) record(ev monitor.Event) {
+	if c.store == nil {
+		return
+	}
+	ev.At = c.eng.Now()
+	c.store.Record(ev)
+}
+
+// sendFlowMod sends a FlowMod and counts it.
+func (c *Controller) sendFlowMod(st *switchState, fm *openflow.FlowMod) {
+	fm.XID = c.xid()
+	st.conn.Send(fm)
+	c.stats.FlowModsSent++
+}
+
+// sendPacketOut sends a PacketOut and counts it.
+func (c *Controller) sendPacketOut(st *switchState, po *openflow.PacketOut) {
+	po.XID = c.xid()
+	st.conn.Send(po)
+	c.stats.PacketOuts++
+}
+
+// housekeep expires silent hosts and service elements (in deterministic
+// order so event logs reproduce bit-for-bit).
+func (c *Controller) housekeep() {
+	now := c.eng.Now()
+	for _, h := range c.sortedHosts() {
+		if h.SEID != 0 {
+			continue // elements expire via heartbeat timeout below
+		}
+		if now-h.LastSeen > c.cfg.HostTTL {
+			delete(c.hosts, h.MAC)
+			if c.byIP[h.IP] == h.MAC {
+				delete(c.byIP, h.IP)
+			}
+			c.record(monitor.Event{Type: monitor.EventUserLeave,
+				User: h.MAC.String(), IP: h.IP.String(), Switch: h.DPID})
+		}
+	}
+	ids := make([]uint64, 0, len(c.elements))
+	for id := range c.elements {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		se := c.elements[id]
+		if now-se.lastSeen > defaultSETimeout {
+			delete(c.elements, id)
+			delete(c.byMAC, se.mac)
+			delete(c.hosts, se.mac)
+			c.record(monitor.Event{Type: monitor.EventSEOffline, SE: id,
+				Detail: se.service.String(), Switch: se.dpid})
+		}
+	}
+}
+
+// RemoveSwitch unregisters a departed AS switch (its secure channel
+// closed or the device was decommissioned). Hosts and elements located
+// there are forgotten; peers drop their logical links to it.
+func (c *Controller) RemoveSwitch(dpid uint64) bool {
+	st, ok := c.switches[dpid]
+	if !ok {
+		return false
+	}
+	delete(c.switches, dpid)
+	_ = st.conn.Close()
+	for mac, h := range c.hosts {
+		if h.DPID != dpid {
+			continue
+		}
+		delete(c.hosts, mac)
+		if c.byIP[h.IP] == mac {
+			delete(c.byIP, h.IP)
+		}
+		if h.SEID != 0 {
+			if se, ok := c.elements[h.SEID]; ok && se.dpid == dpid {
+				delete(c.elements, h.SEID)
+				delete(c.byMAC, mac)
+				c.record(monitor.Event{Type: monitor.EventSEOffline, SE: h.SEID, Switch: dpid})
+			}
+		} else {
+			c.record(monitor.Event{Type: monitor.EventUserLeave, User: mac.String(), Switch: dpid})
+		}
+	}
+	for _, peer := range c.switches {
+		delete(peer.peers, dpid)
+	}
+	c.record(monitor.Event{Type: monitor.EventSwitchLeave, Switch: dpid, Detail: st.name})
+	return true
+}
+
+// Hosts returns the current routing table (copy).
+func (c *Controller) Hosts() []HostLoc {
+	out := make([]HostLoc, 0, len(c.hosts))
+	for _, h := range c.hosts {
+		out = append(out, *h)
+	}
+	return out
+}
+
+// HostByMAC looks up a routing-table entry.
+func (c *Controller) HostByMAC(mac netpkt.MAC) (HostLoc, bool) {
+	h, ok := c.hosts[mac]
+	if !ok {
+		return HostLoc{}, false
+	}
+	return *h, true
+}
+
+// ElementInfo is a read-only service-element snapshot.
+type ElementInfo struct {
+	ID       uint64
+	MAC      netpkt.MAC
+	Service  seproto.ServiceType
+	DPID     uint64
+	Port     uint32
+	Capacity uint64
+	Load     seproto.Load
+}
+
+// Elements returns registered service elements (copy).
+func (c *Controller) Elements() []ElementInfo {
+	out := make([]ElementInfo, 0, len(c.elements))
+	for _, se := range c.elements {
+		out = append(out, ElementInfo{
+			ID: se.id, MAC: se.mac, Service: se.service,
+			DPID: se.dpid, Port: se.port, Capacity: se.capacity, Load: se.load,
+		})
+	}
+	return out
+}
+
+// NumSwitches returns the count of registered AS switches.
+func (c *Controller) NumSwitches() int { return len(c.switches) }
+
+// balancer returns (creating on demand) the balancer for a policy's
+// algorithm/grain combination.
+func (c *Controller) balancer(algo loadbalance.Algorithm, grain loadbalance.Grain) *loadbalance.Balancer {
+	if algo == 0 {
+		algo = c.cfg.DefaultAlgorithm
+	}
+	if grain == 0 {
+		grain = c.cfg.DefaultGrain
+	}
+	k := balancerKey{algo, grain}
+	b, ok := c.balancers[k]
+	if !ok {
+		b = loadbalance.New(algo, grain, c.cfg.Seed+int64(algo)*31+int64(grain))
+		c.balancers[k] = b
+	}
+	return b
+}

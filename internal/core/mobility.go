@@ -1,0 +1,35 @@
+package core
+
+import (
+	"livesec/internal/flow"
+	"livesec/internal/netpkt"
+	"livesec/internal/openflow"
+)
+
+// Mobility support (§III.D.1): "the mobility of users and VMs can be
+// guaranteed by existing OpenFlow technologies". When a host or a
+// VM-based service element re-appears at a new attachment point, the
+// routing table is updated by location discovery; this file adds the
+// data-plane half — stale flow entries that reference the moved host
+// are purged from every switch so sessions re-establish over the new
+// location instead of black-holing at the old port.
+
+// purgeHostFlows removes every flow entry matching the host as source
+// or destination, on every switch. Security drop rules survive: if the
+// host is blocked, the drop is reinstalled at its new ingress switch.
+func (c *Controller) purgeHostFlows(mac netpkt.MAC) {
+	bySrc := flow.Match{Wildcards: flow.WildAll &^ flow.WildEthSrc, Key: flow.Key{EthSrc: mac}}
+	byDst := flow.Match{Wildcards: flow.WildAll &^ flow.WildEthDst, Key: flow.Key{EthDst: mac}}
+	for _, st := range c.sortedSwitches() {
+		c.sendFlowMod(st, &openflow.FlowMod{Match: bySrc, Command: openflow.FlowDelete})
+		c.sendFlowMod(st, &openflow.FlowMod{Match: byDst, Command: openflow.FlowDelete})
+	}
+	if c.blockedUsers[mac] {
+		// The block follows the user to its new entrance.
+		if h, ok := c.hosts[mac]; ok {
+			if st, ok := c.switches[h.DPID]; ok {
+				c.installDrop(st, bySrc, flow.Key{EthSrc: mac}, "block follows moved user")
+			}
+		}
+	}
+}

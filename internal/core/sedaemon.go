@@ -1,0 +1,133 @@
+package core
+
+import (
+	"livesec/internal/flow"
+	"livesec/internal/monitor"
+	"livesec/internal/netpkt"
+	"livesec/internal/openflow"
+	"livesec/internal/seproto"
+)
+
+// handleSEMessage processes a service-element daemon datagram delivered
+// by packet-in (§III.D.1). The controller deliberately installs no flow
+// entry for these UDP flows so every message keeps reaching it.
+func (c *Controller) handleSEMessage(st *switchState, inPort uint32, pkt *netpkt.Packet) {
+	msg, err := seproto.Parse(pkt.Payload)
+	if err != nil {
+		return
+	}
+	switch m := msg.(type) {
+	case *seproto.Online:
+		c.handleSEOnline(st, inPort, pkt, m)
+	case *seproto.Event:
+		c.handleSEEvent(pkt, m)
+	}
+}
+
+func (c *Controller) handleSEOnline(st *switchState, inPort uint32, pkt *netpkt.Packet, m *seproto.Online) {
+	certOK := c.certifier.Verify(m.SEID, pkt.EthSrc, m.Cert)
+	if c.cfg.RequireCerts && !certOK {
+		// Uncertified element: its flows are dropped at the ingress AS
+		// switch (§III.D.1 certification mechanism).
+		if !c.blockedUsers[pkt.EthSrc] {
+			c.record(monitor.Event{Type: monitor.EventSECertFail, SE: m.SEID,
+				Switch: st.dpid, User: pkt.EthSrc.String()})
+			// Learn the attachment point (without announcing the rogue
+			// into the fabric) so the drop lands on its ingress switch.
+			c.learnHost(st, inPort, pkt.EthSrc, pkt.IP.Src, false)
+			c.BlockUser(pkt.EthSrc, "uncertified service element")
+		}
+		return
+	}
+	se, known := c.elements[m.SEID]
+	if !known {
+		se = &seState{id: m.SEID}
+		c.elements[m.SEID] = se
+	}
+	se.mac = pkt.EthSrc
+	se.ip = pkt.IP.Src
+	se.dpid = st.dpid
+	se.port = inPort
+	se.service = m.Service
+	se.capacity = m.CapacityBps
+	se.load = m.Load
+	se.pendingAssign = 0
+	se.lastSeen = c.eng.Now()
+	se.certOK = certOK
+	c.byMAC[se.mac] = se
+	// Elements are also hosts in the routing table so steering can
+	// resolve their attachment, and so the fabric learns their location
+	// (announcements fire on first sight and on migration).
+	if h := c.learnHost(st, inPort, pkt.EthSrc, pkt.IP.Src, true); h != nil {
+		h.SEID = m.SEID
+		h.LastSeen = c.eng.Now()
+	}
+	if !known {
+		c.record(monitor.Event{Type: monitor.EventSEOnline, SE: m.SEID,
+			Switch: st.dpid, IP: pkt.IP.Src.String(), Detail: m.Service.String()})
+	}
+}
+
+func (c *Controller) handleSEEvent(pkt *netpkt.Packet, m *seproto.Event) {
+	se, known := c.elements[m.SEID]
+	if c.cfg.RequireCerts {
+		if !known || !c.certifier.Verify(m.SEID, pkt.EthSrc, m.Cert) || se.mac != pkt.EthSrc {
+			c.record(monitor.Event{Type: monitor.EventSECertFail, SE: m.SEID,
+				Detail: "event with invalid certificate"})
+			return
+		}
+	}
+	c.stats.SEEvents++
+	user := m.Flow.EthSrc
+	switch m.Class {
+	case seproto.EventAttack, seproto.EventVirus, seproto.EventContent:
+		typ := monitor.EventAttack
+		switch m.Class {
+		case seproto.EventVirus:
+			typ = monitor.EventVirus
+		case seproto.EventContent:
+			typ = monitor.EventContent
+		}
+		key := m.Flow
+		c.record(monitor.Event{Type: typ, SE: m.SEID, User: user.String(),
+			Severity: m.Severity, Detail: m.Detail, FlowKey: &key})
+		c.blockReportedFlow(m)
+	case seproto.EventProtocol:
+		c.record(monitor.Event{Type: monitor.EventProtocol, SE: m.SEID,
+			User: user.String(), Detail: m.Detail})
+		c.applyAppPolicy(m)
+	}
+}
+
+// blockReportedFlow installs a drop rule at the offender's ingress AS
+// switch so the flow is blocked at the entrance (§IV.A). The match
+// covers the offending 5-tuple from that user regardless of the steering
+// rewrites the element observed.
+func (c *Controller) blockReportedFlow(m *seproto.Event) {
+	h, ok := c.hosts[m.Flow.EthSrc]
+	if !ok {
+		return
+	}
+	st, ok := c.switches[h.DPID]
+	if !ok {
+		return
+	}
+	// Wildcard dl_dst (the element saw the steered form), VLAN/TOS and
+	// in_port; pin the user and the 5-tuple.
+	dropMatch := flow.Match{
+		Wildcards: flow.WildInPort | flow.WildEthDst | flow.WildVLAN | flow.WildIPTOS,
+		Key: flow.Key{
+			EthSrc:  m.Flow.EthSrc,
+			EthType: m.Flow.EthType,
+			IPSrc:   m.Flow.IPSrc,
+			IPDst:   m.Flow.IPDst,
+			IPProto: m.Flow.IPProto,
+			SrcPort: m.Flow.SrcPort,
+			DstPort: m.Flow.DstPort,
+		},
+	}
+	// Remove the exact forwarding entries so in-flight packets stop, then
+	// install the drop.
+	c.sendFlowMod(st, &openflow.FlowMod{Match: dropMatch, Command: openflow.FlowDelete})
+	c.installDrop(st, dropMatch, m.Flow, "security event sid="+uitoa(uint64(m.SigID)))
+}

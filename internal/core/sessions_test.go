@@ -1,0 +1,113 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"livesec/internal/netpkt"
+	"livesec/internal/policy"
+	"livesec/internal/testbed"
+)
+
+func TestReapplyPoliciesDeniesLiveSession(t *testing.T) {
+	n, a, b := twoSwitchNet(t, testbed.Options{})
+	defer n.Shutdown()
+	got := 0
+	b.HandleUDP(9, func(*netpkt.Packet) { got++ })
+	// Establish a session under the allow-all default.
+	a.SendUDP(serverIP, 7, 9, []byte("one"), 0)
+	if err := n.Run(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 || n.Controller.Sessions() != 1 {
+		t.Fatalf("setup: got=%d sessions=%d", got, n.Controller.Sessions())
+	}
+	// The administrator adds a deny rule and reapplies.
+	if err := n.Controller.Policies().Add(&policy.Rule{
+		Name: "emergency-block", Priority: 100,
+		Match:  policy.Match{DstPort: 9},
+		Action: policy.Deny,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if affected := n.Controller.ReapplyPolicies(); affected != 1 {
+		t.Fatalf("affected = %d, want 1", affected)
+	}
+	if err := n.Run(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// The live session is dead immediately — no waiting for idle expiry.
+	for i := 0; i < 5; i++ {
+		a.SendUDP(serverIP, 7, 9, []byte("blocked?"), 0)
+	}
+	if err := n.Run(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("denied session still delivered (%d)", got)
+	}
+	if n.Controller.Sessions() != 0 {
+		t.Fatalf("session not forgotten: %d", n.Controller.Sessions())
+	}
+}
+
+func TestReapplyPoliciesRuleChangeReinstalls(t *testing.T) {
+	n, a, b := twoSwitchNet(t, testbed.Options{})
+	defer n.Shutdown()
+	got := 0
+	b.HandleUDP(9, func(*netpkt.Packet) { got++ })
+	a.SendUDP(serverIP, 7, 9, []byte("one"), 0)
+	if err := n.Run(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// A new named allow rule now covers the flow: the decision's rule
+	// changed, so the session is torn down and re-admitted on the next
+	// packet.
+	if err := n.Controller.Policies().Add(&policy.Rule{
+		Name: "explicit-allow", Priority: 50,
+		Match:  policy.Match{DstPort: 9},
+		Action: policy.Allow,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if affected := n.Controller.ReapplyPolicies(); affected != 1 {
+		t.Fatalf("affected = %d, want 1", affected)
+	}
+	if err := n.Run(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	misses := n.Switches[0].TableMisses
+	a.SendUDP(serverIP, 7, 9, []byte("two"), 0)
+	if err := n.Run(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("flow did not re-establish (got=%d)", got)
+	}
+	if n.Switches[0].TableMisses <= misses {
+		t.Fatal("no re-install happened — stale entries survived")
+	}
+}
+
+func TestReapplyPoliciesNoChangesNoEffect(t *testing.T) {
+	n, a, b := twoSwitchNet(t, testbed.Options{})
+	defer n.Shutdown()
+	got := 0
+	b.HandleUDP(9, func(*netpkt.Packet) { got++ })
+	a.SendUDP(serverIP, 7, 9, []byte("one"), 0)
+	if err := n.Run(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if affected := n.Controller.ReapplyPolicies(); affected != 0 {
+		t.Fatalf("affected = %d, want 0", affected)
+	}
+	// Session keeps flowing through its installed entries.
+	misses := n.Switches[0].TableMisses
+	a.SendUDP(serverIP, 7, 9, []byte("two"), 0)
+	if err := n.Run(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 || n.Switches[0].TableMisses != misses {
+		t.Fatalf("no-op reapply disturbed the session (got=%d)", got)
+	}
+}

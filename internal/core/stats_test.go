@@ -1,0 +1,73 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"livesec/internal/monitor"
+	"livesec/internal/netpkt"
+	"livesec/internal/testbed"
+	"livesec/internal/workload"
+)
+
+func TestPortStatsPollingDerivesRates(t *testing.T) {
+	n, a, b := twoSwitchNet(t, testbed.Options{})
+	defer n.Shutdown()
+	n.Controller.StartStatsPolling(200 * time.Millisecond)
+
+	b.HandleUDP(9, func(*netpkt.Packet) {})
+	// Warm the flow, then run ~80 Mbps for a second.
+	a.SendUDP(serverIP, 7, 9, []byte("warm"), 0)
+	if err := n.Run(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	cancel := workload.UDPCBR(n.Eng, a, serverIP, 7, 9, 80_000_000)
+	if err := n.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+
+	loads := n.Controller.PortLoads()
+	if len(loads) == 0 {
+		t.Fatal("no port loads derived")
+	}
+	// The user's access port on switch 1 must show ≈80 Mbps inbound.
+	var userRx float64
+	var uplinkSeen bool
+	for _, l := range loads {
+		if l.DPID == 1 && l.Port == 1 {
+			userRx = l.RxMbps
+		}
+		if l.Uplink {
+			uplinkSeen = true
+		}
+	}
+	if userRx < 60 || userRx > 90 {
+		t.Fatalf("user access port rx = %.1f Mbps, want ≈80", userRx)
+	}
+	if !uplinkSeen {
+		t.Fatal("uplink ports not classified in load table")
+	}
+	// Heavy access-port utilization surfaces as a load-report event.
+	if n.Store.Count(monitor.EventLoadReport) == 0 {
+		t.Fatal("no high-utilization event recorded")
+	}
+	// Loads appear in the topology snapshot for the WebUI.
+	snap := n.Controller.Topology()
+	if len(snap.Loads) == 0 {
+		t.Fatal("topology snapshot carries no loads")
+	}
+}
+
+func TestPortStatsQuietWithoutPolling(t *testing.T) {
+	n, a, b := twoSwitchNet(t, testbed.Options{})
+	defer n.Shutdown()
+	b.HandleUDP(9, func(*netpkt.Packet) {})
+	a.SendUDP(serverIP, 7, 9, []byte("x"), 0)
+	if err := n.Run(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Controller.PortLoads()) != 0 {
+		t.Fatal("loads derived without polling enabled")
+	}
+}

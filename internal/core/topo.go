@@ -1,0 +1,84 @@
+package core
+
+import (
+	"sort"
+)
+
+// TopologySnapshot is the logical-topology view served to the WebUI
+// (§IV.D): AS switches, discovered full-mesh links, host locations, and
+// service elements.
+type TopologySnapshot struct {
+	Switches []SwitchInfo  `json:"switches"`
+	Links    []Link        `json:"links"`
+	Hosts    []HostInfo    `json:"hosts"`
+	Elements []ElementJSON `json:"elements"`
+	// Loads carries per-port utilization when stats polling is active.
+	Loads []PortLoad `json:"loads,omitempty"`
+}
+
+// SwitchInfo describes one AS switch.
+type SwitchInfo struct {
+	DPID  uint64 `json:"dpid"`
+	Name  string `json:"name"`
+	Ports int    `json:"ports"`
+}
+
+// HostInfo describes one attached host.
+type HostInfo struct {
+	MAC  string `json:"mac"`
+	IP   string `json:"ip"`
+	DPID uint64 `json:"dpid"`
+	Port uint32 `json:"port"`
+	SE   uint64 `json:"se,omitempty"`
+}
+
+// ElementJSON describes one service element for the UI.
+type ElementJSON struct {
+	ID       uint64 `json:"id"`
+	Service  string `json:"service"`
+	DPID     uint64 `json:"dpid"`
+	Capacity uint64 `json:"capacityBps"`
+	PPS      uint32 `json:"pps"`
+	QueueLen uint32 `json:"queueLen"`
+	Packets  uint64 `json:"packets"`
+}
+
+// Topology builds a consistent snapshot. Safe to expose through
+// monitor.NewHandler as the TopologyFunc when the simulation is paused
+// or single-threaded.
+func (c *Controller) Topology() TopologySnapshot {
+	var snap TopologySnapshot
+	for dpid, st := range c.switches {
+		snap.Switches = append(snap.Switches, SwitchInfo{DPID: dpid, Name: st.name, Ports: len(st.ports)})
+	}
+	sort.Slice(snap.Switches, func(i, j int) bool { return snap.Switches[i].DPID < snap.Switches[j].DPID })
+	snap.Links = c.Links()
+	sort.Slice(snap.Links, func(i, j int) bool {
+		if snap.Links[i].DPID != snap.Links[j].DPID {
+			return snap.Links[i].DPID < snap.Links[j].DPID
+		}
+		return snap.Links[i].Peer < snap.Links[j].Peer
+	})
+	for mac, h := range c.hosts {
+		snap.Hosts = append(snap.Hosts, HostInfo{
+			MAC: mac.String(), IP: h.IP.String(), DPID: h.DPID, Port: h.Port, SE: h.SEID,
+		})
+	}
+	sort.Slice(snap.Hosts, func(i, j int) bool { return snap.Hosts[i].MAC < snap.Hosts[j].MAC })
+	for id, se := range c.elements {
+		snap.Elements = append(snap.Elements, ElementJSON{
+			ID: id, Service: se.service.String(), DPID: se.dpid,
+			Capacity: se.capacity, PPS: se.load.PPS, QueueLen: se.load.QueueLen,
+			Packets: se.load.Packets,
+		})
+	}
+	sort.Slice(snap.Elements, func(i, j int) bool { return snap.Elements[i].ID < snap.Elements[j].ID })
+	snap.Loads = c.PortLoads()
+	sort.Slice(snap.Loads, func(i, j int) bool {
+		if snap.Loads[i].DPID != snap.Loads[j].DPID {
+			return snap.Loads[i].DPID < snap.Loads[j].DPID
+		}
+		return snap.Loads[i].Port < snap.Loads[j].Port
+	})
+	return snap
+}

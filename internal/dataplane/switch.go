@@ -1,0 +1,417 @@
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"livesec/internal/flow"
+	"livesec/internal/link"
+	"livesec/internal/netpkt"
+	"livesec/internal/openflow"
+	"livesec/internal/sim"
+)
+
+// Kind distinguishes the two AS-layer devices the paper deploys.
+type Kind int
+
+// Switch kinds.
+const (
+	// KindOvS is an Open vSwitch instance on a commodity server.
+	KindOvS Kind = iota + 1
+	// KindWiFi is a Pantou (OpenWrt) OF Wi-Fi access point.
+	KindWiFi
+)
+
+// Forwarding delays of the software data planes. These set the per-hop
+// cost LiveSec adds over pure legacy switching (evaluation §V.B.3).
+const (
+	ovsProcDelay  = 20 * time.Microsecond
+	wifiProcDelay = 80 * time.Microsecond
+
+	expirySweep = 250 * time.Millisecond
+	bufferCap   = 1024
+)
+
+// Config configures a Switch.
+type Config struct {
+	DPID uint64
+	Name string
+	Kind Kind
+	// ProcDelay overrides the per-packet forwarding delay; 0 selects the
+	// default for the Kind.
+	ProcDelay time.Duration
+	// MaxEntries bounds the flow table (0 = unlimited). Hardware tables
+	// are finite; a full table rejects FLOW_MOD adds with an error.
+	MaxEntries int
+}
+
+// PortStats counts per-port traffic.
+type PortStats struct {
+	RxPackets, TxPackets uint64
+	RxBytes, TxBytes     uint64
+	RxDropped, TxDropped uint64
+}
+
+type swPort struct {
+	no    uint32
+	ep    link.Endpoint
+	stats PortStats
+}
+
+// Switch is a software OpenFlow switch attached to the simulator.
+// It implements link.Node for the data plane and talks to the controller
+// over an openflow.Conn secure channel.
+type Switch struct {
+	eng   *sim.Engine
+	cfg   Config
+	proc  time.Duration
+	table *FlowTable
+	ports map[uint32]*swPort
+	ctrl  openflow.Conn
+	mac   netpkt.MAC
+
+	buffers  map[uint32]bufferedPacket
+	nextBuf  uint32
+	nextXID  uint32
+	stopScan func()
+
+	// PacketInsSent counts controller round trips; the flow-setup ablation
+	// bench reads it.
+	PacketInsSent uint64
+	// TableMisses counts lookups that found no entry.
+	TableMisses uint64
+	// TableFullRejects counts FLOW_MOD adds refused on a full table.
+	TableFullRejects uint64
+	// OnMiss, if set, observes table misses (debugging and tests).
+	OnMiss func(inPort uint32, pkt *netpkt.Packet)
+}
+
+type bufferedPacket struct {
+	pkt    *netpkt.Packet
+	inPort uint32
+}
+
+// New creates a switch on the engine. Attach ports with AttachPort, then
+// connect the secure channel with ConnectController.
+func New(eng *sim.Engine, cfg Config) *Switch {
+	proc := cfg.ProcDelay
+	if proc == 0 {
+		switch cfg.Kind {
+		case KindWiFi:
+			proc = wifiProcDelay
+		default:
+			proc = ovsProcDelay
+		}
+	}
+	return &Switch{
+		eng:     eng,
+		cfg:     cfg,
+		proc:    proc,
+		table:   NewFlowTable(),
+		ports:   make(map[uint32]*swPort),
+		buffers: make(map[uint32]bufferedPacket),
+		mac:     netpkt.MACFromUint64(cfg.DPID | 1<<40),
+	}
+}
+
+// DPID returns the datapath ID.
+func (s *Switch) DPID() uint64 { return s.cfg.DPID }
+
+// Name returns the configured name.
+func (s *Switch) Name() string { return s.cfg.Name }
+
+// Kind returns the device kind.
+func (s *Switch) Kind() Kind { return s.cfg.Kind }
+
+// Table exposes the flow table for tests and stats collection.
+func (s *Switch) Table() *FlowTable { return s.table }
+
+// AttachPort registers local port no as the switch end of l. The link must
+// have been built with this switch as one of its nodes. Ports attached
+// after the controller handshake are announced with a PORT_STATUS
+// message, as on a real datapath.
+func (s *Switch) AttachPort(no uint32, l *link.Link) {
+	_, existed := s.ports[no]
+	s.ports[no] = &swPort{no: no, ep: l.From(s)}
+	if s.ctrl != nil && !existed {
+		s.ctrl.Send(&openflow.PortStatus{
+			XID:    s.xid(),
+			Reason: openflow.PortAdded,
+			Desc:   openflow.PortDesc{No: no, MAC: s.mac, Name: fmt.Sprintf("%s-p%d", s.cfg.Name, no)},
+		})
+	}
+}
+
+// Ports lists attached port numbers in unspecified order.
+func (s *Switch) Ports() []uint32 {
+	out := make([]uint32, 0, len(s.ports))
+	for no := range s.ports {
+		out = append(out, no)
+	}
+	return out
+}
+
+// sortedPorts lists port numbers ascending (deterministic flooding).
+func (s *Switch) sortedPorts() []uint32 {
+	out := s.Ports()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PortStats returns counters for one port.
+func (s *Switch) PortStats(no uint32) PortStats {
+	if p, ok := s.ports[no]; ok {
+		return p.stats
+	}
+	return PortStats{}
+}
+
+// ConnectController wires the secure channel and performs the OpenFlow
+// handshake (Hello + FeaturesReply on request). It also starts the flow
+// expiry sweeper.
+func (s *Switch) ConnectController(c openflow.Conn) {
+	s.ctrl = c
+	c.SetHandler(s.handleControl)
+	c.Send(&openflow.Hello{XID: s.xid()})
+	if s.stopScan == nil {
+		s.stopScan = s.eng.Ticker(expirySweep, s.sweepExpired)
+	}
+}
+
+// Shutdown stops background activity (the expiry sweeper).
+func (s *Switch) Shutdown() {
+	if s.stopScan != nil {
+		s.stopScan()
+		s.stopScan = nil
+	}
+}
+
+func (s *Switch) xid() uint32 {
+	s.nextXID++
+	return s.nextXID
+}
+
+// Receive implements link.Node: a frame arrived on a data port.
+func (s *Switch) Receive(portNo uint32, pkt *netpkt.Packet) {
+	p, ok := s.ports[portNo]
+	if !ok {
+		return
+	}
+	p.stats.RxPackets++
+	p.stats.RxBytes += uint64(pkt.WireLen())
+	// Model the software forwarding delay, then run the pipeline.
+	s.eng.Schedule(s.proc, func() { s.pipeline(portNo, pkt) })
+}
+
+func (s *Switch) pipeline(inPort uint32, pkt *netpkt.Packet) {
+	key := flow.KeyOf(inPort, pkt)
+	e := s.table.Lookup(key)
+	if e == nil {
+		s.TableMisses++
+		if s.OnMiss != nil {
+			s.OnMiss(inPort, pkt)
+		}
+		s.sendPacketIn(inPort, pkt, openflow.ReasonNoMatch)
+		return
+	}
+	e.Packets++
+	e.Bytes += uint64(pkt.WireLen())
+	e.lastUsed = s.eng.Now()
+	s.apply(inPort, pkt, e.Actions)
+}
+
+// apply executes an action list on a packet. Header-rewriting actions
+// clone the packet so shared references stay intact.
+func (s *Switch) apply(inPort uint32, pkt *netpkt.Packet, actions []openflow.Action) {
+	if len(actions) == 0 {
+		return // drop
+	}
+	cur := pkt
+	for _, a := range actions {
+		switch act := a.(type) {
+		case openflow.ActionSetDLDst:
+			cur = cur.Clone()
+			cur.EthDst = act.MAC
+		case openflow.ActionSetDLSrc:
+			cur = cur.Clone()
+			cur.EthSrc = act.MAC
+		case openflow.ActionOutput:
+			s.output(inPort, cur, act)
+		}
+	}
+}
+
+func (s *Switch) output(inPort uint32, pkt *netpkt.Packet, act openflow.ActionOutput) {
+	switch act.Port {
+	case openflow.PortController:
+		s.sendPacketIn(inPort, pkt, openflow.ReasonAction)
+	case openflow.PortFlood:
+		for _, no := range s.sortedPorts() {
+			if no != inPort {
+				s.tx(s.ports[no], pkt)
+			}
+		}
+	case openflow.PortAll:
+		for _, no := range s.sortedPorts() {
+			s.tx(s.ports[no], pkt)
+		}
+	default:
+		p, ok := s.ports[act.Port]
+		if !ok {
+			return
+		}
+		s.tx(p, pkt)
+	}
+}
+
+func (s *Switch) tx(p *swPort, pkt *netpkt.Packet) {
+	p.stats.TxPackets++
+	p.stats.TxBytes += uint64(pkt.WireLen())
+	p.ep.Send(pkt)
+}
+
+func (s *Switch) sendPacketIn(inPort uint32, pkt *netpkt.Packet, reason uint8) {
+	if s.ctrl == nil {
+		return
+	}
+	bufID := openflow.NoBuffer
+	if len(s.buffers) < bufferCap {
+		s.nextBuf++
+		bufID = s.nextBuf
+		s.buffers[bufID] = bufferedPacket{pkt: pkt, inPort: inPort}
+	}
+	s.PacketInsSent++
+	s.ctrl.Send(&openflow.PacketIn{
+		XID:      s.xid(),
+		BufferID: bufID,
+		InPort:   inPort,
+		Reason:   reason,
+		Data:     pkt.Marshal(),
+	})
+}
+
+func (s *Switch) handleControl(m openflow.Message) {
+	switch msg := m.(type) {
+	case *openflow.Hello:
+		// Handshake complete; nothing else required.
+	case *openflow.EchoRequest:
+		s.ctrl.Send(&openflow.EchoReply{XID: msg.XID, Data: msg.Data})
+	case *openflow.FeaturesRequest:
+		s.ctrl.Send(s.featuresReply(msg.XID))
+	case *openflow.FlowMod:
+		s.handleFlowMod(msg)
+	case *openflow.PacketOut:
+		s.handlePacketOut(msg)
+	case *openflow.StatsRequest:
+		s.handleStatsRequest(msg)
+	case *openflow.BarrierRequest:
+		s.ctrl.Send(&openflow.BarrierReply{XID: msg.XID})
+	default:
+		s.ctrl.Send(&openflow.ErrorMsg{XID: s.xid(), Code: openflow.ErrBadRequest,
+			Data: []byte(fmt.Sprintf("unexpected %s", m.Type()))})
+	}
+}
+
+func (s *Switch) featuresReply(xid uint32) *openflow.FeaturesReply {
+	fr := &openflow.FeaturesReply{XID: xid, DPID: s.cfg.DPID, NTables: 1}
+	for _, no := range s.sortedPorts() {
+		fr.Ports = append(fr.Ports, openflow.PortDesc{
+			No:   no,
+			MAC:  s.mac,
+			Name: fmt.Sprintf("%s-p%d", s.cfg.Name, no),
+		})
+	}
+	return fr
+}
+
+func (s *Switch) handleFlowMod(fm *openflow.FlowMod) {
+	switch fm.Command {
+	case openflow.FlowAdd, openflow.FlowModify:
+		if s.cfg.MaxEntries > 0 && s.table.Len() >= s.cfg.MaxEntries && s.table.Lookup(fm.Match.Key) == nil {
+			s.TableFullRejects++
+			s.ctrl.Send(&openflow.ErrorMsg{XID: fm.XID, Code: openflow.ErrTableFull,
+				Data: []byte("flow table full")})
+			return
+		}
+		s.table.Add(&Entry{
+			Match:       fm.Match,
+			Priority:    fm.Priority,
+			Actions:     fm.Actions,
+			Cookie:      fm.Cookie,
+			IdleTimeout: time.Duration(fm.IdleTimeout) * time.Second,
+			HardTimeout: time.Duration(fm.HardTimeout) * time.Second,
+			NotifyDel:   fm.NotifyDel,
+		}, s.eng.Now())
+	case openflow.FlowDelete, openflow.FlowDeleteStrict:
+		removed := s.table.Delete(fm.Match, fm.Priority, fm.Command == openflow.FlowDeleteStrict)
+		for _, e := range removed {
+			if e.NotifyDel {
+				s.notifyRemoved(e, openflow.RemovedDelete)
+			}
+		}
+	}
+}
+
+func (s *Switch) handlePacketOut(po *openflow.PacketOut) {
+	var pkt *netpkt.Packet
+	inPort := po.InPort
+	if po.BufferID != openflow.NoBuffer {
+		if b, ok := s.buffers[po.BufferID]; ok {
+			pkt, inPort = b.pkt, b.inPort
+			delete(s.buffers, po.BufferID)
+		}
+	}
+	if pkt == nil {
+		decoded, err := netpkt.Unmarshal(po.Data)
+		if err != nil {
+			s.ctrl.Send(&openflow.ErrorMsg{XID: po.XID, Code: openflow.ErrBadRequest, Data: []byte(err.Error())})
+			return
+		}
+		pkt = decoded
+	}
+	s.apply(inPort, pkt, po.Actions)
+}
+
+func (s *Switch) handleStatsRequest(req *openflow.StatsRequest) {
+	reply := &openflow.StatsReply{XID: req.XID, Kind: req.Kind}
+	switch req.Kind {
+	case openflow.StatsFlow:
+		for _, e := range s.table.Entries() {
+			if req.Match.Subsumes(e.Match) || req.Match.Wildcards == flow.WildAll {
+				reply.Flows = append(reply.Flows, openflow.FlowStat{
+					Match: e.Match, Priority: e.Priority, Cookie: e.Cookie,
+					Packets: e.Packets, Bytes: e.Bytes,
+				})
+			}
+		}
+	case openflow.StatsPort:
+		for no, p := range s.ports {
+			reply.Ports = append(reply.Ports, openflow.PortStat{
+				PortNo:    no,
+				RxPackets: p.stats.RxPackets, TxPackets: p.stats.TxPackets,
+				RxBytes: p.stats.RxBytes, TxBytes: p.stats.TxBytes,
+				RxDropped: p.stats.RxDropped, TxDropped: p.stats.TxDropped,
+			})
+		}
+	}
+	s.ctrl.Send(reply)
+}
+
+func (s *Switch) sweepExpired() {
+	for _, exp := range s.table.Expire(s.eng.Now()) {
+		if exp.Entry.NotifyDel {
+			s.notifyRemoved(exp.Entry, exp.Reason)
+		}
+	}
+}
+
+func (s *Switch) notifyRemoved(e *Entry, reason uint8) {
+	if s.ctrl == nil {
+		return
+	}
+	s.ctrl.Send(&openflow.FlowRemoved{
+		XID: s.xid(), Match: e.Match, Cookie: e.Cookie, Priority: e.Priority,
+		Reason: reason, Packets: e.Packets, Bytes: e.Bytes,
+	})
+}

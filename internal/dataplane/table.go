@@ -1,0 +1,172 @@
+// Package dataplane implements the Access-Switching layer's data plane:
+// a software OpenFlow switch modeled on Open vSwitch (KindOvS) and the
+// Pantou-based OF Wi-Fi access point (KindWiFi). Switches forward at the
+// behest of the LiveSec controller: a flow-table miss raises a packet-in,
+// and flow-mods installed over the secure channel drive all subsequent
+// forwarding (§II–III of the paper).
+package dataplane
+
+import (
+	"sort"
+	"time"
+
+	"livesec/internal/flow"
+	"livesec/internal/openflow"
+)
+
+// Entry is one flow-table entry with its counters.
+type Entry struct {
+	Match    flow.Match
+	Priority uint16
+	Actions  []openflow.Action
+	Cookie   uint64
+
+	IdleTimeout time.Duration // 0 = never
+	HardTimeout time.Duration // 0 = never
+	NotifyDel   bool
+
+	installed time.Duration
+	lastUsed  time.Duration
+	Packets   uint64
+	Bytes     uint64
+}
+
+// FlowTable is a priority-ordered OpenFlow table with an exact-match fast
+// path: fully-specified entries live in a hash map keyed by the 12-tuple,
+// wildcard entries in a small priority-sorted list (default rules, drop
+// rules, steering rules).
+type FlowTable struct {
+	exact     map[flow.Key]*Entry
+	wildcards []*Entry // sorted by Priority descending, stable
+}
+
+// NewFlowTable returns an empty table.
+func NewFlowTable() *FlowTable {
+	return &FlowTable{exact: make(map[flow.Key]*Entry)}
+}
+
+// Len returns the number of installed entries.
+func (t *FlowTable) Len() int { return len(t.exact) + len(t.wildcards) }
+
+// Add installs an entry, replacing any entry with an identical match and
+// priority (OpenFlow add-or-overwrite semantics).
+func (t *FlowTable) Add(e *Entry, now time.Duration) {
+	e.installed = now
+	e.lastUsed = now
+	if e.Match.IsExact() {
+		if old, ok := t.exact[e.Match.Key]; ok && old.Priority != e.Priority {
+			// Exact-match entries are unique per key; higher priority wins.
+			if old.Priority > e.Priority {
+				return
+			}
+		}
+		t.exact[e.Match.Key] = e
+		return
+	}
+	for i, old := range t.wildcards {
+		if old.Priority == e.Priority && old.Match == e.Match {
+			t.wildcards[i] = e
+			return
+		}
+	}
+	t.wildcards = append(t.wildcards, e)
+	sort.SliceStable(t.wildcards, func(i, j int) bool {
+		return t.wildcards[i].Priority > t.wildcards[j].Priority
+	})
+}
+
+// Lookup returns the highest-priority entry matching k, or nil on a miss.
+func (t *FlowTable) Lookup(k flow.Key) *Entry {
+	best := t.exact[k]
+	for _, e := range t.wildcards {
+		if best != nil && e.Priority <= best.Priority {
+			break // sorted: nothing below can beat the exact hit
+		}
+		if e.Match.Matches(k) {
+			return e
+		}
+	}
+	return best
+}
+
+// Delete removes entries per OpenFlow semantics and returns them. Strict
+// deletion removes only the entry with the identical match and priority;
+// non-strict removes every entry subsumed by the match.
+func (t *FlowTable) Delete(m flow.Match, priority uint16, strict bool) []*Entry {
+	var removed []*Entry
+	keep := func(e *Entry) bool {
+		if strict {
+			return e.Match != m || e.Priority != priority
+		}
+		return !m.Subsumes(e.Match)
+	}
+	for k, e := range t.exact {
+		if !keep(e) {
+			removed = append(removed, e)
+			delete(t.exact, k)
+		}
+	}
+	kept := t.wildcards[:0]
+	for _, e := range t.wildcards {
+		if keep(e) {
+			kept = append(kept, e)
+		} else {
+			removed = append(removed, e)
+		}
+	}
+	for i := len(kept); i < len(t.wildcards); i++ {
+		t.wildcards[i] = nil
+	}
+	t.wildcards = kept
+	return removed
+}
+
+// Expire removes entries whose idle or hard timeout has elapsed at now and
+// returns them paired with the OpenFlow removal reason.
+func (t *FlowTable) Expire(now time.Duration) []ExpiredEntry {
+	var expired []ExpiredEntry
+	check := func(e *Entry) (uint8, bool) {
+		if e.HardTimeout > 0 && now-e.installed >= e.HardTimeout {
+			return openflow.RemovedHardTimeout, true
+		}
+		if e.IdleTimeout > 0 && now-e.lastUsed >= e.IdleTimeout {
+			return openflow.RemovedIdleTimeout, true
+		}
+		return 0, false
+	}
+	for k, e := range t.exact {
+		if reason, dead := check(e); dead {
+			expired = append(expired, ExpiredEntry{e, reason})
+			delete(t.exact, k)
+		}
+	}
+	kept := t.wildcards[:0]
+	for _, e := range t.wildcards {
+		if reason, dead := check(e); dead {
+			expired = append(expired, ExpiredEntry{e, reason})
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	for i := len(kept); i < len(t.wildcards); i++ {
+		t.wildcards[i] = nil
+	}
+	t.wildcards = kept
+	return expired
+}
+
+// ExpiredEntry pairs a removed entry with its removal reason.
+type ExpiredEntry struct {
+	Entry  *Entry
+	Reason uint8
+}
+
+// Entries returns all entries (exact then wildcard); order within the
+// exact set is unspecified.
+func (t *FlowTable) Entries() []*Entry {
+	out := make([]*Entry, 0, t.Len())
+	for _, e := range t.exact {
+		out = append(out, e)
+	}
+	return append(out, t.wildcards...)
+}

@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"livesec/internal/loadbalance"
+	"livesec/internal/netpkt"
+	"livesec/internal/policy"
+	"livesec/internal/seproto"
+	"livesec/internal/service"
+	"livesec/internal/testbed"
+)
+
+// Ablations isolate the design choices DESIGN.md calls out: balancing
+// granularity (§IV.B), the reactive flow-setup cost of interactive
+// policy enforcement (§IV.A), the directory proxy's broadcast
+// suppression (§III.C.2), and bidirectional vs forward-only steering
+// (§III.C.3 session handling).
+
+// AblationGrain compares flow-grain and user-grain balancing under the
+// same workload: user-grain pins each user to one element (fewer
+// dispatch decisions, coarser spread), flow-grain spreads every flow.
+func AblationGrain() Result {
+	run := func(grain loadbalance.Grain) (dev float64, decisions uint64) {
+		pt := policy.NewTable(policy.Allow)
+		_ = pt.Add(&policy.Rule{
+			Name: "inspect", Priority: 10,
+			Match:  policy.Match{Proto: netpkt.ProtoTCP, DstPort: 80},
+			Action: policy.Chain, Services: []seproto.ServiceType{seproto.ServiceIDS},
+			Grain: grain,
+		})
+		n := testbed.New(testbed.Options{Seed: 37, Policies: pt, SteerForwardOnly: true})
+		userSw := n.AddOvS("users")
+		seSw := n.AddOvS("sehost")
+		sinkSw := n.AddOvS("sink")
+		sinkIP := netpkt.IP(166, 111, 1, 1)
+		sink := n.AddServer(sinkSw, "sink", sinkIP)
+		const users, elements, flowsPerUser = 12, 4, 30
+		for i := 0; i < users; i++ {
+			n.AddWiredUser(userSw, fmt.Sprintf("u%d", i), netpkt.IP(10, 0, 1, byte(i+1)))
+		}
+		for i := 0; i < elements; i++ {
+			insp, err := service.NewIDS(e2Rules)
+			if err != nil {
+				return -1, 0
+			}
+			n.AddElement(seSw, insp, 0)
+		}
+		if err := n.Discover(); err != nil {
+			return -1, 0
+		}
+		defer n.Shutdown()
+		_ = n.Run(600 * time.Millisecond)
+		sink.HandleTCP(80, func(*netpkt.Packet) {})
+		rng := n.Eng.Rand()
+		for ui := 0; ui < users; ui++ {
+			u := n.Hosts[ui+1] // Hosts[0] is the sink
+			for f := 0; f < flowsPerUser; f++ {
+				sp := uint16(20000 + ui*100 + f)
+				pkts := 1 + rng.Intn(40)
+				start := time.Duration(rng.Intn(3000)) * time.Millisecond
+				n.Eng.Schedule(start, func() {
+					for p := 0; p < pkts; p++ {
+						n.Eng.Schedule(time.Duration(p)*2*time.Millisecond, func() {
+							u.SendTCP(sinkIP, sp, 80, []byte("data"), 600)
+						})
+					}
+				})
+			}
+		}
+		_ = n.Run(5 * time.Second)
+		loads := make([]uint64, 0, elements)
+		busy := uint64(0)
+		for _, el := range n.Elements {
+			loads = append(loads, el.Stats().Packets)
+			if el.Stats().Packets > 0 {
+				busy++
+			}
+		}
+		return loadbalance.Deviation(loads), busy
+	}
+	fDev, fBusy := run(loadbalance.FlowGrain)
+	uDev, uBusy := run(loadbalance.UserGrain)
+	return Result{
+		ID:    "A1",
+		Title: "Ablation: flow-grain vs user-grain balancing (§IV.B)",
+		Claim: "flow-grain spreads finer; user-grain is coarser but keeps users pinned",
+		Rows: []Row{
+			{Name: "flow-grain deviation", Value: fDev * 100, Unit: "%", Paper: "finer spread"},
+			{Name: "user-grain deviation", Value: uDev * 100, Unit: "%", Paper: "coarser (12 users / 4 elements)"},
+			{Name: "flow-grain busy elements", Value: float64(fBusy), Unit: "of 4", Paper: "4"},
+			{Name: "user-grain busy elements", Value: float64(uBusy), Unit: "of 4", Paper: "≤4"},
+		},
+	}
+}
+
+// AblationFlowSetup quantifies the reactive flow-setup cost: the
+// latency of the first packet of a chained flow (one controller round
+// trip plus flow-mod fan-out) vs steady-state packets, and the
+// packet-in/flow-mod budget per chained session.
+func AblationFlowSetup() Result {
+	pt := policy.NewTable(policy.Allow)
+	_ = pt.Add(&policy.Rule{
+		Name: "inspect", Priority: 10,
+		Match:  policy.Match{Proto: netpkt.ProtoTCP, DstPort: 80},
+		Action: policy.Chain, Services: []seproto.ServiceType{seproto.ServiceIDS},
+	})
+	n := testbed.New(testbed.Options{Seed: 41, Policies: pt})
+	s1 := n.AddOvS("ovs1")
+	s2 := n.AddOvS("ovs2")
+	s3 := n.AddOvS("ovs3")
+	a := n.AddWiredUser(s1, "a", netpkt.IP(10, 0, 0, 1))
+	b := n.AddServer(s2, "b", netpkt.IP(166, 111, 1, 1))
+	insp, err := service.NewIDS(e2Rules)
+	if err != nil {
+		return Result{ID: "A2"}
+	}
+	n.AddElement(s3, insp, 0)
+	if err := n.Discover(); err != nil {
+		return Result{ID: "A2"}
+	}
+	defer n.Shutdown()
+	_ = n.Run(600 * time.Millisecond)
+
+	var arrivals []time.Duration
+	b.HandleTCP(80, func(*netpkt.Packet) { arrivals = append(arrivals, n.Eng.Now()) })
+
+	// Resolve ARP out-of-band so it does not pollute the measurement.
+	a.SendTCP(b.IP, 49999, 81, []byte("warm-arp"), 0)
+	_ = n.Run(50 * time.Millisecond)
+
+	piBefore := n.Controller.Stats().PacketIns
+	fmBefore := n.Controller.Stats().FlowModsSent
+	var sendTimes []time.Duration
+	for i := 0; i < 6; i++ {
+		d := time.Duration(i) * 10 * time.Millisecond
+		n.Eng.Schedule(d, func() {
+			sendTimes = append(sendTimes, n.Eng.Now())
+			a.SendTCP(b.IP, 50000, 80, []byte("GET / HTTP/1.1"), 0)
+		})
+	}
+	_ = n.Run(200 * time.Millisecond)
+	if len(arrivals) != 6 || len(sendTimes) != 6 {
+		return Result{ID: "A2", Notes: []string{fmt.Sprintf("delivery incomplete: %d/%d", len(arrivals), len(sendTimes))}}
+	}
+	first := arrivals[0] - sendTimes[0]
+	var steady time.Duration
+	for i := 1; i < 6; i++ {
+		steady += arrivals[i] - sendTimes[i]
+	}
+	steady /= 5
+	pi := n.Controller.Stats().PacketIns - piBefore
+	fm := n.Controller.Stats().FlowModsSent - fmBefore
+	return Result{
+		ID:    "A2",
+		Title: "Ablation: reactive flow-setup cost (§IV.A)",
+		Claim: "only the first packet pays the controller round trip; entries are installed for both directions at once",
+		Rows: []Row{
+			{Name: "first-packet one-way latency", Value: float64(first.Microseconds()) / 1000, Unit: "ms", Paper: "includes controller RTT"},
+			{Name: "steady-state one-way latency", Value: float64(steady.Microseconds()) / 1000, Unit: "ms", Paper: "data plane only"},
+			{Name: "setup/steady ratio", Value: float64(first) / float64(steady), Unit: "x", Paper: ">1"},
+			{Name: "packet-ins per chained session", Value: float64(pi), Unit: "msgs", Paper: "1 (single table miss)"},
+			{Name: "flow-mods per chained session", Value: float64(fm), Unit: "msgs", Paper: "≈8 (4 per direction, §IV.A)"},
+		},
+	}
+}
+
+// AblationDirectoryProxy measures the broadcast suppression of the
+// dedicated directory proxy (§III.C.2): how many ARP frames uninvolved
+// hosts receive per resolution, with the proxy versus classic flooding
+// in the traditional network.
+func AblationDirectoryProxy() Result {
+	// LiveSec: resolve a known host; the proxy answers unicast.
+	n := testbed.New(testbed.Options{Seed: 43})
+	s1 := n.AddOvS("ovs1")
+	s2 := n.AddOvS("ovs2")
+	const bystanders = 8
+	a := n.AddWiredUser(s1, "a", netpkt.IP(10, 0, 0, 1))
+	b := n.AddWiredUser(s2, "b", netpkt.IP(10, 0, 0, 2))
+	var observers []*observerHost
+	for i := 0; i < bystanders; i++ {
+		h := n.AddWiredUser(s2, fmt.Sprintf("o%d", i), netpkt.IP(10, 0, 1, byte(i+1)))
+		o := &observerHost{}
+		h.OnPacket = o.observe
+		observers = append(observers, o)
+	}
+	if err := n.Discover(); err != nil {
+		return Result{ID: "A3"}
+	}
+	defer n.Shutdown()
+	// Make both endpoints known (bootstrap floods excluded from the
+	// measurement).
+	a.SendUDP(netpkt.IP(10, 200, 0, 99), 1, 1, []byte("announce"), 0)
+	b.SendUDP(netpkt.IP(10, 200, 0, 98), 1, 1, []byte("announce"), 0)
+	_ = n.Run(100 * time.Millisecond)
+	for _, o := range observers {
+		o.arpSeen = 0
+	}
+	// 10 resolutions: flush A's cache by using fresh IP aliases? ARP
+	// caches persist, so use 10 distinct requesters instead.
+	var requesters []*requesterT
+	for i := 0; i < 10; i++ {
+		h := n.AddWiredUser(s1, fmt.Sprintf("r%d", i), netpkt.IP(10, 0, 2, byte(i+1)))
+		requesters = append(requesters, &requesterT{h: h})
+	}
+	_ = n.Run(50 * time.Millisecond)
+	for _, r := range requesters {
+		r.h.SendUDP(b.IP, 7, 7, []byte("hi"), 0) // triggers ARP for b
+	}
+	_ = n.Run(100 * time.Millisecond)
+	livesecSeen := 0
+	for _, o := range observers {
+		livesecSeen += o.arpSeen
+	}
+
+	// Traditional: the same resolution broadcasts to every host.
+	base := newBaselineARPNet(bystanders)
+	traditionalSeen := base.measure()
+
+	return Result{
+		ID:    "A3",
+		Title: "Ablation: directory proxy vs ARP broadcast (§III.C.2)",
+		Claim: "the proxy answers from global state; broadcasts never burden the network",
+		Rows: []Row{
+			{Name: "LiveSec: ARP frames at bystanders (10 resolutions)", Value: float64(livesecSeen), Unit: "frames", Paper: "0"},
+			{Name: "traditional: ARP frames at bystanders (10 resolutions)", Value: float64(traditionalSeen), Unit: "frames", Paper: fmt.Sprintf("%d (flooded to all)", 10*bystanders)},
+		},
+	}
+}
+
+type observerHost struct{ arpSeen int }
+
+func (o *observerHost) observe(p *netpkt.Packet) {
+	if p.ARP != nil && p.ARP.Op == netpkt.ARPRequest {
+		o.arpSeen++
+	}
+}
+
+type requesterT struct{ h hostSender }
+
+type hostSender interface {
+	SendUDP(dst netpkt.IPv4Addr, sp, dp uint16, payload []byte, bulk int)
+}
+
+// AblationReverseSteering compares bidirectional session steering with
+// forward-only steering: element load doubles (it sees both directions)
+// and so does the flow-mod budget.
+func AblationReverseSteering() Result {
+	run := func(forwardOnly bool) (elPkts, flowMods uint64) {
+		pt := policy.NewTable(policy.Allow)
+		_ = pt.Add(&policy.Rule{
+			Name: "inspect", Priority: 10,
+			Match:  policy.Match{Proto: netpkt.ProtoTCP, DstPort: 80},
+			Action: policy.Chain, Services: []seproto.ServiceType{seproto.ServiceIDS},
+		})
+		n := testbed.New(testbed.Options{Seed: 47, Policies: pt, SteerForwardOnly: forwardOnly})
+		s1 := n.AddOvS("ovs1")
+		s2 := n.AddOvS("ovs2")
+		s3 := n.AddOvS("ovs3")
+		a := n.AddWiredUser(s1, "a", netpkt.IP(10, 0, 0, 1))
+		b := n.AddServer(s2, "b", netpkt.IP(166, 111, 1, 1))
+		insp, err := service.NewIDS(e2Rules)
+		if err != nil {
+			return 0, 0
+		}
+		n.AddElement(s3, insp, 0)
+		if err := n.Discover(); err != nil {
+			return 0, 0
+		}
+		defer n.Shutdown()
+		_ = n.Run(600 * time.Millisecond)
+		b.HandleTCP(80, func(p *netpkt.Packet) {
+			b.SendTCP(p.IP.Src, 80, p.TCP.SrcPort, []byte("HTTP/1.1 200 OK"), 1000)
+		})
+		fmBefore := n.Controller.Stats().FlowModsSent
+		for i := 0; i < 10; i++ {
+			a.SendTCP(b.IP, uint16(50000+i), 80, []byte("GET / HTTP/1.1"), 0)
+		}
+		_ = n.Run(300 * time.Millisecond)
+		return n.Elements[0].Stats().Packets, n.Controller.Stats().FlowModsSent - fmBefore
+	}
+	biPkts, biMods := run(false)
+	fwdPkts, fwdMods := run(true)
+	return Result{
+		ID:    "A4",
+		Title: "Ablation: bidirectional vs forward-only steering (§III.C.3)",
+		Claim: "session steering doubles element visibility at the cost of more flow entries",
+		Rows: []Row{
+			{Name: "bidirectional: element packets", Value: float64(biPkts), Unit: "pkts", Paper: "sees both directions"},
+			{Name: "forward-only: element packets", Value: float64(fwdPkts), Unit: "pkts", Paper: "≈half"},
+			{Name: "bidirectional: flow-mods (10 sessions)", Value: float64(biMods), Unit: "msgs", Paper: "≈2× forward-only"},
+			{Name: "forward-only: flow-mods (10 sessions)", Value: float64(fwdMods), Unit: "msgs", Paper: "—"},
+		},
+	}
+}
+
+// baselineARPNet is a tiny traditional L2 net where one ARP request
+// floods to every attached host (built in ablations_raw.go).
+type baselineARPNet struct {
+	run      func()
+	counters []*observerHost
+}
+
+func newBaselineARPNet(bystanders int) *baselineARPNet {
+	return buildRawARPNet(bystanders)
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"livesec/internal/host"
+	"livesec/internal/legacy"
+	"livesec/internal/link"
+	"livesec/internal/netpkt"
+	"livesec/internal/sim"
+)
+
+// buildRawARPNet wires hosts straight onto a legacy learning switch —
+// the traditional network where every ARP request is a true broadcast.
+func buildRawARPNet(bystanders int) *baselineARPNet {
+	eng := sim.NewEngine(51)
+	f := legacy.NewFabric(eng)
+	sw := f.AddSwitch("sw")
+	attach := func(name string, mac uint64, ip netpkt.IPv4Addr) *host.Host {
+		h := host.New(eng, name, netpkt.MACFromUint64(mac), ip)
+		h.Attach(f.Attach(sw, h, 0, link.Params{}))
+		return h
+	}
+	b := attach("b", 2, netpkt.IP(10, 0, 0, 2))
+	_ = b
+	observers := make([]*observerHost, bystanders)
+	for i := range observers {
+		o := &observerHost{}
+		h := attach(fmt.Sprintf("o%d", i), uint64(100+i), netpkt.IP(10, 0, 1, byte(i+1)))
+		h.OnPacket = o.observe
+		observers[i] = o
+	}
+	requesters := make([]*host.Host, 10)
+	for i := range requesters {
+		requesters[i] = attach(fmt.Sprintf("r%d", i), uint64(200+i), netpkt.IP(10, 0, 2, byte(i+1)))
+	}
+	run := func() {
+		for _, r := range requesters {
+			r.SendUDP(netpkt.IP(10, 0, 0, 2), 7, 7, []byte("hi"), 0)
+		}
+		_ = eng.Run(eng.Now() + 100*time.Millisecond)
+	}
+	return &baselineARPNet{run: run, counters: observers}
+}
+
+// measure runs the resolutions and totals ARP requests seen by
+// bystanders.
+func (b *baselineARPNet) measure() int {
+	b.run()
+	total := 0
+	for _, o := range b.counters {
+		total += o.arpSeen
+	}
+	return total
+}

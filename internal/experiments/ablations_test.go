@@ -1,0 +1,69 @@
+package experiments
+
+import "testing"
+
+func TestAblationGrain(t *testing.T) {
+	r := AblationGrain()
+	t.Log("\n" + r.String())
+	fDev, _ := r.Find("flow-grain deviation")
+	uDev, _ := r.Find("user-grain deviation")
+	if fDev < 0 || uDev < 0 {
+		t.Fatal("ablation run failed")
+	}
+	// Flow-grain spreads at least as evenly as user-grain.
+	if fDev > uDev {
+		t.Fatalf("flow-grain (%.1f%%) worse than user-grain (%.1f%%)", fDev, uDev)
+	}
+	fBusy, _ := r.Find("flow-grain busy elements")
+	if fBusy != 4 {
+		t.Fatalf("flow-grain used %v/4 elements", fBusy)
+	}
+}
+
+func TestAblationFlowSetup(t *testing.T) {
+	r := AblationFlowSetup()
+	t.Log("\n" + r.String())
+	ratio, ok := r.Find("setup/steady ratio")
+	if !ok || ratio <= 1 {
+		t.Fatalf("setup/steady ratio = %.2f, want > 1", ratio)
+	}
+	pi, _ := r.Find("packet-ins per chained session")
+	if pi != 1 {
+		t.Fatalf("packet-ins per session = %.0f, want 1", pi)
+	}
+	fm, _ := r.Find("flow-mods per chained session")
+	if fm < 4 || fm > 10 {
+		t.Fatalf("flow-mods per session = %.0f, want 4–10", fm)
+	}
+}
+
+func TestAblationDirectoryProxy(t *testing.T) {
+	r := AblationDirectoryProxy()
+	t.Log("\n" + r.String())
+	ls, _ := r.Find("LiveSec: ARP frames at bystanders (10 resolutions)")
+	trad, _ := r.Find("traditional: ARP frames at bystanders (10 resolutions)")
+	if ls != 0 {
+		t.Fatalf("directory proxy leaked %v ARP frames to bystanders", ls)
+	}
+	if trad < 70 {
+		t.Fatalf("traditional broadcast reached only %v frames, expected ≈80", trad)
+	}
+}
+
+func TestAblationReverseSteering(t *testing.T) {
+	r := AblationReverseSteering()
+	t.Log("\n" + r.String())
+	bi, _ := r.Find("bidirectional: element packets")
+	fwd, _ := r.Find("forward-only: element packets")
+	if fwd <= 0 || bi <= 0 {
+		t.Fatal("steering runs failed")
+	}
+	if bi < fwd*15/10 {
+		t.Fatalf("bidirectional (%v) should see ≈2× forward-only (%v)", bi, fwd)
+	}
+	biMods, _ := r.Find("bidirectional: flow-mods (10 sessions)")
+	fwdMods, _ := r.Find("forward-only: flow-mods (10 sessions)")
+	if biMods <= fwdMods {
+		t.Fatalf("bidirectional flow-mods (%v) should exceed forward-only (%v)", biMods, fwdMods)
+	}
+}

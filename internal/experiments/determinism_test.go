@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDeterministicReplayAcrossRuns backs the documentation claim that
+// every experiment reproduces bit-for-bit: two executions of the full
+// Figures 7/8 scenario must produce identical event logs (same events,
+// same virtual timestamps, same order) and identical result rows.
+func TestDeterministicReplayAcrossRuns(t *testing.T) {
+	ev1 := E6CaptureEvents()
+	ev2 := E6CaptureEvents()
+	if len(ev1) == 0 {
+		t.Fatal("scenario produced no events")
+	}
+	if len(ev1) != len(ev2) {
+		t.Fatalf("event counts differ: %d vs %d", len(ev1), len(ev2))
+	}
+	for i := range ev1 {
+		if ev1[i].At != ev2[i].At || ev1[i].Type != ev2[i].Type ||
+			ev1[i].User != ev2[i].User || ev1[i].Detail != ev2[i].Detail {
+			t.Fatalf("event %d differs:\n run1: %+v\n run2: %+v", i, ev1[i], ev2[i])
+		}
+	}
+
+	r1 := E4LoadDeviation(ScaleCI)
+	r2 := E4LoadDeviation(ScaleCI)
+	if !reflect.DeepEqual(r1.Rows, r2.Rows) {
+		t.Fatalf("E4 rows differ across runs:\n%v\n%v", r1.Rows, r2.Rows)
+	}
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import "testing"
+
+func TestE1Shape(t *testing.T) {
+	r := E1AccessThroughput()
+	wired, ok1 := r.Find("OvS wired access")
+	wifi, ok2 := r.Find("OF Wi-Fi (Pantou) access")
+	if !ok1 || !ok2 {
+		t.Fatalf("rows missing: %+v", r.Rows)
+	}
+	if wired < 90 || wired > 105 {
+		t.Fatalf("wired = %.1f Mbps, want ≈100", wired)
+	}
+	if wifi < 38 || wifi > 46 {
+		t.Fatalf("wifi = %.1f Mbps, want ≈43", wifi)
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	r := E2ServiceElementScaling(ScaleCI)
+	one, _ := r.Find("1 element(s)")
+	two, _ := r.Find("2 element(s)")
+	four, _ := r.Find("4 element(s)")
+	t.Logf("E2: 1=%.0f 2=%.0f 4=%.0f", one, two, four)
+	if one < 350 || one > 480 {
+		t.Fatalf("1 SE = %.0f Mbps, want ≈421", one)
+	}
+	// Linear scaling: 2 SEs between 1.8× and 2.1×.
+	if two < one*1.8 || two > one*2.1 {
+		t.Fatalf("2 SEs = %.0f, not ≈2× of %.0f", two, one)
+	}
+	if four < two*1.1 {
+		t.Fatalf("4 SEs = %.0f, no further scaling beyond %.0f", four, two)
+	}
+}
+
+func TestE2BypassRow(t *testing.T) {
+	r := E2ServiceElementScaling(ScaleCI)
+	bypass, ok := r.Find("1 element, bypass mode")
+	if !ok {
+		t.Fatalf("bypass row missing: %+v", r.Rows)
+	}
+	// Paper: "single VM-based service element can reach about 500 Mbps
+	// throughput" in bypass mode.
+	if bypass < 460 || bypass > 510 {
+		t.Fatalf("bypass = %.0f Mbps, want ≈500", bypass)
+	}
+	inspected, _ := r.Find("1 element(s)")
+	if inspected >= bypass {
+		t.Fatalf("inspection (%f) should cost throughput vs bypass (%f)", inspected, bypass)
+	}
+}

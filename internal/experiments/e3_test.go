@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+func TestE3Shape(t *testing.T) {
+	r := E3AggregateCapacity(ScaleCI)
+	var ids, l7 float64
+	for _, row := range r.Rows {
+		if row.Unit != "Gbps" {
+			t.Fatalf("unit = %s", row.Unit)
+		}
+		if ids == 0 {
+			ids = row.Value
+		} else {
+			l7 = row.Value
+		}
+	}
+	t.Logf("E3 CI: ids=%.2f l7=%.2f Gbps", ids, l7)
+	// CI scale: 2 IDS hosts ≈ 2×0.95 Gbps; 1 L7 host with 4 VMs is
+	// element-bound at ≈4×0.13 Gbps.
+	if ids < 1.4 || ids > 2.1 {
+		t.Fatalf("IDS aggregate %.2f Gbps, want ≈1.9", ids)
+	}
+	if l7 < 0.3 || l7 > 0.7 {
+		t.Fatalf("L7 aggregate %.2f Gbps, want ≈0.5", l7)
+	}
+	if ids <= l7*2 {
+		t.Fatalf("IDS (%.2f) should far exceed L7 (%.2f) — paper's 8 vs 2 Gbps", ids, l7)
+	}
+}

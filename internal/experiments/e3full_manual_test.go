@@ -1,0 +1,13 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestE3FullManual(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scale")
+	}
+	r := E3AggregateCapacity(ScaleFull)
+	t.Log("\n" + r.String())
+}

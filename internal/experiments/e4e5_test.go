@@ -1,0 +1,34 @@
+package experiments
+
+import "testing"
+
+func TestE4Shape(t *testing.T) {
+	r := E4LoadDeviation(ScaleCI)
+	ll, ok := r.Find("least-load")
+	if !ok {
+		t.Fatalf("rows: %+v", r.Rows)
+	}
+	rnd, _ := r.Find("random")
+	t.Logf("E4 CI: least-load=%.2f%% rr=%v hash=%v random=%.2f%%", ll, r.Rows[1].Value, r.Rows[2].Value, rnd)
+	if ll > 5.0 {
+		t.Fatalf("least-load deviation %.2f%%, paper says ≤5%%", ll)
+	}
+	if ll >= rnd {
+		t.Fatalf("least-load (%.2f%%) should beat random (%.2f%%)", ll, rnd)
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	r := E5LatencyOverhead()
+	base, _ := r.Find("legacy average RTT")
+	lsec, _ := r.Find("LiveSec average RTT")
+	over, _ := r.Find("overhead")
+	t.Logf("E5: base=%.3fms livesec=%.3fms overhead=%.1f%%", base, lsec, over)
+	if base <= 0 || lsec <= base {
+		t.Fatalf("base=%.3f livesec=%.3f", base, lsec)
+	}
+	// Paper: ≈10%. Accept 5–20% as the same shape.
+	if over < 5 || over > 20 {
+		t.Fatalf("overhead = %.1f%%, want ≈10%%", over)
+	}
+}

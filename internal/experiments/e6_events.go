@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"livesec/internal/host"
+	"livesec/internal/ids"
+	"livesec/internal/monitor"
+	"livesec/internal/netpkt"
+	"livesec/internal/policy"
+	"livesec/internal/seproto"
+	"livesec/internal/service"
+	"livesec/internal/testbed"
+	"livesec/internal/workload"
+)
+
+// E6EventPipeline reproduces the visualization scenario of §V.B.4 and
+// Figures 7–8: a network of 3 OvS + 1 OF Wi-Fi with 2 IDS and 2
+// protocol-identification elements, five wireless users — four browsing
+// the web, one on SSH — then three events in sequence: one user leaves,
+// one user switches to a BitTorrent download (link utilization spikes),
+// and one user contacts a malicious site, which is detected and
+// reported immediately. The experiment verifies the event store captures
+// the whole story and that history replay returns it in order.
+func E6EventPipeline() Result {
+	res, _ := e6Scenario()
+	return res
+}
+
+// E6CaptureEvents reruns the scenario and returns the raw event log
+// (cmd/livesec-replay records it to disk).
+func E6CaptureEvents() []monitor.Event {
+	_, events := e6Scenario()
+	return events
+}
+
+func e6Scenario() (Result, []monitor.Event) {
+	pt := policy.NewTable(policy.Allow)
+	_ = pt.Add(&policy.Rule{
+		Name: "identify+inspect", Priority: 10,
+		Match:  policy.Match{Proto: netpkt.ProtoTCP},
+		Action: policy.Chain,
+		Services: []seproto.ServiceType{
+			seproto.ServiceL7, seproto.ServiceIDS,
+		},
+	})
+	n := testbed.New(testbed.Options{Seed: 23, Policies: pt, Monitor: true,
+		HostTTL: 2 * time.Second})
+	ovs1 := n.AddOvS("ovs1")
+	ovs2 := n.AddOvS("ovs2")
+	ovs3 := n.AddOvS("ovs3")
+	ap := n.AddWiFi("ap1")
+	server := n.AddServer(ovs1, "internet", netpkt.IP(166, 111, 4, 1))
+	for i := 0; i < 2; i++ {
+		insp, err := service.NewIDS(ids.CommunityRules)
+		if err != nil {
+			return Result{ID: "E6", Notes: []string{err.Error()}}, nil
+		}
+		n.AddElement(ovs2, insp, 0)
+	}
+	for i := 0; i < 2; i++ {
+		n.AddElement(ovs3, service.NewL7(), 0)
+	}
+	users := make([]*host.Host, 5)
+	for i := range users {
+		users[i] = n.AddWirelessUser(ap, fmt.Sprintf("w%d", i+1), netpkt.IP(10, 2, 0, byte(i+1)))
+	}
+	if err := n.Discover(); err != nil {
+		return Result{ID: "E6"}, nil
+	}
+	defer n.Shutdown()
+	_ = n.Run(600 * time.Millisecond)
+
+	workload.HTTPServer(server, 80, 20_000)
+	server.HandleTCP(22, func(*netpkt.Packet) {})
+	server.HandleTCP(6881, func(*netpkt.Packet) {})
+
+	// Figure 7: normal operation — 4 web users, 1 SSH user.
+	var sessions []*workload.Session
+	for i := 0; i < 4; i++ {
+		sessions = append(sessions, workload.StartWeb(n.Eng, users[i], server.IP, uint16(50000+i)))
+	}
+	sessions = append(sessions, workload.StartSSH(n.Eng, users[4], server.IP, 50100))
+	_ = n.Run(time.Second)
+	tNormal := n.Eng.Now()
+
+	// Figure 8, event 1: user 2 leaves the network (traffic stops; the
+	// location entry ages out).
+	sessions[1].Stop()
+	// Event 2: user 3 starts a BitTorrent download.
+	sessions[2].Stop()
+	bt := workload.StartBitTorrent(n.Eng, users[2], server.IP, 51000, 20_000_000)
+	// Event 3: user 4 accesses a malicious site.
+	attackAt := n.Eng.Now() + 500*time.Millisecond
+	n.Eng.Schedule(500*time.Millisecond, func() {
+		_ = workload.SendAttack(users[3], server.IP, "sql-injection", 52000)
+	})
+	_ = n.Run(4 * time.Second)
+	bt.Stop()
+	for i, s := range sessions {
+		if i != 1 && i != 2 {
+			s.Stop()
+		}
+	}
+
+	store := n.Store
+	// Detection latency: time from attack emission to the attack event.
+	var detectLatency time.Duration = -1
+	for _, ev := range store.Events(monitor.Filter{Type: monitor.EventAttack}) {
+		if ev.At >= attackAt {
+			detectLatency = ev.At - attackAt
+			break
+		}
+	}
+
+	// History replay of the incident window, in order.
+	replayed := 0
+	ordered := true
+	var last time.Duration
+	store.Replay(tNormal, n.Eng.Now(), func(ev monitor.Event) bool {
+		replayed++
+		if ev.At < last {
+			ordered = false
+		}
+		last = ev.At
+		return true
+	})
+
+	apps := store.UserApps()
+	webUsers, sshUsers, btUsers := 0, 0, 0
+	for _, byProto := range apps {
+		if byProto["http"] > 0 {
+			webUsers++
+		}
+		if byProto["ssh"] > 0 {
+			sshUsers++
+		}
+		if byProto["bittorrent"] > 0 {
+			btUsers++
+		}
+	}
+
+	res := Result{
+		ID:    "E6",
+		Title: "Visualization event pipeline (Figures 7–8 scenario)",
+		Claim: "per-user application identification; leave/surge/attack events captured and replayable",
+		Rows: []Row{
+			{Name: "users identified browsing web", Value: float64(webUsers), Unit: "users", Paper: "4"},
+			{Name: "users identified on SSH", Value: float64(sshUsers), Unit: "users", Paper: "1"},
+			{Name: "users identified on BitTorrent", Value: float64(btUsers), Unit: "users", Paper: "1"},
+			{Name: "user-leave events", Value: float64(store.Count(monitor.EventUserLeave)), Unit: "events", Paper: "≥1"},
+			{Name: "attack events", Value: float64(store.Count(monitor.EventAttack)), Unit: "events", Paper: "≥1 (reported immediately)"},
+			{Name: "attack detection latency", Value: float64(detectLatency.Microseconds()) / 1000, Unit: "ms", Paper: "immediate"},
+			{Name: "events replayed in order", Value: float64(replayed), Unit: "events", Paper: "history replay"},
+		},
+	}
+	if !ordered {
+		res.Notes = append(res.Notes, "REPLAY OUT OF ORDER — bug")
+	}
+	return res, store.Events(monitor.Filter{})
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import "testing"
+
+func TestE6Shape(t *testing.T) {
+	r := E6EventPipeline()
+	t.Log("\n" + r.String())
+	check := func(name string, min float64) {
+		v, ok := r.Find(name)
+		if !ok {
+			t.Fatalf("row %q missing", name)
+		}
+		if v < min {
+			t.Errorf("%s = %.1f, want ≥ %.1f", name, v, min)
+		}
+	}
+	check("users identified browsing web", 4)
+	check("users identified on SSH", 1)
+	check("users identified on BitTorrent", 1)
+	check("user-leave events", 1)
+	check("attack events", 1)
+	check("events replayed in order", 5)
+	lat, _ := r.Find("attack detection latency")
+	if lat < 0 || lat > 50 {
+		t.Errorf("detection latency %.2f ms, want prompt", lat)
+	}
+	for _, note := range r.Notes {
+		if note == "REPLAY OUT OF ORDER — bug" {
+			t.Error(note)
+		}
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	r := E7BaselineComparison(ScaleCI)
+	t.Log("\n" + r.String())
+	base, _ := r.Find("traditional: 1 Gbps gateway middlebox")
+	ls1, _ := r.Find("LiveSec: 1 element host(s)")
+	ls2, _ := r.Find("LiveSec: 2 element host(s)")
+	ls4, _ := r.Find("LiveSec: 4 element host(s)")
+	if base > 1.05 {
+		t.Errorf("baseline %.2f Gbps exceeds its 1 Gbps ceiling", base)
+	}
+	// Linear scaling: each doubling roughly doubles.
+	if ls2 < ls1*1.7 || ls4 < ls2*1.7 {
+		t.Errorf("LiveSec not scaling linearly: %.2f %.2f %.2f", ls1, ls2, ls4)
+	}
+	// Crossover: 2 hosts already beat the fixed middlebox.
+	if ls2 <= base {
+		t.Errorf("2 element hosts (%.2f) should beat the middlebox (%.2f)", ls2, base)
+	}
+	bcov, _ := r.Find("traditional: east-west attacks detected")
+	lcov, _ := r.Find("LiveSec: east-west attacks detected")
+	if bcov != 0 || lcov != 100 {
+		t.Errorf("coverage: baseline=%.0f%% livesec=%.0f%%", bcov, lcov)
+	}
+}

@@ -1,0 +1,95 @@
+// Package experiments reproduces every quantitative claim in the
+// paper's evaluation (§V.B). Each experiment builds its deployment in
+// the simulator, drives the workload, and returns structured rows that
+// cmd/livesec-bench prints and bench_test.go reports as benchmark
+// metrics. Absolute numbers are calibrated to the paper's hardware
+// (100 Mbps wired access, 43 Mbps Wi-Fi, 1 GbE element hosts, ~500 Mbps
+// elements); the reproduced deliverable is the shape of each result.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is one measured data point with its paper reference.
+type Row struct {
+	// Name identifies the configuration measured.
+	Name string
+	// Value is the measurement in Unit.
+	Value float64
+	// Unit is the measurement unit (Mbps, %, ms, events, …).
+	Unit string
+	// Paper is the value or claim the paper reports for this point.
+	Paper string
+}
+
+// Result is one experiment's outcome.
+type Result struct {
+	// ID is the experiment identifier from DESIGN.md (E1…E7).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Claim is the paper's claim being reproduced.
+	Claim string
+	Rows  []Row
+	// Notes records caveats or derived observations.
+	Notes []string
+}
+
+// String renders the result as an aligned table.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "  paper: %s\n", r.Claim)
+	nameW := 10
+	for _, row := range r.Rows {
+		if len(row.Name) > nameW {
+			nameW = len(row.Name)
+		}
+	}
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-*s %10.2f %-6s (paper: %s)\n", nameW, row.Name, row.Value, row.Unit, row.Paper)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Find returns the named row's value, with ok reporting presence.
+func (r Result) Find(name string) (float64, bool) {
+	for _, row := range r.Rows {
+		if row.Name == name {
+			return row.Value, true
+		}
+	}
+	return 0, false
+}
+
+// All runs every experiment at the given scale and returns the results
+// in paper order. Scale trades fidelity for runtime: ScaleFull uses the
+// paper's deployment sizes, ScaleCI shrinks element and user counts so
+// the suite finishes in seconds.
+func All(scale Scale) []Result {
+	return []Result{
+		E1AccessThroughput(),
+		E2ServiceElementScaling(scale),
+		E3AggregateCapacity(scale),
+		E4LoadDeviation(scale),
+		E5LatencyOverhead(),
+		E6EventPipeline(),
+		E7BaselineComparison(scale),
+	}
+}
+
+// Scale selects experiment sizing.
+type Scale int
+
+// Scales.
+const (
+	// ScaleCI shrinks deployments for fast test runs.
+	ScaleCI Scale = iota + 1
+	// ScaleFull uses the paper's deployment sizes.
+	ScaleFull
+)

@@ -1,0 +1,230 @@
+// Package flow defines the flow abstraction LiveSec routes and polices on:
+// the 12-tuple key extracted from a packet (the paper's "9-tuple" plus
+// ingress port, matching OpenFlow 1.0's ofp_match), wildcard-capable match
+// rules with priorities, and the session (reverse-direction) relation used
+// to install bidirectional entries from a single packet-in.
+package flow
+
+import (
+	"fmt"
+	"strings"
+
+	"livesec/internal/netpkt"
+)
+
+// Key is the exact flow identity of one packet: the OpenFlow 1.0 12-tuple.
+// It is comparable and therefore usable as a map key.
+type Key struct {
+	InPort  uint32
+	EthSrc  netpkt.MAC
+	EthDst  netpkt.MAC
+	VLAN    uint16
+	EthType netpkt.EtherType
+	IPSrc   netpkt.IPv4Addr
+	IPDst   netpkt.IPv4Addr
+	IPProto netpkt.IPProto
+	IPTOS   uint8
+	SrcPort uint16 // TCP/UDP source port, or ICMP type
+	DstPort uint16 // TCP/UDP destination port, or ICMP code
+}
+
+// KeyOf extracts the flow key from a packet received on inPort.
+func KeyOf(inPort uint32, p *netpkt.Packet) Key {
+	k := Key{
+		InPort:  inPort,
+		EthSrc:  p.EthSrc,
+		EthDst:  p.EthDst,
+		VLAN:    p.VLAN,
+		EthType: p.EthType,
+	}
+	if p.IP != nil {
+		k.IPSrc = p.IP.Src
+		k.IPDst = p.IP.Dst
+		k.IPProto = p.IP.Proto
+		k.IPTOS = p.IP.TOS
+	}
+	switch {
+	case p.TCP != nil:
+		k.SrcPort, k.DstPort = p.TCP.SrcPort, p.TCP.DstPort
+	case p.UDP != nil:
+		k.SrcPort, k.DstPort = p.UDP.SrcPort, p.UDP.DstPort
+	case p.ICMP != nil:
+		k.SrcPort, k.DstPort = uint16(p.ICMP.Type), uint16(p.ICMP.Code)
+	}
+	if p.ARP != nil {
+		// OpenFlow 1.0 reuses the IP fields for ARP sender/target.
+		k.IPSrc = p.ARP.SenderIP
+		k.IPDst = p.ARP.TargetIP
+		k.IPProto = netpkt.IPProto(p.ARP.Op)
+	}
+	return k
+}
+
+// Reverse returns the key of the reply direction of the same session, as
+// seen at reverse ingress port inPort. LiveSec uses it to install both
+// directions of a session from the request flow's first packet (§III.C.3).
+func (k Key) Reverse(inPort uint32) Key {
+	r := k
+	r.InPort = inPort
+	r.EthSrc, r.EthDst = k.EthDst, k.EthSrc
+	r.IPSrc, r.IPDst = k.IPDst, k.IPSrc
+	r.SrcPort, r.DstPort = k.DstPort, k.SrcPort
+	return r
+}
+
+// String renders the key compactly.
+func (k Key) String() string {
+	return fmt.Sprintf("in=%d %s->%s t=%#04x %s:%d->%s:%d proto=%d",
+		k.InPort, k.EthSrc, k.EthDst, uint16(k.EthType),
+		k.IPSrc, k.SrcPort, k.IPDst, k.DstPort, k.IPProto)
+}
+
+// Wildcard flags select which fields of a Match are ignored, mirroring
+// OpenFlow 1.0 OFPFW_* bits.
+type Wildcard uint32
+
+// Wildcard bits. A set bit means "don't care".
+const (
+	WildInPort Wildcard = 1 << iota
+	WildEthSrc
+	WildEthDst
+	WildVLAN
+	WildEthType
+	WildIPSrc
+	WildIPDst
+	WildIPProto
+	WildIPTOS
+	WildSrcPort
+	WildDstPort
+
+	// WildAll ignores every field (match-everything rule).
+	WildAll Wildcard = 1<<11 - 1
+)
+
+// Match is a wildcard-capable predicate over flow keys.
+type Match struct {
+	Wildcards Wildcard
+	Key       Key
+}
+
+// MatchAll matches any packet.
+func MatchAll() Match { return Match{Wildcards: WildAll} }
+
+// ExactMatch matches exactly the given key.
+func ExactMatch(k Key) Match { return Match{Key: k} }
+
+// Matches reports whether k satisfies the match.
+func (m Match) Matches(k Key) bool {
+	w := m.Wildcards
+	switch {
+	case w&WildInPort == 0 && m.Key.InPort != k.InPort:
+		return false
+	case w&WildEthSrc == 0 && m.Key.EthSrc != k.EthSrc:
+		return false
+	case w&WildEthDst == 0 && m.Key.EthDst != k.EthDst:
+		return false
+	case w&WildVLAN == 0 && m.Key.VLAN != k.VLAN:
+		return false
+	case w&WildEthType == 0 && m.Key.EthType != k.EthType:
+		return false
+	case w&WildIPSrc == 0 && m.Key.IPSrc != k.IPSrc:
+		return false
+	case w&WildIPDst == 0 && m.Key.IPDst != k.IPDst:
+		return false
+	case w&WildIPProto == 0 && m.Key.IPProto != k.IPProto:
+		return false
+	case w&WildIPTOS == 0 && m.Key.IPTOS != k.IPTOS:
+		return false
+	case w&WildSrcPort == 0 && m.Key.SrcPort != k.SrcPort:
+		return false
+	case w&WildDstPort == 0 && m.Key.DstPort != k.DstPort:
+		return false
+	}
+	return true
+}
+
+// IsExact reports whether the match has no wildcards.
+func (m Match) IsExact() bool { return m.Wildcards == 0 }
+
+// Specificity returns the number of concrete (non-wildcarded) fields; a
+// useful default priority orders more specific rules first.
+func (m Match) Specificity() int {
+	n := 0
+	for bit := Wildcard(1); bit < 1<<11; bit <<= 1 {
+		if m.Wildcards&bit == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Subsumes reports whether m matches every key that other matches, i.e.
+// other is at least as specific as m. OpenFlow non-strict flow deletion
+// removes entries subsumed by the delete match.
+func (m Match) Subsumes(other Match) bool {
+	for bit := Wildcard(1); bit < 1<<11; bit <<= 1 {
+		if m.Wildcards&bit != 0 {
+			continue // m ignores this field
+		}
+		if other.Wildcards&bit != 0 {
+			return false // other is broader on a field m constrains
+		}
+		if !fieldEqual(bit, m.Key, other.Key) {
+			return false
+		}
+	}
+	return true
+}
+
+func fieldEqual(bit Wildcard, a, b Key) bool {
+	switch bit {
+	case WildInPort:
+		return a.InPort == b.InPort
+	case WildEthSrc:
+		return a.EthSrc == b.EthSrc
+	case WildEthDst:
+		return a.EthDst == b.EthDst
+	case WildVLAN:
+		return a.VLAN == b.VLAN
+	case WildEthType:
+		return a.EthType == b.EthType
+	case WildIPSrc:
+		return a.IPSrc == b.IPSrc
+	case WildIPDst:
+		return a.IPDst == b.IPDst
+	case WildIPProto:
+		return a.IPProto == b.IPProto
+	case WildIPTOS:
+		return a.IPTOS == b.IPTOS
+	case WildSrcPort:
+		return a.SrcPort == b.SrcPort
+	case WildDstPort:
+		return a.DstPort == b.DstPort
+	}
+	return true
+}
+
+// String renders the match listing only concrete fields.
+func (m Match) String() string {
+	if m.Wildcards == WildAll {
+		return "match(*)"
+	}
+	var parts []string
+	add := func(bit Wildcard, name, val string) {
+		if m.Wildcards&bit == 0 {
+			parts = append(parts, name+"="+val)
+		}
+	}
+	add(WildInPort, "in_port", fmt.Sprint(m.Key.InPort))
+	add(WildEthSrc, "dl_src", m.Key.EthSrc.String())
+	add(WildEthDst, "dl_dst", m.Key.EthDst.String())
+	add(WildVLAN, "vlan", fmt.Sprint(m.Key.VLAN))
+	add(WildEthType, "dl_type", fmt.Sprintf("%#04x", uint16(m.Key.EthType)))
+	add(WildIPSrc, "nw_src", m.Key.IPSrc.String())
+	add(WildIPDst, "nw_dst", m.Key.IPDst.String())
+	add(WildIPProto, "nw_proto", fmt.Sprint(m.Key.IPProto))
+	add(WildIPTOS, "nw_tos", fmt.Sprint(m.Key.IPTOS))
+	add(WildSrcPort, "tp_src", fmt.Sprint(m.Key.SrcPort))
+	add(WildDstPort, "tp_dst", fmt.Sprint(m.Key.DstPort))
+	return "match(" + strings.Join(parts, ",") + ")"
+}

@@ -1,0 +1,219 @@
+package flow
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"livesec/internal/netpkt"
+)
+
+var (
+	macA = netpkt.MACFromUint64(1)
+	macB = netpkt.MACFromUint64(2)
+	ipA  = netpkt.IP(10, 0, 0, 1)
+	ipB  = netpkt.IP(10, 0, 0, 2)
+)
+
+func tcpKey() Key {
+	p := netpkt.NewTCP(macA, macB, ipA, ipB, 40000, 80, nil)
+	return KeyOf(3, p)
+}
+
+func TestKeyOfTCP(t *testing.T) {
+	k := tcpKey()
+	want := Key{
+		InPort: 3, EthSrc: macA, EthDst: macB,
+		EthType: netpkt.EtherTypeIPv4,
+		IPSrc:   ipA, IPDst: ipB, IPProto: netpkt.ProtoTCP,
+		SrcPort: 40000, DstPort: 80,
+	}
+	if k != want {
+		t.Fatalf("KeyOf = %+v, want %+v", k, want)
+	}
+}
+
+func TestKeyOfUDPAndICMP(t *testing.T) {
+	u := KeyOf(1, netpkt.NewUDP(macA, macB, ipA, ipB, 53, 1234, nil))
+	if u.IPProto != netpkt.ProtoUDP || u.SrcPort != 53 || u.DstPort != 1234 {
+		t.Fatalf("UDP key: %+v", u)
+	}
+	c := KeyOf(1, netpkt.NewICMPEcho(macA, macB, ipA, ipB, 9, 9, false))
+	if c.IPProto != netpkt.ProtoICMP || c.SrcPort != uint16(netpkt.ICMPEchoRequest) {
+		t.Fatalf("ICMP key: %+v", c)
+	}
+}
+
+func TestKeyOfARPUsesIPFields(t *testing.T) {
+	k := KeyOf(1, netpkt.NewARPRequest(macA, ipA, ipB))
+	if k.IPSrc != ipA || k.IPDst != ipB || k.IPProto != netpkt.IPProto(netpkt.ARPRequest) {
+		t.Fatalf("ARP key: %+v", k)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	k := tcpKey()
+	r := k.Reverse(9)
+	if r.InPort != 9 || r.EthSrc != macB || r.EthDst != macA ||
+		r.IPSrc != ipB || r.IPDst != ipA || r.SrcPort != 80 || r.DstPort != 40000 {
+		t.Fatalf("Reverse = %+v", r)
+	}
+	// Reversing twice restores the original (modulo port).
+	rr := r.Reverse(k.InPort)
+	if rr != k {
+		t.Fatalf("double Reverse = %+v, want %+v", rr, k)
+	}
+}
+
+func TestExactMatch(t *testing.T) {
+	k := tcpKey()
+	m := ExactMatch(k)
+	if !m.Matches(k) {
+		t.Fatal("exact match rejected its own key")
+	}
+	other := k
+	other.DstPort = 81
+	if m.Matches(other) {
+		t.Fatal("exact match accepted a differing key")
+	}
+	if !m.IsExact() {
+		t.Fatal("IsExact = false for exact match")
+	}
+}
+
+func TestMatchAll(t *testing.T) {
+	m := MatchAll()
+	if !m.Matches(tcpKey()) || !m.Matches(Key{}) {
+		t.Fatal("MatchAll rejected a key")
+	}
+	if m.Specificity() != 0 {
+		t.Fatalf("Specificity = %d, want 0", m.Specificity())
+	}
+}
+
+func TestWildcardedFieldsIgnored(t *testing.T) {
+	k := tcpKey()
+	m := Match{Wildcards: WildAll &^ WildIPDst, Key: Key{IPDst: ipB}}
+	if !m.Matches(k) {
+		t.Fatal("dst-only match rejected matching key")
+	}
+	k2 := k
+	k2.IPDst = netpkt.IP(1, 1, 1, 1)
+	if m.Matches(k2) {
+		t.Fatal("dst-only match accepted wrong dst")
+	}
+	if m.Specificity() != 1 {
+		t.Fatalf("Specificity = %d, want 1", m.Specificity())
+	}
+}
+
+func TestEachFieldDiscriminates(t *testing.T) {
+	base := tcpKey()
+	mutations := []func(*Key){
+		func(k *Key) { k.InPort++ },
+		func(k *Key) { k.EthSrc = netpkt.MACFromUint64(99) },
+		func(k *Key) { k.EthDst = netpkt.MACFromUint64(99) },
+		func(k *Key) { k.VLAN++ },
+		func(k *Key) { k.EthType++ },
+		func(k *Key) { k.IPSrc = netpkt.IP(9, 9, 9, 9) },
+		func(k *Key) { k.IPDst = netpkt.IP(9, 9, 9, 9) },
+		func(k *Key) { k.IPProto++ },
+		func(k *Key) { k.IPTOS++ },
+		func(k *Key) { k.SrcPort++ },
+		func(k *Key) { k.DstPort++ },
+	}
+	m := ExactMatch(base)
+	for i, mutate := range mutations {
+		k := base
+		mutate(&k)
+		if m.Matches(k) {
+			t.Errorf("mutation %d not discriminated by exact match", i)
+		}
+	}
+}
+
+func randomKey(r *rand.Rand) Key {
+	return Key{
+		InPort:  r.Uint32() % 64,
+		EthSrc:  netpkt.MACFromUint64(uint64(r.Intn(1000))),
+		EthDst:  netpkt.MACFromUint64(uint64(r.Intn(1000))),
+		VLAN:    uint16(r.Intn(4096)),
+		EthType: netpkt.EtherTypeIPv4,
+		IPSrc:   netpkt.IPFromUint32(r.Uint32()),
+		IPDst:   netpkt.IPFromUint32(r.Uint32()),
+		IPProto: netpkt.IPProto(r.Intn(256)),
+		IPTOS:   uint8(r.Intn(256)),
+		SrcPort: uint16(r.Intn(65536)),
+		DstPort: uint16(r.Intn(65536)),
+	}
+}
+
+// Property: widening a match's wildcards never causes it to reject a key
+// it previously accepted (monotonicity).
+func TestPropertyWildcardMonotonic(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		k := randomKey(r)
+		m := Match{Wildcards: Wildcard(r.Uint32()) & WildAll, Key: randomKey(r)}
+		if !m.Matches(k) {
+			continue
+		}
+		wider := m
+		wider.Wildcards |= Wildcard(1 << r.Intn(11))
+		if !wider.Matches(k) {
+			t.Fatalf("widening wildcards rejected previously accepted key\nm=%v\nk=%v", m, k)
+		}
+	}
+}
+
+// Property: an exact match built from a key accepts that key and only keys
+// equal to it.
+func TestPropertyExactMatchIsEquality(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	f := func() bool {
+		a, b := randomKey(r), randomKey(r)
+		m := ExactMatch(a)
+		return m.Matches(b) == (a == b) && m.Matches(a)
+	}
+	for i := 0; i < 1000; i++ {
+		if !f() {
+			t.Fatal("exact match disagrees with key equality")
+		}
+	}
+}
+
+// Property: Reverse is an involution on the non-port fields.
+func TestPropertyReverseInvolution(t *testing.T) {
+	f := func(inA, inB uint32) bool {
+		r := rand.New(rand.NewSource(int64(inA) + int64(inB)<<32))
+		k := randomKey(r)
+		k.InPort = inA
+		return k.Reverse(inB).Reverse(inA) == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchString(t *testing.T) {
+	m := Match{Wildcards: WildAll &^ (WildIPDst | WildDstPort), Key: Key{IPDst: ipB, DstPort: 80}}
+	got := m.String()
+	want := "match(nw_dst=10.0.0.2,tp_dst=80)"
+	if got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+	if MatchAll().String() != "match(*)" {
+		t.Fatalf("MatchAll String = %q", MatchAll().String())
+	}
+}
+
+func TestKeyIsComparableMapKey(t *testing.T) {
+	m := map[Key]int{tcpKey(): 1}
+	if m[tcpKey()] != 1 {
+		t.Fatal("identical keys did not collide in map")
+	}
+	if !reflect.TypeOf(Key{}).Comparable() {
+		t.Fatal("Key must stay comparable")
+	}
+}

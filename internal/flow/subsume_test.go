@@ -1,0 +1,154 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+
+	"livesec/internal/netpkt"
+)
+
+func TestSubsumesBasics(t *testing.T) {
+	exact := ExactMatch(tcpKey())
+	if !MatchAll().Subsumes(exact) {
+		t.Fatal("match-all must subsume everything")
+	}
+	if exact.Subsumes(MatchAll()) {
+		t.Fatal("exact must not subsume match-all")
+	}
+	if !exact.Subsumes(exact) {
+		t.Fatal("subsumption must be reflexive")
+	}
+	// Same shape, different value: no subsumption either way.
+	other := tcpKey()
+	other.DstPort = 81
+	if ExactMatch(tcpKey()).Subsumes(ExactMatch(other)) {
+		t.Fatal("different values must not subsume")
+	}
+}
+
+func TestSubsumesPartialWildcards(t *testing.T) {
+	// "all flows from MAC A" subsumes "flow X from MAC A".
+	bySrc := Match{Wildcards: WildAll &^ WildEthSrc, Key: Key{EthSrc: macA}}
+	exact := ExactMatch(tcpKey())
+	if !bySrc.Subsumes(exact) {
+		t.Fatal("src-wildcard must subsume exact with same src")
+	}
+	// …but not a flow from MAC B.
+	otherSrc := tcpKey()
+	otherSrc.EthSrc = netpkt.MACFromUint64(42)
+	if bySrc.Subsumes(ExactMatch(otherSrc)) {
+		t.Fatal("src-match must not subsume different src")
+	}
+	// Two incomparable partial matches.
+	byDst := Match{Wildcards: WildAll &^ WildEthDst, Key: Key{EthDst: macB}}
+	if bySrc.Subsumes(byDst) || byDst.Subsumes(bySrc) {
+		t.Fatal("incomparable matches must not subsume each other")
+	}
+}
+
+// Property: if a.Subsumes(b), every key matched by b is matched by a.
+func TestPropertySubsumesImpliesContainment(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 2000; trial++ {
+		base := randomKey(r)
+		a := Match{Wildcards: Wildcard(r.Uint32()) & WildAll, Key: base}
+		b := Match{Wildcards: Wildcard(r.Uint32()) & WildAll, Key: base}
+		// Perturb b's key sometimes so the relation is non-trivial.
+		if r.Intn(2) == 0 {
+			k := randomKey(r)
+			b.Key = k
+		}
+		if !a.Subsumes(b) {
+			continue
+		}
+		// Sample keys matched by b; each must be matched by a.
+		for i := 0; i < 20; i++ {
+			k := randomKey(r)
+			// Force k to match b: copy b's concrete fields in.
+			k = forceMatch(b, k)
+			if !b.Matches(k) {
+				t.Fatalf("forceMatch broken: %v vs %v", b, k)
+			}
+			if !a.Matches(k) {
+				t.Fatalf("trial %d: a.Subsumes(b) but a rejects a key b matches\na=%v\nb=%v\nk=%v", trial, a, b, k)
+			}
+		}
+	}
+}
+
+// forceMatch overwrites k's fields with m's concrete values so that m
+// matches k.
+func forceMatch(m Match, k Key) Key {
+	w := m.Wildcards
+	if w&WildInPort == 0 {
+		k.InPort = m.Key.InPort
+	}
+	if w&WildEthSrc == 0 {
+		k.EthSrc = m.Key.EthSrc
+	}
+	if w&WildEthDst == 0 {
+		k.EthDst = m.Key.EthDst
+	}
+	if w&WildVLAN == 0 {
+		k.VLAN = m.Key.VLAN
+	}
+	if w&WildEthType == 0 {
+		k.EthType = m.Key.EthType
+	}
+	if w&WildIPSrc == 0 {
+		k.IPSrc = m.Key.IPSrc
+	}
+	if w&WildIPDst == 0 {
+		k.IPDst = m.Key.IPDst
+	}
+	if w&WildIPProto == 0 {
+		k.IPProto = m.Key.IPProto
+	}
+	if w&WildIPTOS == 0 {
+		k.IPTOS = m.Key.IPTOS
+	}
+	if w&WildSrcPort == 0 {
+		k.SrcPort = m.Key.SrcPort
+	}
+	if w&WildDstPort == 0 {
+		k.DstPort = m.Key.DstPort
+	}
+	return k
+}
+
+// Property: subsumption is transitive.
+func TestPropertySubsumesTransitive(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 2000; trial++ {
+		base := randomKey(r)
+		// Build a chain by progressively clearing wildcard bits.
+		wa := Wildcard(r.Uint32()) & WildAll
+		wb := wa & (Wildcard(r.Uint32()) & WildAll)
+		wc := wb & (Wildcard(r.Uint32()) & WildAll)
+		a := Match{Wildcards: wa, Key: base}
+		b := Match{Wildcards: wb, Key: base}
+		c := Match{Wildcards: wc, Key: base}
+		if !a.Subsumes(b) || !b.Subsumes(c) {
+			t.Fatalf("trial %d: constructed chain not subsuming", trial)
+		}
+		if !a.Subsumes(c) {
+			t.Fatalf("trial %d: transitivity violated", trial)
+		}
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	if tcpKey().String() == "" {
+		t.Fatal("empty Key.String")
+	}
+}
+
+func TestSpecificityFullRange(t *testing.T) {
+	if got := ExactMatch(tcpKey()).Specificity(); got != 11 {
+		t.Fatalf("exact specificity = %d, want 11", got)
+	}
+	m := Match{Wildcards: WildAll &^ (WildIPSrc | WildIPDst | WildDstPort)}
+	if got := m.Specificity(); got != 3 {
+		t.Fatalf("specificity = %d, want 3", got)
+	}
+}

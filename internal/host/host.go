@@ -1,0 +1,253 @@
+// Package host implements Network-Periphery endpoints (§III.D): wired and
+// wireless user machines, servers, and the Internet gateway stub. A Host
+// has an ARP resolver, answers ICMP echo, and dispatches UDP/TCP segments
+// to registered application handlers, which is all the periphery needs to
+// drive the paper's workloads.
+package host
+
+import (
+	"time"
+
+	"livesec/internal/link"
+	"livesec/internal/netpkt"
+	"livesec/internal/sim"
+)
+
+// arpTimeout is how long an unresolved ARP request buffers packets before
+// dropping them (§III.C.2 notes location entries expire on ARP timeout).
+const arpTimeout = 3 * time.Second
+
+// Stats counts host-level traffic.
+type Stats struct {
+	RxPackets uint64
+	RxBytes   uint64 // WireLen sum
+	TxPackets uint64
+	AppBytes  uint64 // application payload bytes received
+}
+
+// Host is one end system attached to an access port.
+type Host struct {
+	eng  *sim.Engine
+	Name string
+	MAC  netpkt.MAC
+	IP   netpkt.IPv4Addr
+
+	ep       link.Endpoint
+	attached bool
+
+	arpCache map[netpkt.IPv4Addr]netpkt.MAC
+	pending  map[netpkt.IPv4Addr][]*netpkt.Packet
+
+	udpHandlers map[uint16]func(*netpkt.Packet)
+	tcpHandlers map[uint16]func(*netpkt.Packet)
+	pingWaiters map[uint32]func(rtt time.Duration)
+	pingSentAt  map[uint32]time.Duration
+
+	// OnPacket, if set, observes every received packet (after protocol
+	// processing). Monitoring and tests hook this.
+	OnPacket func(*netpkt.Packet)
+
+	stats Stats
+}
+
+// New creates a host with the given identity.
+func New(eng *sim.Engine, name string, mac netpkt.MAC, ip netpkt.IPv4Addr) *Host {
+	return &Host{
+		eng:         eng,
+		Name:        name,
+		MAC:         mac,
+		IP:          ip,
+		arpCache:    make(map[netpkt.IPv4Addr]netpkt.MAC),
+		pending:     make(map[netpkt.IPv4Addr][]*netpkt.Packet),
+		udpHandlers: make(map[uint16]func(*netpkt.Packet)),
+		tcpHandlers: make(map[uint16]func(*netpkt.Packet)),
+		pingWaiters: make(map[uint32]func(time.Duration)),
+		pingSentAt:  make(map[uint32]time.Duration),
+	}
+}
+
+// Attach wires the host to its access link. The link must have the host
+// as one of its nodes.
+func (h *Host) Attach(l *link.Link) {
+	h.ep = l.From(h)
+	h.attached = true
+}
+
+// Stats returns a copy of the host's counters.
+func (h *Host) Stats() Stats { return h.stats }
+
+// Schedule runs fn after delay on the host's simulation engine;
+// application handlers use it to pace multi-packet responses.
+func (h *Host) Schedule(delay time.Duration, fn func()) { h.eng.Schedule(delay, fn) }
+
+// Learn primes the ARP cache (tests and the directory proxy use this).
+func (h *Host) Learn(ip netpkt.IPv4Addr, mac netpkt.MAC) { h.arpCache[ip] = mac }
+
+// Resolved reports whether ip is in the ARP cache.
+func (h *Host) Resolved(ip netpkt.IPv4Addr) bool {
+	_, ok := h.arpCache[ip]
+	return ok
+}
+
+// HandleUDP registers fn for datagrams to the given local port.
+func (h *Host) HandleUDP(port uint16, fn func(*netpkt.Packet)) { h.udpHandlers[port] = fn }
+
+// HandleTCP registers fn for segments to the given local port.
+func (h *Host) HandleTCP(port uint16, fn func(*netpkt.Packet)) { h.tcpHandlers[port] = fn }
+
+// RequestIP performs the directory-proxy DHCP handshake: it broadcasts
+// a DISCOVER and, when the lease arrives, adopts the address and calls
+// cb. Hosts created with a zero IP use this to join the network.
+func (h *Host) RequestIP(xid uint32, cb func(ip netpkt.IPv4Addr)) {
+	h.udpHandlers[netpkt.DHCPClientPort] = func(pkt *netpkt.Packet) {
+		m, err := netpkt.ParseDHCP(pkt.Payload)
+		if err != nil || m.Op != netpkt.DHCPAck || m.MAC != h.MAC {
+			return
+		}
+		h.IP = m.IP
+		if cb != nil {
+			cb(m.IP)
+		}
+	}
+	h.Send(netpkt.NewDHCPDiscover(h.MAC, xid))
+}
+
+// Send transmits a fully-formed frame.
+func (h *Host) Send(pkt *netpkt.Packet) {
+	if !h.attached {
+		return
+	}
+	h.stats.TxPackets++
+	h.ep.Send(pkt)
+}
+
+// sendResolved fills in the Ethernet destination via ARP (possibly
+// queueing the packet behind a request) and transmits.
+func (h *Host) sendResolved(dstIP netpkt.IPv4Addr, pkt *netpkt.Packet) {
+	if mac, ok := h.arpCache[dstIP]; ok {
+		pkt.EthDst = mac
+		h.Send(pkt)
+		return
+	}
+	first := len(h.pending[dstIP]) == 0
+	h.pending[dstIP] = append(h.pending[dstIP], pkt)
+	if first {
+		h.Send(netpkt.NewARPRequest(h.MAC, h.IP, dstIP))
+		h.eng.Schedule(arpTimeout, func() {
+			// Unresolved after the timeout: drop what is still queued.
+			if !h.Resolved(dstIP) {
+				delete(h.pending, dstIP)
+			}
+		})
+	}
+}
+
+// SendUDP builds and sends a UDP datagram to dstIP. bulkLen, when
+// positive, marks the datagram as carrying that many payload bytes for
+// transmission-time accounting (the payload argument still provides the
+// DPI-visible head).
+func (h *Host) SendUDP(dstIP netpkt.IPv4Addr, srcPort, dstPort uint16, payload []byte, bulkLen int) {
+	pkt := netpkt.NewUDP(h.MAC, netpkt.MAC{}, h.IP, dstIP, srcPort, dstPort, payload)
+	pkt.BulkLen = bulkLen
+	h.sendResolved(dstIP, pkt)
+}
+
+// SendTCP builds and sends a TCP segment to dstIP.
+func (h *Host) SendTCP(dstIP netpkt.IPv4Addr, srcPort, dstPort uint16, payload []byte, bulkLen int) {
+	pkt := netpkt.NewTCP(h.MAC, netpkt.MAC{}, h.IP, dstIP, srcPort, dstPort, payload)
+	pkt.BulkLen = bulkLen
+	h.sendResolved(dstIP, pkt)
+}
+
+// Ping sends an ICMP echo request and invokes cb with the measured RTT
+// when the reply arrives.
+func (h *Host) Ping(dstIP netpkt.IPv4Addr, id, seq uint16, cb func(rtt time.Duration)) {
+	key := uint32(id)<<16 | uint32(seq)
+	h.pingWaiters[key] = cb
+	h.pingSentAt[key] = h.eng.Now()
+	pkt := netpkt.NewICMPEcho(h.MAC, netpkt.MAC{}, h.IP, dstIP, id, seq, false)
+	h.sendResolved(dstIP, pkt)
+}
+
+// Receive implements link.Node.
+func (h *Host) Receive(_ uint32, pkt *netpkt.Packet) {
+	h.stats.RxPackets++
+	h.stats.RxBytes += uint64(pkt.WireLen())
+	switch {
+	case pkt.ARP != nil:
+		h.handleARP(pkt)
+	case pkt.IP != nil && pkt.IP.Dst == h.IP:
+		h.handleIP(pkt)
+	case pkt.IP != nil && h.IP.IsZero() && pkt.UDP != nil && pkt.UDP.DstPort == netpkt.DHCPClientPort:
+		// Before the lease arrives the host has no address; accept the
+		// DHCP reply addressed to the offered IP.
+		h.handleIP(pkt)
+	}
+	if h.OnPacket != nil {
+		h.OnPacket(pkt)
+	}
+}
+
+func (h *Host) handleARP(pkt *netpkt.Packet) {
+	a := pkt.ARP
+	// Learn the sender either way.
+	if !a.SenderIP.IsZero() {
+		h.arpCache[a.SenderIP] = a.SenderMAC
+		h.flushPending(a.SenderIP)
+	}
+	if a.Op == netpkt.ARPRequest && a.TargetIP == h.IP {
+		h.Send(netpkt.NewARPReply(h.MAC, h.IP, a.SenderMAC, a.SenderIP))
+	}
+}
+
+func (h *Host) flushPending(ip netpkt.IPv4Addr) {
+	queued := h.pending[ip]
+	if len(queued) == 0 {
+		return
+	}
+	delete(h.pending, ip)
+	mac := h.arpCache[ip]
+	for _, pkt := range queued {
+		pkt.EthDst = mac
+		h.Send(pkt)
+	}
+}
+
+func (h *Host) handleIP(pkt *netpkt.Packet) {
+	h.stats.AppBytes += uint64(pkt.PayloadLen())
+	// Opportunistically learn the peer's L2 address: LiveSec steering only
+	// rewrites dl_dst, so the frame's source address is authentic.
+	if _, known := h.arpCache[pkt.IP.Src]; !known && !pkt.EthSrc.IsZero() {
+		h.arpCache[pkt.IP.Src] = pkt.EthSrc
+		h.flushPending(pkt.IP.Src)
+	}
+	switch {
+	case pkt.ICMP != nil:
+		h.handleICMP(pkt)
+	case pkt.UDP != nil:
+		if fn, ok := h.udpHandlers[pkt.UDP.DstPort]; ok {
+			fn(pkt)
+		}
+	case pkt.TCP != nil:
+		if fn, ok := h.tcpHandlers[pkt.TCP.DstPort]; ok {
+			fn(pkt)
+		}
+	}
+}
+
+func (h *Host) handleICMP(pkt *netpkt.Packet) {
+	c := pkt.ICMP
+	switch c.Type {
+	case netpkt.ICMPEchoRequest:
+		reply := netpkt.NewICMPEcho(h.MAC, pkt.EthSrc, h.IP, pkt.IP.Src, c.ID, c.Seq, true)
+		// Reply via ARP in case the topology rewrote the L2 source.
+		h.sendResolved(pkt.IP.Src, reply)
+	case netpkt.ICMPEchoReply:
+		key := uint32(c.ID)<<16 | uint32(c.Seq)
+		if cb, ok := h.pingWaiters[key]; ok {
+			delete(h.pingWaiters, key)
+			cb(h.eng.Now() - h.pingSentAt[key])
+			delete(h.pingSentAt, key)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package host
+
+import (
+	"testing"
+	"time"
+
+	"livesec/internal/legacy"
+	"livesec/internal/link"
+	"livesec/internal/netpkt"
+	"livesec/internal/sim"
+)
+
+// wire connects two hosts through a one-switch legacy fabric so ARP
+// broadcast works.
+func wire(eng *sim.Engine) (*Host, *Host) {
+	f := legacy.NewFabric(eng)
+	sw := f.AddSwitch("sw")
+	a := New(eng, "a", netpkt.MACFromUint64(1), netpkt.IP(10, 0, 0, 1))
+	b := New(eng, "b", netpkt.MACFromUint64(2), netpkt.IP(10, 0, 0, 2))
+	a.Attach(f.Attach(sw, a, 0, link.Params{}))
+	b.Attach(f.Attach(sw, b, 0, link.Params{}))
+	return a, b
+}
+
+func TestARPResolutionAndDelivery(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a, b := wire(eng)
+	var got []*netpkt.Packet
+	b.HandleUDP(9000, func(p *netpkt.Packet) { got = append(got, p) })
+	eng.Schedule(0, func() { a.SendUDP(b.IP, 1234, 9000, []byte("hi"), 0) })
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || string(got[0].Payload) != "hi" {
+		t.Fatalf("b got %v", got)
+	}
+	if !a.Resolved(b.IP) || !b.Resolved(a.IP) {
+		t.Fatal("ARP caches not populated on both sides")
+	}
+}
+
+func TestPendingPacketsFlushInOrder(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a, b := wire(eng)
+	var got []string
+	b.HandleUDP(9000, func(p *netpkt.Packet) { got = append(got, string(p.Payload)) })
+	eng.Schedule(0, func() {
+		a.SendUDP(b.IP, 1, 9000, []byte("one"), 0)
+		a.SendUDP(b.IP, 1, 9000, []byte("two"), 0)
+		a.SendUDP(b.IP, 1, 9000, []byte("three"), 0)
+	})
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != "one" || got[1] != "two" || got[2] != "three" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestARPTimeoutDropsQueued(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a, _ := wire(eng)
+	ghost := netpkt.IP(10, 0, 0, 99)
+	eng.Schedule(0, func() { a.SendUDP(ghost, 1, 2, []byte("x"), 0) })
+	if err := eng.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.pending[ghost]) != 0 {
+		t.Fatal("queued packets for unresolvable IP not dropped")
+	}
+}
+
+func TestPingRTT(t *testing.T) {
+	eng := sim.NewEngine(1)
+	f := legacy.NewFabric(eng)
+	sw := f.AddSwitch("sw")
+	a := New(eng, "a", netpkt.MACFromUint64(1), netpkt.IP(10, 0, 0, 1))
+	b := New(eng, "b", netpkt.MACFromUint64(2), netpkt.IP(10, 0, 0, 2))
+	p := link.Params{Delay: 2 * time.Millisecond}
+	a.Attach(f.Attach(sw, a, 0, p))
+	b.Attach(f.Attach(sw, b, 0, p))
+	var cold, warm time.Duration
+	eng.Schedule(0, func() { a.Ping(b.IP, 1, 1, func(d time.Duration) { cold = d }) })
+	eng.Schedule(100*time.Millisecond, func() {
+		a.Ping(b.IP, 1, 2, func(d time.Duration) { warm = d })
+	})
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Each direction crosses two 2 ms links; the first ping additionally
+	// pays a full ARP exchange (another 8 ms) before the echo leaves.
+	if warm < 8*time.Millisecond || warm > 9*time.Millisecond {
+		t.Fatalf("warm rtt = %v, want ≈8ms", warm)
+	}
+	if cold < 16*time.Millisecond || cold > 17*time.Millisecond {
+		t.Fatalf("cold rtt = %v, want ≈16ms (includes ARP)", cold)
+	}
+}
+
+func TestTCPHandlerAndReply(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a, b := wire(eng)
+	var reply []byte
+	b.HandleTCP(80, func(p *netpkt.Packet) {
+		b.SendTCP(p.IP.Src, 80, p.TCP.SrcPort, []byte("HTTP/1.1 200 OK"), 0)
+	})
+	a.HandleTCP(5555, func(p *netpkt.Packet) { reply = p.Payload })
+	eng.Schedule(0, func() { a.SendTCP(b.IP, 5555, 80, []byte("GET /"), 0) })
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "HTTP/1.1 200 OK" {
+		t.Fatalf("reply = %q", reply)
+	}
+}
+
+func TestUnhandledPortsIgnored(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a, b := wire(eng)
+	eng.Schedule(0, func() { a.SendUDP(b.IP, 1, 4242, []byte("x"), 0) })
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if b.Stats().RxPackets == 0 {
+		t.Fatal("packet never arrived")
+	}
+}
+
+func TestOnPacketHookSeesTraffic(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a, b := wire(eng)
+	seen := 0
+	b.OnPacket = func(*netpkt.Packet) { seen++ }
+	eng.Schedule(0, func() { a.SendUDP(b.IP, 1, 2, []byte("x"), 0) })
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if seen == 0 {
+		t.Fatal("OnPacket hook not invoked")
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a, b := wire(eng)
+	eng.Schedule(0, func() { a.SendUDP(b.IP, 1, 2, []byte("abcd"), 1000) })
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if b.Stats().AppBytes != 1000 {
+		t.Fatalf("AppBytes = %d, want 1000 (bulk length)", b.Stats().AppBytes)
+	}
+	if a.Stats().TxPackets == 0 {
+		t.Fatal("tx not counted")
+	}
+}
+
+func TestScheduleHelper(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a, _ := wire(eng)
+	ran := false
+	a.Schedule(5*time.Millisecond, func() { ran = true })
+	if err := eng.Run(4 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("ran early")
+	}
+	if err := eng.Run(5 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("never ran")
+	}
+}
+
+func TestRequestIPIgnoresForeignAck(t *testing.T) {
+	eng := sim.NewEngine(1)
+	f := legacy.NewFabric(eng)
+	sw := f.AddSwitch("sw")
+	a := New(eng, "a", netpkt.MACFromUint64(1), netpkt.IPv4Addr{})
+	b := New(eng, "b", netpkt.MACFromUint64(2), netpkt.IP(10, 0, 0, 2))
+	a.Attach(f.Attach(sw, a, 0, link.Params{}))
+	b.Attach(f.Attach(sw, b, 0, link.Params{}))
+	called := false
+	a.RequestIP(1, func(netpkt.IPv4Addr) { called = true })
+	// A stray ACK for a different client MAC must be ignored.
+	ack := netpkt.NewDHCPAck(b.MAC, b.IP, netpkt.MACFromUint64(0x999), netpkt.IP(10, 9, 9, 9), 1)
+	ack.EthDst = a.MAC
+	ack.IP.Dst = netpkt.IP(10, 9, 9, 9)
+	eng.Schedule(0, func() { b.Send(ack) })
+	if err := eng.Run(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if called || !a.IP.IsZero() {
+		t.Fatalf("foreign ACK adopted: ip=%v", a.IP)
+	}
+}

@@ -1,0 +1,121 @@
+// Package ids implements the intrusion-detection service element: a
+// Snort-like rule language compiled into an Aho–Corasick multi-pattern
+// content engine plus per-rule header predicates. The paper ports Snort
+// into VM-based service elements (§V.B.1); this package reproduces that
+// code path — per-packet deep inspection producing alerts that the
+// element daemon reports to the controller as EVENT messages.
+package ids
+
+// acNode is one state of the Aho–Corasick automaton.
+type acNode struct {
+	next [256]int32 // goto function (dense; -1 = undefined before build)
+	fail int32
+	out  []int32 // pattern indices ending at this state
+}
+
+// Matcher is an Aho–Corasick automaton over a fixed pattern set.
+type Matcher struct {
+	nodes    []acNode
+	patterns [][]byte
+	built    bool
+}
+
+// NewMatcher creates an empty matcher.
+func NewMatcher() *Matcher {
+	m := &Matcher{}
+	m.nodes = append(m.nodes, newNode())
+	return m
+}
+
+func newNode() acNode {
+	n := acNode{}
+	for i := range n.next {
+		n.next[i] = -1
+	}
+	return n
+}
+
+// Add inserts a pattern and returns its index. Patterns must be added
+// before Build; empty patterns are rejected with index -1.
+func (m *Matcher) Add(pattern []byte) int {
+	if m.built || len(pattern) == 0 {
+		return -1
+	}
+	idx := int32(len(m.patterns))
+	m.patterns = append(m.patterns, append([]byte(nil), pattern...))
+	cur := int32(0)
+	for _, b := range pattern {
+		if m.nodes[cur].next[b] < 0 {
+			m.nodes = append(m.nodes, newNode())
+			m.nodes[cur].next[b] = int32(len(m.nodes) - 1)
+		}
+		cur = m.nodes[cur].next[b]
+	}
+	m.nodes[cur].out = append(m.nodes[cur].out, idx)
+	return int(idx)
+}
+
+// Build computes failure links; after Build the automaton is immutable
+// and safe for concurrent Find calls.
+func (m *Matcher) Build() {
+	if m.built {
+		return
+	}
+	queue := make([]int32, 0, len(m.nodes))
+	root := &m.nodes[0]
+	for c := 0; c < 256; c++ {
+		if root.next[c] < 0 {
+			root.next[c] = 0
+			continue
+		}
+		m.nodes[root.next[c]].fail = 0
+		queue = append(queue, root.next[c])
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for c := 0; c < 256; c++ {
+			nxt := m.nodes[cur].next[c]
+			if nxt < 0 {
+				m.nodes[cur].next[c] = m.nodes[m.nodes[cur].fail].next[c]
+				continue
+			}
+			f := m.nodes[m.nodes[cur].fail].next[c]
+			m.nodes[nxt].fail = f
+			m.nodes[nxt].out = append(m.nodes[nxt].out, m.nodes[f].out...)
+			queue = append(queue, nxt)
+		}
+	}
+	m.built = true
+}
+
+// Find invokes visit once per pattern occurrence with the pattern index
+// and the end offset in text. Returning false from visit stops the scan.
+func (m *Matcher) Find(text []byte, visit func(pattern, end int) bool) {
+	if !m.built {
+		m.Build()
+	}
+	state := int32(0)
+	for i, b := range text {
+		state = m.nodes[state].next[b]
+		for _, p := range m.nodes[state].out {
+			if !visit(int(p), i+1) {
+				return
+			}
+		}
+	}
+}
+
+// Contains reports which of the patterns occur in text, as a set of
+// pattern indices.
+func (m *Matcher) Contains(text []byte) map[int]bool {
+	found := make(map[int]bool)
+	m.Find(text, func(p, _ int) bool {
+		found[p] = true
+		return true
+	})
+	return found
+}
+
+// NumPatterns returns the number of patterns added.
+func (m *Matcher) NumPatterns() int { return len(m.patterns) }

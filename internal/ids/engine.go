@@ -1,0 +1,206 @@
+package ids
+
+import (
+	"livesec/internal/netpkt"
+)
+
+// Alert is one rule hit on one packet.
+type Alert struct {
+	SID      uint32
+	Msg      string
+	Severity uint8
+}
+
+// Engine is a compiled rule set. Build once, then Inspect every packet;
+// Inspect is read-only and safe for concurrent use.
+type Engine struct {
+	rules []*Rule
+	// caseSensitive/caseFolded are the two multi-pattern automatons;
+	// nocase patterns are matched against the lower-cased payload.
+	caseSensitive *Matcher
+	caseFolded    *Matcher
+	// csOwner[i] is the rule index owning caseSensitive pattern i, and a
+	// per-rule pattern count lets Inspect confirm all contents matched.
+	csOwner, cfOwner []int
+	// csContent/cfContent point back at the Content for position
+	// constraints (offset/depth).
+	csContent, cfContent []*Content
+	needed               []int // number of distinct content patterns per rule
+
+	// Inspected counts packets run through the engine.
+	Inspected uint64
+	// Alerts counts alerts produced.
+	Alerts uint64
+}
+
+// NewEngine compiles a rule set.
+func NewEngine(rules []*Rule) *Engine {
+	e := &Engine{
+		rules:         rules,
+		caseSensitive: NewMatcher(),
+		caseFolded:    NewMatcher(),
+		needed:        make([]int, len(rules)),
+	}
+	for ri, r := range rules {
+		e.needed[ri] = len(r.Contents)
+		for ci := range r.Contents {
+			c := &r.Contents[ci]
+			if c.NoCase {
+				e.caseFolded.Add(c.Pattern)
+				e.cfOwner = append(e.cfOwner, ri)
+				e.cfContent = append(e.cfContent, c)
+			} else {
+				e.caseSensitive.Add(c.Pattern)
+				e.csOwner = append(e.csOwner, ri)
+				e.csContent = append(e.csContent, c)
+			}
+		}
+	}
+	e.caseSensitive.Build()
+	e.caseFolded.Build()
+	return e
+}
+
+// MustEngine compiles rule text, panicking on parse errors. Intended for
+// static built-in rule sets.
+func MustEngine(ruleText string) *Engine {
+	rules, err := ParseRules(ruleText)
+	if err != nil {
+		panic(err)
+	}
+	return NewEngine(rules)
+}
+
+// NumRules returns the number of compiled rules.
+func (e *Engine) NumRules() int { return len(e.rules) }
+
+// Inspect runs the packet through the rule set and returns any alerts.
+func (e *Engine) Inspect(pkt *netpkt.Packet) []Alert {
+	e.Inspected++
+	if pkt.IP == nil || len(pkt.Payload) == 0 {
+		return nil
+	}
+	// Phase 1: multi-pattern scan collects distinct matched patterns per
+	// candidate rule.
+	hits := make(map[int]map[int]bool)
+	record := func(ri, id int) {
+		set := hits[ri]
+		if set == nil {
+			set = make(map[int]bool)
+			hits[ri] = set
+		}
+		set[id] = true
+	}
+	if e.caseSensitive.NumPatterns() > 0 {
+		e.caseSensitive.Find(pkt.Payload, func(p, end int) bool {
+			if positionOK(e.csContent[p], end) {
+				record(e.csOwner[p], p)
+			}
+			return true
+		})
+	}
+	if e.caseFolded.NumPatterns() > 0 {
+		e.caseFolded.Find(lower(pkt.Payload), func(p, end int) bool {
+			if positionOK(e.cfContent[p], end) {
+				// Disjoint id namespace from case-sensitive patterns.
+				record(e.cfOwner[p], -1-p)
+			}
+			return true
+		})
+	}
+	// Phase 2: header predicates for rules whose contents all matched.
+	var alerts []Alert
+	for ri, set := range hits {
+		r := e.rules[ri]
+		if len(set) < e.needed[ri] {
+			continue
+		}
+		if !headerMatches(r, pkt) {
+			continue
+		}
+		alerts = append(alerts, Alert{SID: r.SID, Msg: r.Msg, Severity: r.Severity})
+	}
+	e.Alerts += uint64(len(alerts))
+	return alerts
+}
+
+// positionOK applies a content's offset/depth constraint given the end
+// offset of a match (the pattern starts at end−len).
+func positionOK(c *Content, end int) bool {
+	if c.Offset == 0 && c.Depth == 0 {
+		return true
+	}
+	start := end - len(c.Pattern)
+	if start < c.Offset {
+		return false
+	}
+	if c.Depth > 0 && start >= c.Offset+c.Depth {
+		return false
+	}
+	return true
+}
+
+func headerMatches(r *Rule, pkt *netpkt.Packet) bool {
+	if r.Proto != 0 && pkt.IP.Proto != r.Proto {
+		return false
+	}
+	if !r.SrcIP.matches(pkt.IP.Src) || !r.DstIP.matches(pkt.IP.Dst) {
+		return false
+	}
+	var sp, dp uint16
+	switch {
+	case pkt.TCP != nil:
+		sp, dp = pkt.TCP.SrcPort, pkt.TCP.DstPort
+	case pkt.UDP != nil:
+		sp, dp = pkt.UDP.SrcPort, pkt.UDP.DstPort
+	}
+	if !r.SrcPort.matches(sp) || !r.DstPort.matches(dp) {
+		return false
+	}
+	if size := pkt.PayloadLen(); size < r.DSizeMin || (r.DSizeMax > 0 && size > r.DSizeMax) {
+		return false
+	}
+	if r.Flags != "" {
+		if pkt.TCP == nil {
+			return false
+		}
+		for _, c := range r.Flags {
+			switch c {
+			case 'S':
+				if !pkt.TCP.SYN {
+					return false
+				}
+			case 'A':
+				if !pkt.TCP.ACK {
+					return false
+				}
+			case 'F':
+				if !pkt.TCP.FIN {
+					return false
+				}
+			case 'R':
+				if !pkt.TCP.RST {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// CommunityRules is a compact built-in rule set in the spirit of the
+// Snort community rules the paper's deployment ran. Examples and the
+// testbed use it; applications can load their own.
+const CommunityRules = `
+# LiveSec built-in detection rules (Snort-lite syntax)
+alert tcp any any -> any 80 (msg:"WEB SQL injection attempt"; content:"' OR 1=1"; nocase; sid:1001; severity:180;)
+alert tcp any any -> any 80 (msg:"WEB directory traversal"; content:"../../"; sid:1002; severity:140;)
+alert tcp any any -> any 80 (msg:"WEB remote shell upload"; content:"cmd.exe"; nocase; sid:1003; severity:200;)
+alert tcp any any -> any any (msg:"TROJAN C2 beacon"; content:"|de ad be ef|"; content:"HELO-BOT"; sid:2001; severity:220;)
+alert tcp any any -> any any (msg:"MALWARE EICAR test string"; content:"X5O!P%@AP[4\PZX54(P^)7CC)7}$EICAR"; sid:2002; severity:250;)
+alert udp any any -> any 53 (msg:"DNS suspicious TXT exfil"; content:"exfil."; sid:3001; severity:120;)
+alert udp any any -> any any (msg:"SCAN UDP probe marker"; content:"LIVESEC-SCAN"; sid:3002; severity:90;)
+alert icmp any any -> any any (msg:"ICMP covert channel"; content:"TUNNEL"; sid:4001; severity:110;)
+alert tcp any any -> any 22 (msg:"SSH brute force banner"; content:"SSH-2.0-hydra"; sid:5001; severity:160;)
+alert tcp any any -> any any (msg:"POLICY cleartext password"; content:"password="; nocase; sid:6001; severity:60;)
+`

@@ -1,0 +1,450 @@
+package ids
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"livesec/internal/netpkt"
+)
+
+// --- Aho–Corasick ---
+
+func TestMatcherFindsAllOccurrences(t *testing.T) {
+	m := NewMatcher()
+	he := m.Add([]byte("he"))
+	she := m.Add([]byte("she"))
+	his := m.Add([]byte("his"))
+	hers := m.Add([]byte("hers"))
+	m.Build()
+	text := []byte("ushers and his")
+	var got []int
+	m.Find(text, func(p, end int) bool {
+		got = append(got, p)
+		return true
+	})
+	// "ushers": she@4, he@4, hers@6 ; "his": his@14
+	want := []int{she, he, hers, his}
+	if len(got) != len(want) {
+		t.Fatalf("matches = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("matches = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMatcherOverlappingPatterns(t *testing.T) {
+	m := NewMatcher()
+	a := m.Add([]byte("abab"))
+	b := m.Add([]byte("bab"))
+	m.Build()
+	found := m.Contains([]byte("xababx"))
+	if !found[a] || !found[b] {
+		t.Fatalf("overlap not detected: %v", found)
+	}
+}
+
+func TestMatcherEmptyAndPostBuildAdd(t *testing.T) {
+	m := NewMatcher()
+	if m.Add(nil) != -1 {
+		t.Fatal("empty pattern accepted")
+	}
+	m.Add([]byte("x"))
+	m.Build()
+	if m.Add([]byte("y")) != -1 {
+		t.Fatal("post-build add accepted")
+	}
+}
+
+func TestMatcherBinaryPatterns(t *testing.T) {
+	m := NewMatcher()
+	p := m.Add([]byte{0xde, 0xad, 0xbe, 0xef})
+	m.Build()
+	if !m.Contains([]byte{0x00, 0xde, 0xad, 0xbe, 0xef, 0x01})[p] {
+		t.Fatal("binary pattern missed")
+	}
+}
+
+// Property: matcher agrees with bytes.Contains for random inputs.
+func TestPropertyMatcherAgreesWithNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	alphabet := []byte("abc")
+	randBytes := func(n int) []byte {
+		out := make([]byte, n)
+		for i := range out {
+			out[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		return out
+	}
+	for trial := 0; trial < 200; trial++ {
+		m := NewMatcher()
+		var patterns [][]byte
+		for i := 0; i < 1+r.Intn(8); i++ {
+			p := randBytes(1 + r.Intn(4))
+			patterns = append(patterns, p)
+			m.Add(p)
+		}
+		m.Build()
+		text := randBytes(r.Intn(64))
+		found := m.Contains(text)
+		for i, p := range patterns {
+			if found[i] != bytes.Contains(text, p) {
+				t.Fatalf("trial %d: pattern %q in %q: ac=%v naive=%v",
+					trial, p, text, found[i], bytes.Contains(text, p))
+			}
+		}
+	}
+}
+
+// --- Rule parsing ---
+
+func TestParseRuleFull(t *testing.T) {
+	r, err := ParseRule(`alert tcp 10.0.0.0/8 any -> any 80 (msg:"SQLi"; content:"' OR 1=1"; nocase; sid:1001; severity:180;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SID != 1001 || r.Msg != "SQLi" || r.Severity != 180 || r.Proto != netpkt.ProtoTCP {
+		t.Fatalf("rule = %+v", r)
+	}
+	if len(r.Contents) != 1 || !r.Contents[0].NoCase {
+		t.Fatalf("contents = %+v", r.Contents)
+	}
+	if string(r.Contents[0].Pattern) != "' or 1=1" {
+		t.Fatalf("nocase pattern not folded: %q", r.Contents[0].Pattern)
+	}
+	if !r.SrcIP.matches(netpkt.IP(10, 3, 4, 5)) || r.SrcIP.matches(netpkt.IP(11, 0, 0, 1)) {
+		t.Fatal("CIDR predicate wrong")
+	}
+	if !r.DstPort.matches(80) || r.DstPort.matches(81) {
+		t.Fatal("port predicate wrong")
+	}
+}
+
+func TestParseHexEscapes(t *testing.T) {
+	r, err := ParseRule(`alert tcp any any -> any any (msg:"bin"; content:"|de ad be ef|"; sid:1;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r.Contents[0].Pattern, []byte{0xde, 0xad, 0xbe, 0xef}) {
+		t.Fatalf("pattern = %x", r.Contents[0].Pattern)
+	}
+}
+
+func TestParsePortRangeAndNegation(t *testing.T) {
+	r, err := ParseRule(`alert tcp any 1024: -> !10.0.0.1 !80 (content:"x"; sid:2;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.SrcPort.matches(60000) || r.SrcPort.matches(80) {
+		t.Fatal("src range wrong")
+	}
+	if r.DstPort.matches(80) || !r.DstPort.matches(443) {
+		t.Fatal("negated port wrong")
+	}
+	if r.DstIP.matches(netpkt.IP(10, 0, 0, 1)) || !r.DstIP.matches(netpkt.IP(10, 0, 0, 2)) {
+		t.Fatal("negated IP wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`alert tcp any any -> any 80`,                        // no options
+		`drop tcp any any -> any 80 (content:"x"; sid:1;)`,   // bad action
+		`alert xyz any any -> any 80 (content:"x"; sid:1;)`,  // bad proto
+		`alert tcp any any <- any 80 (content:"x"; sid:1;)`,  // bad arrow
+		`alert tcp any any -> any 80 (msg:"no content";)`,    // no content
+		`alert tcp any 99:1 -> any 80 (content:"x"; sid:1;)`, // inverted range
+		`alert tcp 1.2.3 any -> any 80 (content:"x";)`,       // bad IP
+		`alert tcp any any -> any 80 (bogus:"x"; content:"y";)`,
+	}
+	for _, line := range bad {
+		if _, err := ParseRule(line); err == nil {
+			t.Errorf("accepted bad rule: %s", line)
+		}
+	}
+}
+
+func TestParseRulesSkipsComments(t *testing.T) {
+	rules, err := ParseRules("# comment\n\nalert tcp any any -> any any (content:\"a\"; sid:1;)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 {
+		t.Fatalf("got %d rules", len(rules))
+	}
+}
+
+// --- Engine ---
+
+var (
+	macA = netpkt.MACFromUint64(1)
+	macB = netpkt.MACFromUint64(2)
+	ipA  = netpkt.IP(10, 0, 0, 1)
+	ipB  = netpkt.IP(166, 111, 1, 1)
+)
+
+func web(payload string) *netpkt.Packet {
+	return netpkt.NewTCP(macA, macB, ipA, ipB, 51000, 80, []byte(payload))
+}
+
+func communityEngine(t *testing.T) *Engine {
+	t.Helper()
+	rules, err := ParseRules(CommunityRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(rules)
+}
+
+func TestEngineDetectsSQLi(t *testing.T) {
+	e := communityEngine(t)
+	alerts := e.Inspect(web("GET /login?user=admin' oR 1=1-- HTTP/1.1"))
+	if len(alerts) != 1 || alerts[0].SID != 1001 {
+		t.Fatalf("alerts = %+v", alerts)
+	}
+	if alerts[0].Severity != 180 {
+		t.Fatalf("severity = %d", alerts[0].Severity)
+	}
+}
+
+func TestEngineCleanTrafficSilent(t *testing.T) {
+	e := communityEngine(t)
+	if alerts := e.Inspect(web("GET /index.html HTTP/1.1\r\nHost: example.com")); len(alerts) != 0 {
+		t.Fatalf("false positives: %+v", alerts)
+	}
+}
+
+func TestEngineHeaderPredicateGates(t *testing.T) {
+	e := communityEngine(t)
+	// SQLi pattern on a non-80 port must not alert (rule is -> any 80).
+	p := netpkt.NewTCP(macA, macB, ipA, ipB, 51000, 8080, []byte("' OR 1=1"))
+	if alerts := e.Inspect(p); len(alerts) != 0 {
+		t.Fatalf("port predicate ignored: %+v", alerts)
+	}
+}
+
+func TestEngineMultiContentNeedsAll(t *testing.T) {
+	e := communityEngine(t)
+	// Rule 2001 needs both the binary beacon and "HELO-BOT".
+	half := netpkt.NewTCP(macA, macB, ipA, ipB, 1, 2, []byte{0xde, 0xad, 0xbe, 0xef})
+	if alerts := e.Inspect(half); len(alerts) != 0 {
+		t.Fatalf("half-matched rule alerted: %+v", alerts)
+	}
+	full := netpkt.NewTCP(macA, macB, ipA, ipB, 1, 2,
+		append([]byte{0xde, 0xad, 0xbe, 0xef}, []byte(" HELO-BOT v3")...))
+	alerts := e.Inspect(full)
+	if len(alerts) != 1 || alerts[0].SID != 2001 {
+		t.Fatalf("alerts = %+v", alerts)
+	}
+}
+
+func TestEngineUDPAndICMPRules(t *testing.T) {
+	e := communityEngine(t)
+	dns := netpkt.NewUDP(macA, macB, ipA, ipB, 5353, 53, []byte("aaaa.exfil.evil.example"))
+	if alerts := e.Inspect(dns); len(alerts) != 1 || alerts[0].SID != 3001 {
+		t.Fatalf("dns alerts = %+v", alerts)
+	}
+	icmp := netpkt.NewICMPEcho(macA, macB, ipA, ipB, 1, 1, false)
+	icmp.Payload = []byte("TUNNEL data")
+	if alerts := e.Inspect(icmp); len(alerts) != 1 || alerts[0].SID != 4001 {
+		t.Fatalf("icmp alerts = %+v", alerts)
+	}
+}
+
+func TestEngineNoPayloadNoAlert(t *testing.T) {
+	e := communityEngine(t)
+	if alerts := e.Inspect(netpkt.NewARPRequest(macA, ipA, ipB)); alerts != nil {
+		t.Fatalf("ARP alerted: %+v", alerts)
+	}
+	empty := netpkt.NewTCP(macA, macB, ipA, ipB, 1, 80, nil)
+	if alerts := e.Inspect(empty); alerts != nil {
+		t.Fatalf("empty payload alerted: %+v", alerts)
+	}
+}
+
+func TestEngineCounters(t *testing.T) {
+	e := communityEngine(t)
+	e.Inspect(web("clean"))
+	e.Inspect(web("' OR 1=1"))
+	if e.Inspected != 2 || e.Alerts != 1 {
+		t.Fatalf("Inspected=%d Alerts=%d", e.Inspected, e.Alerts)
+	}
+}
+
+func TestMustEnginePanicsOnBadRules(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustEngine("alert nonsense")
+}
+
+func TestEngineManyRulesScale(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 500; i++ {
+		// Unique patterns so the automaton is wide.
+		sb.WriteString(`alert tcp any any -> any any (msg:"r`)
+		sb.WriteString(strings.Repeat("x", i%7+1))
+		sb.WriteString(`"; content:"PAT-`)
+		sb.WriteString(strings.Repeat("q", i%13+1))
+		sb.WriteString(string(rune('a' + i%26)))
+		sb.WriteString(`"; sid:`)
+		sb.WriteString(strings.TrimLeft(strings.Repeat("0", 5)+string(rune('1'+i%9)), "0"))
+		sb.WriteString(";)\n")
+	}
+	rules, err := ParseRules(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(rules)
+	if got := e.Inspect(web("PAT-qa in the payload")); len(got) == 0 {
+		t.Fatal("wide automaton missed a pattern")
+	}
+}
+
+func TestDSizeOption(t *testing.T) {
+	cases := []struct {
+		spec       string
+		size, want int
+	}{
+		{"dsize:10", 10, 1},
+		{"dsize:10", 11, 0},
+		{"dsize:>100", 101, 1},
+		{"dsize:>100", 100, 0},
+		{"dsize:<50", 49, 1},
+		{"dsize:<50", 50, 0},
+		{"dsize:10<>20", 15, 1},
+		{"dsize:10<>20", 9, 0},
+		{"dsize:10<>20", 21, 0},
+	}
+	for _, c := range cases {
+		r, err := ParseRule(`alert tcp any any -> any any (msg:"d"; content:"AB"; ` + c.spec + `; sid:1;)`)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		e := NewEngine([]*Rule{r})
+		payload := make([]byte, c.size)
+		copy(payload, "AB")
+		p := netpkt.NewTCP(macA, macB, ipA, ipB, 1, 2, payload)
+		if got := len(e.Inspect(p)); got != c.want {
+			t.Errorf("%s size=%d: alerts=%d want %d", c.spec, c.size, got, c.want)
+		}
+	}
+	if _, err := ParseRule(`alert tcp any any -> any any (content:"x"; dsize:20<>10; sid:1;)`); err == nil {
+		t.Error("inverted dsize range accepted")
+	}
+	if _, err := ParseRule(`alert tcp any any -> any any (content:"x"; dsize:banana; sid:1;)`); err == nil {
+		t.Error("junk dsize accepted")
+	}
+}
+
+func TestFlagsOption(t *testing.T) {
+	r, err := ParseRule(`alert tcp any any -> any 80 (msg:"syn probe"; content:"X"; flags:S; sid:9;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine([]*Rule{r})
+	syn := netpkt.NewTCP(macA, macB, ipA, ipB, 1, 80, []byte("X"))
+	syn.TCP.SYN = true
+	if len(e.Inspect(syn)) != 1 {
+		t.Fatal("SYN packet not matched")
+	}
+	plain := netpkt.NewTCP(macA, macB, ipA, ipB, 1, 80, []byte("X"))
+	if len(e.Inspect(plain)) != 0 {
+		t.Fatal("non-SYN packet matched flags:S rule")
+	}
+	// flags on a UDP packet never matches.
+	u := netpkt.NewUDP(macA, macB, ipA, ipB, 1, 80, []byte("X"))
+	if len(e.Inspect(u)) != 0 {
+		t.Fatal("UDP matched a flags rule")
+	}
+	if _, err := ParseRule(`alert tcp any any -> any any (content:"x"; flags:Z; sid:1;)`); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	// Multi-flag requirement.
+	r2, err := ParseRule(`alert tcp any any -> any any (content:"X"; flags:FA; sid:10;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewEngine([]*Rule{r2})
+	fin := netpkt.NewTCP(macA, macB, ipA, ipB, 1, 80, []byte("X"))
+	fin.TCP.FIN = true // ACK already set by the builder
+	if len(e2.Inspect(fin)) != 1 {
+		t.Fatal("FIN+ACK not matched")
+	}
+	fin.TCP.ACK = false
+	if len(e2.Inspect(fin)) != 0 {
+		t.Fatal("FIN without ACK matched FA rule")
+	}
+}
+
+func TestOffsetDepthOptions(t *testing.T) {
+	// Pattern must start within the first 4 bytes ("GET " check).
+	r, err := ParseRule(`alert tcp any any -> any any (msg:"head"; content:"GET "; depth:1; sid:20;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine([]*Rule{r})
+	head := netpkt.NewTCP(macA, macB, ipA, ipB, 1, 80, []byte("GET /x HTTP/1.1"))
+	if len(e.Inspect(head)) != 1 {
+		t.Fatal("anchored pattern at position 0 missed")
+	}
+	later := netpkt.NewTCP(macA, macB, ipA, ipB, 1, 80, []byte("XXGET /x HTTP/1.1"))
+	if len(e.Inspect(later)) != 0 {
+		t.Fatal("depth:1 matched pattern at position 2")
+	}
+
+	// offset: pattern must start at or after position 4.
+	r2, err := ParseRule(`alert tcp any any -> any any (msg:"off"; content:"MARK"; offset:4; sid:21;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewEngine([]*Rule{r2})
+	early := netpkt.NewTCP(macA, macB, ipA, ipB, 1, 80, []byte("MARKxxxx"))
+	if len(e2.Inspect(early)) != 0 {
+		t.Fatal("offset:4 matched pattern at position 0")
+	}
+	okPkt := netpkt.NewTCP(macA, macB, ipA, ipB, 1, 80, []byte("xxxxMARK"))
+	if len(e2.Inspect(okPkt)) != 1 {
+		t.Fatal("offset:4 missed pattern at position 4")
+	}
+
+	// offset + depth window, with an early decoy occurrence: any
+	// occurrence inside the window must satisfy the rule.
+	r3, err := ParseRule(`alert tcp any any -> any any (msg:"win"; content:"AB"; offset:2; depth:3; sid:22;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3 := NewEngine([]*Rule{r3})
+	cases := []struct {
+		payload string
+		want    int
+	}{
+		{"ABxxxxx", 0}, // starts at 0: before offset
+		{"xxABxxx", 1}, // starts at 2: in window [2,5)
+		{"xxxxABx", 1}, // starts at 4: in window
+		{"xxxxxAB", 0}, // starts at 5: beyond depth
+		{"ABxxAB", 1},  // decoy at 0, real at 4
+	}
+	for _, c := range cases {
+		p := netpkt.NewTCP(macA, macB, ipA, ipB, 1, 80, []byte(c.payload))
+		if got := len(e3.Inspect(p)); got != c.want {
+			t.Errorf("payload %q: alerts=%d want %d", c.payload, got, c.want)
+		}
+	}
+
+	// Parse errors.
+	for _, bad := range []string{
+		`alert tcp any any -> any any (offset:4; content:"x"; sid:1;)`,
+		`alert tcp any any -> any any (content:"x"; offset:-1; sid:1;)`,
+		`alert tcp any any -> any any (content:"x"; depth:0; sid:1;)`,
+	} {
+		if _, err := ParseRule(bad); err == nil {
+			t.Errorf("accepted: %s", bad)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package l7 implements application-protocol identification in the style
+// of the Linux l7-filter the paper ports into service elements (§V.B.1):
+// a set of payload signatures evaluated against the first bytes of each
+// flow. Verdicts feed LiveSec's service-aware traffic monitoring (§IV.C)
+// — which user is browsing, SSHing, or running BitTorrent.
+package l7
+
+import (
+	"bytes"
+
+	"livesec/internal/flow"
+	"livesec/internal/netpkt"
+)
+
+// Protocol is an identified application protocol.
+type Protocol string
+
+// Identified protocols.
+const (
+	Unknown    Protocol = "unknown"
+	HTTP       Protocol = "http"
+	TLS        Protocol = "tls"
+	SSH        Protocol = "ssh"
+	DNS        Protocol = "dns"
+	BitTorrent Protocol = "bittorrent"
+	FTP        Protocol = "ftp"
+	SMTP       Protocol = "smtp"
+	POP3       Protocol = "pop3"
+	IMAP       Protocol = "imap"
+	SIP        Protocol = "sip"
+	NTP        Protocol = "ntp"
+)
+
+var httpMethods = [][]byte{
+	[]byte("GET "), []byte("POST "), []byte("HEAD "), []byte("PUT "),
+	[]byte("DELETE "), []byte("OPTIONS "), []byte("CONNECT "), []byte("HTTP/1."),
+}
+
+// Identify classifies a single payload given its transport context. It
+// implements the signature checks; most callers use Classifier, which
+// adds per-flow caching.
+func Identify(proto netpkt.IPProto, srcPort, dstPort uint16, payload []byte) Protocol {
+	if len(payload) == 0 {
+		return Unknown
+	}
+	switch proto {
+	case netpkt.ProtoTCP:
+		return identifyTCP(payload)
+	case netpkt.ProtoUDP:
+		return identifyUDP(srcPort, dstPort, payload)
+	default:
+		return Unknown
+	}
+}
+
+func identifyTCP(p []byte) Protocol {
+	for _, m := range httpMethods {
+		if bytes.HasPrefix(p, m) {
+			return HTTP
+		}
+	}
+	switch {
+	case bytes.HasPrefix(p, []byte("SSH-")):
+		return SSH
+	case len(p) >= 3 && p[0] == 0x16 && p[1] == 0x03 && p[2] <= 0x04:
+		// TLS handshake record, SSL3.0–TLS1.3.
+		return TLS
+	case len(p) >= 20 && p[0] == 19 && bytes.HasPrefix(p[1:], []byte("BitTorrent protocol")):
+		return BitTorrent
+	case bytes.HasPrefix(p, []byte("220 ")) && bytes.Contains(p, []byte("SMTP")):
+		return SMTP
+	case bytes.HasPrefix(p, []byte("220 ")) || bytes.HasPrefix(p, []byte("220-")):
+		return FTP
+	case bytes.HasPrefix(p, []byte("USER ")) || bytes.HasPrefix(p, []byte("PASS ")):
+		return FTP
+	case bytes.HasPrefix(p, []byte("EHLO ")) || bytes.HasPrefix(p, []byte("HELO ")) || bytes.HasPrefix(p, []byte("MAIL FROM:")):
+		return SMTP
+	case bytes.HasPrefix(p, []byte("+OK")):
+		return POP3
+	case bytes.HasPrefix(p, []byte("* OK")) || bytes.HasPrefix(p, []byte("a001 LOGIN")):
+		return IMAP
+	case bytes.HasPrefix(p, []byte("INVITE sip:")) || bytes.HasPrefix(p, []byte("SIP/2.0")):
+		return SIP
+	}
+	return Unknown
+}
+
+func identifyUDP(srcPort, dstPort uint16, p []byte) Protocol {
+	switch {
+	case (srcPort == 53 || dstPort == 53) && len(p) >= 12:
+		return DNS
+	case (srcPort == 123 || dstPort == 123) && len(p) >= 48 && p[0]&0x38>>3 <= 4:
+		return NTP
+	case bytes.HasPrefix(p, []byte("d1:ad2:id20:")) || bytes.HasPrefix(p, []byte("d1:rd2:id20:")):
+		// BitTorrent DHT (bencoded KRPC query/response).
+		return BitTorrent
+	case bytes.HasPrefix(p, []byte("INVITE sip:")) || bytes.HasPrefix(p, []byte("SIP/2.0")):
+		return SIP
+	}
+	return Unknown
+}
+
+// sessionKey is a direction-normalized flow identity so both directions
+// of a connection share one verdict.
+type sessionKey struct {
+	ipLo, ipHi     netpkt.IPv4Addr
+	portLo, portHi uint16
+	proto          netpkt.IPProto
+}
+
+func sessionOf(k flow.Key) sessionKey {
+	a := struct {
+		ip   netpkt.IPv4Addr
+		port uint16
+	}{k.IPSrc, k.SrcPort}
+	b := struct {
+		ip   netpkt.IPv4Addr
+		port uint16
+	}{k.IPDst, k.DstPort}
+	if a.ip.Uint32() > b.ip.Uint32() || (a.ip == b.ip && a.port > b.port) {
+		a, b = b, a
+	}
+	return sessionKey{ipLo: a.ip, ipHi: b.ip, portLo: a.port, portHi: b.port, proto: k.IPProto}
+}
+
+// Classifier identifies protocols per session: it inspects packets until
+// a session yields a verdict (or the inspection budget runs out) and
+// caches the result.
+type Classifier struct {
+	// MaxPackets bounds how many payload-bearing packets per session are
+	// inspected before giving up as Unknown (l7-filter's default is 10).
+	MaxPackets int
+
+	verdicts map[sessionKey]Protocol
+	tried    map[sessionKey]int
+
+	// Classified counts sessions with a definite verdict.
+	Classified uint64
+	// Inspected counts packets examined.
+	Inspected uint64
+}
+
+// NewClassifier creates a classifier with the default inspection budget.
+func NewClassifier() *Classifier {
+	return &Classifier{
+		MaxPackets: 10,
+		verdicts:   make(map[sessionKey]Protocol),
+		tried:      make(map[sessionKey]int),
+	}
+}
+
+// Classify inspects one packet and returns the session's protocol
+// verdict so far (Unknown until identified).
+func (c *Classifier) Classify(pkt *netpkt.Packet) Protocol {
+	if pkt.IP == nil {
+		return Unknown
+	}
+	key := sessionOf(flow.KeyOf(0, pkt))
+	if v, ok := c.verdicts[key]; ok {
+		return v
+	}
+	if len(pkt.Payload) == 0 {
+		return Unknown
+	}
+	if c.tried[key] >= c.MaxPackets {
+		return Unknown
+	}
+	c.tried[key]++
+	c.Inspected++
+	var sp, dp uint16
+	switch {
+	case pkt.TCP != nil:
+		sp, dp = pkt.TCP.SrcPort, pkt.TCP.DstPort
+	case pkt.UDP != nil:
+		sp, dp = pkt.UDP.SrcPort, pkt.UDP.DstPort
+	}
+	v := Identify(pkt.IP.Proto, sp, dp, pkt.Payload)
+	if v != Unknown {
+		c.verdicts[key] = v
+		delete(c.tried, key)
+		c.Classified++
+	}
+	return v
+}
+
+// Verdict returns the cached verdict for the session of key, if any.
+func (c *Classifier) Verdict(k flow.Key) (Protocol, bool) {
+	v, ok := c.verdicts[sessionOf(k)]
+	return v, ok
+}
+
+// Sessions returns the number of sessions with verdicts.
+func (c *Classifier) Sessions() int { return len(c.verdicts) }

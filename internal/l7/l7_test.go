@@ -1,0 +1,146 @@
+package l7
+
+import (
+	"testing"
+
+	"livesec/internal/flow"
+	"livesec/internal/netpkt"
+)
+
+func keyOf(p *netpkt.Packet) flow.Key { return flow.KeyOf(0, p) }
+
+var (
+	macA = netpkt.MACFromUint64(1)
+	macB = netpkt.MACFromUint64(2)
+	ipA  = netpkt.IP(10, 0, 0, 1)
+	ipB  = netpkt.IP(93, 184, 216, 34)
+)
+
+func tcp(sp, dp uint16, payload []byte) *netpkt.Packet {
+	return netpkt.NewTCP(macA, macB, ipA, ipB, sp, dp, payload)
+}
+
+func udp(sp, dp uint16, payload []byte) *netpkt.Packet {
+	return netpkt.NewUDP(macA, macB, ipA, ipB, sp, dp, payload)
+}
+
+func TestIdentifySignatures(t *testing.T) {
+	cases := []struct {
+		name string
+		pkt  *netpkt.Packet
+		want Protocol
+	}{
+		{"http get", tcp(50000, 80, []byte("GET /index.html HTTP/1.1\r\n")), HTTP},
+		{"http response", tcp(80, 50000, []byte("HTTP/1.1 200 OK\r\n")), HTTP},
+		{"http post nonstd port", tcp(50000, 8080, []byte("POST /api HTTP/1.1\r\n")), HTTP},
+		{"ssh banner", tcp(50000, 22, []byte("SSH-2.0-OpenSSH_8.9\r\n")), SSH},
+		{"tls clienthello", tcp(50000, 443, []byte{0x16, 0x03, 0x01, 0x02, 0x00, 0x01}), TLS},
+		{"bittorrent handshake", tcp(50000, 6881, append([]byte{19}, []byte("BitTorrent protocol")...)), BitTorrent},
+		{"bittorrent dht", udp(50000, 6881, []byte("d1:ad2:id20:abcdefghij0123456789e1:q4:ping")), BitTorrent},
+		{"dns query", udp(50000, 53, make([]byte, 30)), DNS},
+		{"smtp banner", tcp(25, 50000, []byte("220 mail.example.com ESMTP SMTP ready")), SMTP},
+		{"smtp ehlo", tcp(50000, 25, []byte("EHLO client.example.com\r\n")), SMTP},
+		{"ftp banner", tcp(21, 50000, []byte("220 FTP Server ready")), FTP},
+		{"ftp user", tcp(50000, 21, []byte("USER anonymous\r\n")), FTP},
+		{"pop3", tcp(110, 50000, []byte("+OK POP3 ready")), POP3},
+		{"imap", tcp(143, 50000, []byte("* OK IMAP4rev1")), IMAP},
+		{"sip invite", udp(50000, 5060, []byte("INVITE sip:bob@example.com SIP/2.0")), SIP},
+		{"garbage", tcp(50000, 9999, []byte{0x00, 0x01, 0x02}), Unknown},
+		{"empty", tcp(50000, 80, nil), Unknown},
+	}
+	for _, c := range cases {
+		var sp, dp uint16
+		switch {
+		case c.pkt.TCP != nil:
+			sp, dp = c.pkt.TCP.SrcPort, c.pkt.TCP.DstPort
+		case c.pkt.UDP != nil:
+			sp, dp = c.pkt.UDP.SrcPort, c.pkt.UDP.DstPort
+		}
+		got := Identify(c.pkt.IP.Proto, sp, dp, c.pkt.Payload)
+		if got != c.want {
+			t.Errorf("%s: Identify = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestClassifierCachesVerdictPerSession(t *testing.T) {
+	c := NewClassifier()
+	first := tcp(50000, 80, []byte("GET / HTTP/1.1\r\n"))
+	if got := c.Classify(first); got != HTTP {
+		t.Fatalf("first packet: %q", got)
+	}
+	// Later packets of the same session carry opaque bytes but keep the
+	// verdict; note the reverse direction shares the session.
+	data := tcp(50000, 80, []byte{0x01, 0x02})
+	if got := c.Classify(data); got != HTTP {
+		t.Fatalf("later packet: %q", got)
+	}
+	reply := netpkt.NewTCP(macB, macA, ipB, ipA, 80, 50000, []byte{0xff})
+	if got := c.Classify(reply); got != HTTP {
+		t.Fatalf("reverse direction: %q", got)
+	}
+	if c.Sessions() != 1 {
+		t.Fatalf("Sessions = %d, want 1", c.Sessions())
+	}
+	if c.Classified != 1 {
+		t.Fatalf("Classified = %d", c.Classified)
+	}
+}
+
+func TestClassifierBudgetGivesUp(t *testing.T) {
+	c := NewClassifier()
+	c.MaxPackets = 3
+	for i := 0; i < 10; i++ {
+		got := c.Classify(tcp(50000, 9999, []byte{0xde, 0xad}))
+		if got != Unknown {
+			t.Fatalf("classified garbage as %q", got)
+		}
+	}
+	if c.Inspected != 3 {
+		t.Fatalf("Inspected = %d, want 3 (budget)", c.Inspected)
+	}
+}
+
+func TestClassifierLateIdentification(t *testing.T) {
+	c := NewClassifier()
+	// First packet opaque, second reveals SSH.
+	if got := c.Classify(tcp(50000, 22, []byte{0x00})); got != Unknown {
+		t.Fatalf("premature verdict %q", got)
+	}
+	if got := c.Classify(tcp(50000, 22, []byte("SSH-2.0-OpenSSH\r\n"))); got != SSH {
+		t.Fatalf("late identification failed: %q", got)
+	}
+}
+
+func TestClassifierVerdictLookup(t *testing.T) {
+	c := NewClassifier()
+	pkt := tcp(50000, 80, []byte("GET / HTTP/1.1\r\n"))
+	c.Classify(pkt)
+	key := keyOf(pkt)
+	if v, ok := c.Verdict(key); !ok || v != HTTP {
+		t.Fatalf("Verdict = %q, %v", v, ok)
+	}
+	// Reverse key maps to the same session.
+	if v, ok := c.Verdict(key.Reverse(0)); !ok || v != HTTP {
+		t.Fatalf("reverse Verdict = %q, %v", v, ok)
+	}
+}
+
+func TestClassifierNonIPIgnored(t *testing.T) {
+	c := NewClassifier()
+	if got := c.Classify(netpkt.NewARPRequest(macA, ipA, ipB)); got != Unknown {
+		t.Fatalf("ARP classified as %q", got)
+	}
+	if c.Inspected != 0 {
+		t.Fatal("ARP counted as inspected")
+	}
+}
+
+func TestDistinctSessionsDistinctVerdicts(t *testing.T) {
+	c := NewClassifier()
+	c.Classify(tcp(50000, 80, []byte("GET / HTTP/1.1\r\n")))
+	c.Classify(tcp(50001, 22, []byte("SSH-2.0-x\r\n")))
+	if c.Sessions() != 2 {
+		t.Fatalf("Sessions = %d", c.Sessions())
+	}
+}

@@ -1,0 +1,105 @@
+package legacy
+
+import (
+	"hash/fnv"
+
+	"livesec/internal/link"
+	"livesec/internal/netpkt"
+)
+
+// ECMP trunk groups (§III.B): instead of letting the spanning tree
+// disable redundant links, parallel trunks between two legacy switches
+// can be bonded into one logical port. Unicast traffic spreads across
+// the members by flow hash (the paper's "Equal Cost Multiple Path
+// routing … applicable for underlying data delivery"), so the
+// Access-Switching layer sees uniform high-bandwidth interconnection.
+// Broadcast uses only the group leader, keeping flooding loop-free.
+
+// ecmpGroup is one bonded set of parallel ports.
+type ecmpGroup struct {
+	leader  uint32
+	members []uint32
+}
+
+// bondPorts registers ports as one ECMP group on the switch. The first
+// port is the leader: MAC learning collapses onto it and broadcasts use
+// it exclusively.
+func (s *Switch) bondPorts(ports []uint32) {
+	if len(ports) < 2 {
+		return
+	}
+	if s.groups == nil {
+		s.groups = make(map[uint32]*ecmpGroup)
+	}
+	g := &ecmpGroup{leader: ports[0], members: append([]uint32(nil), ports...)}
+	for _, p := range ports {
+		s.groups[p] = g
+	}
+}
+
+// groupLeader canonicalizes a port to its ECMP group leader (or itself).
+func (s *Switch) groupLeader(port uint32) uint32 {
+	if g, ok := s.groups[port]; ok {
+		return g.leader
+	}
+	return port
+}
+
+// pickMember selects the member port for a frame, spreading flows by a
+// hash over addresses and ports so one flow stays on one member (no
+// reordering).
+func (s *Switch) pickMember(port uint32, pkt *netpkt.Packet) uint32 {
+	g, ok := s.groups[port]
+	if !ok {
+		return port
+	}
+	h := fnv.New32a()
+	h.Write(pkt.EthSrc[:])
+	h.Write(pkt.EthDst[:])
+	if pkt.IP != nil {
+		h.Write(pkt.IP.Src[:])
+		h.Write(pkt.IP.Dst[:])
+		var sp, dp uint16
+		switch {
+		case pkt.TCP != nil:
+			sp, dp = pkt.TCP.SrcPort, pkt.TCP.DstPort
+		case pkt.UDP != nil:
+			sp, dp = pkt.UDP.SrcPort, pkt.UDP.DstPort
+		}
+		h.Write([]byte{byte(sp >> 8), byte(sp), byte(dp >> 8), byte(dp)})
+	}
+	return g.members[h.Sum32()%uint32(len(g.members))]
+}
+
+// sameGroup reports whether two ports belong to the same ECMP bundle.
+func (s *Switch) sameGroup(a, b uint32) bool {
+	ga, ok1 := s.groups[a]
+	gb, ok2 := s.groups[b]
+	return ok1 && ok2 && ga == gb
+}
+
+// TrunkGroup connects two fabric switches with n parallel links bonded
+// into one ECMP group on both ends (an alternative to a single fat
+// trunk; the spanning tree treats the bundle as one logical link).
+func (f *Fabric) TrunkGroup(a, b, n int, p link.Params) {
+	if n < 1 {
+		return
+	}
+	portsA := make([]uint32, 0, n)
+	portsB := make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		pa, pb := f.allocPort(a), f.allocPort(b)
+		l := link.Connect(f.eng, f.Switches[a], pa, f.Switches[b], pb, p)
+		f.Switches[a].AttachPort(pa, l)
+		f.Switches[b].AttachPort(pb, l)
+		f.links = append(f.links, l)
+		portsA = append(portsA, pa)
+		portsB = append(portsB, pb)
+		if i == 0 {
+			// Only the leader participates in the spanning-tree graph.
+			f.edges = append(f.edges, edge{a: a, b: b, portA: pa, portB: pb, l: l})
+		}
+	}
+	f.Switches[a].bondPorts(portsA)
+	f.Switches[b].bondPorts(portsB)
+}

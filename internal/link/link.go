@@ -1,0 +1,173 @@
+// Package link models the physical layer of the simulated network: nodes
+// with numbered ports joined by full-duplex links that impose bandwidth
+// (store-and-forward serialization), propagation delay, and finite output
+// queues with tail drop.
+//
+// Every throughput and latency number in the evaluation emerges from this
+// model: a 100 Mbps access link caps a wired user at ~100 Mbps (E1), a
+// shared 1 GbE service-host NIC caps 20 co-located service elements (E2),
+// and extra software-switch hops add the LiveSec latency overhead (E5).
+package link
+
+import (
+	"fmt"
+	"time"
+
+	"livesec/internal/netpkt"
+	"livesec/internal/sim"
+)
+
+// Node is anything that can be attached to a link endpoint: a switch, a
+// host, or a service element. Receive is invoked by the simulator when a
+// packet finishes arriving on one of the node's ports.
+type Node interface {
+	// Receive handles a packet that arrived on the given local port.
+	Receive(port uint32, pkt *netpkt.Packet)
+}
+
+// Params configures one link. The zero value means an ideal link:
+// infinite bandwidth, zero delay, unbounded queue.
+type Params struct {
+	// BitsPerSec is the line rate in bits per second; 0 means infinite.
+	BitsPerSec int64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// QueueBytes bounds the transmit queue per direction; 0 means 256 KiB.
+	QueueBytes int
+}
+
+// Common line rates.
+const (
+	Rate100M = 100_000_000
+	Rate43M  = 43_000_000 // Pantou OF Wi-Fi air interface (paper §V.B.1)
+	Rate1G   = 1_000_000_000
+	Rate10G  = 10_000_000_000
+)
+
+const defaultQueueBytes = 256 << 10
+
+// Stats are per-direction transmit counters.
+type Stats struct {
+	TxPackets uint64
+	TxBytes   uint64
+	Drops     uint64
+}
+
+// endpoint is one transmit direction of a link.
+type endpoint struct {
+	eng    *sim.Engine
+	params Params
+
+	peer     *endpoint
+	node     Node   // node attached at this end
+	port     uint32 // port number on node
+	up       bool
+	busyUntl time.Duration // when the transmitter frees up
+	queued   int           // bytes waiting or in transmission
+
+	stats Stats
+}
+
+// Link is a full-duplex connection between two node ports.
+type Link struct {
+	a, b endpoint
+}
+
+// Connect attaches nodeA:portA to nodeB:portB with symmetric parameters
+// and returns the link. Packets sent with Send(nodeA side) arrive at
+// nodeB.Receive(portB, pkt) after queuing + serialization + propagation.
+func Connect(eng *sim.Engine, nodeA Node, portA uint32, nodeB Node, portB uint32, p Params) *Link {
+	if p.QueueBytes == 0 {
+		p.QueueBytes = defaultQueueBytes
+	}
+	l := &Link{
+		a: endpoint{eng: eng, params: p, node: nodeA, port: portA, up: true},
+		b: endpoint{eng: eng, params: p, node: nodeB, port: portB, up: true},
+	}
+	l.a.peer = &l.b
+	l.b.peer = &l.a
+	return l
+}
+
+// Endpoint selects a link direction by the sending node.
+type Endpoint struct{ ep *endpoint }
+
+// From returns the transmit endpoint whose sender is node; Send on it
+// delivers to the other side. It panics if node is not attached, which
+// indicates a wiring bug in topology construction.
+func (l *Link) From(node Node) Endpoint {
+	switch node {
+	case l.a.node:
+		return Endpoint{&l.a}
+	case l.b.node:
+		return Endpoint{&l.b}
+	}
+	panic(fmt.Sprintf("link: node %T not attached to this link", node))
+}
+
+// SetUp marks both directions of the link administratively up or down.
+// Packets sent on a down link are dropped.
+func (l *Link) SetUp(up bool) {
+	l.a.up = up
+	l.b.up = up
+}
+
+// PortA returns (node, port) of the A side.
+func (l *Link) PortA() (Node, uint32) { return l.a.node, l.a.port }
+
+// PortB returns (node, port) of the B side.
+func (l *Link) PortB() (Node, uint32) { return l.b.node, l.b.port }
+
+// StatsFrom returns transmit stats for the direction whose sender is node.
+func (l *Link) StatsFrom(node Node) Stats { return l.From(node).ep.stats }
+
+// Send enqueues a packet for transmission toward the peer node. It models
+// tail drop when the queue is full and store-and-forward serialization at
+// the line rate. The packet pointer is delivered as-is; senders that
+// retain the packet must Clone it first.
+func (e Endpoint) Send(pkt *netpkt.Packet) {
+	ep := e.ep
+	if !ep.up {
+		ep.stats.Drops++
+		return
+	}
+	size := pkt.WireLen()
+	if ep.queued+size > ep.params.QueueBytes {
+		ep.stats.Drops++
+		return
+	}
+	now := ep.eng.Now()
+	start := ep.busyUntl
+	if start < now {
+		start = now
+	}
+	var txTime time.Duration
+	if ep.params.BitsPerSec > 0 {
+		txTime = time.Duration(int64(size) * 8 * int64(time.Second) / ep.params.BitsPerSec)
+	}
+	ep.busyUntl = start + txTime
+	ep.queued += size
+	ep.stats.TxPackets++
+	ep.stats.TxBytes += uint64(size)
+	arrive := ep.busyUntl + ep.params.Delay
+	peer := ep.peer
+	ep.eng.At(arrive, func() {
+		ep.queued -= size
+		if peer.up {
+			peer.node.Receive(peer.port, pkt)
+		}
+	})
+}
+
+// QueueDelay returns how long a packet enqueued now would wait before its
+// transmission begins. Useful for congestion-aware tests.
+func (e Endpoint) QueueDelay() time.Duration {
+	d := e.ep.busyUntl - e.ep.eng.Now()
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Stats returns this direction's counters.
+func (e Endpoint) Stats() Stats { return e.ep.stats }

@@ -1,0 +1,100 @@
+package monitor
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// TopologyFunc supplies the current logical topology for /topology; the
+// controller provides it. It must be safe to call from HTTP goroutines.
+type TopologyFunc func() any
+
+// NewHandler builds the WebUI's HTTP JSON API plus the embedded
+// dashboard page:
+//
+//	GET /                                   — live HTML dashboard (webpage.go)
+//	GET /events?type=&since=&user=&limit=   — filtered event log
+//	GET /replay?from_ms=&to_ms=             — history window
+//	GET /stats                              — per-type counters
+//	GET /apps                               — per-user application usage
+//	GET /topology                           — logical topology snapshot
+func NewHandler(store *Store, topo TopologyFunc) http.Handler {
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	}
+	mux.HandleFunc("GET /events", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		f := Filter{
+			Type: EventType(q.Get("type")),
+			User: q.Get("user"),
+		}
+		if v := q.Get("since"); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since", http.StatusBadRequest)
+				return
+			}
+			f.Since = n
+		}
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			f.Limit = n
+		}
+		events := store.Events(f)
+		if events == nil {
+			events = []Event{}
+		}
+		writeJSON(w, events)
+	})
+	mux.HandleFunc("GET /replay", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		parseMS := func(name string) (time.Duration, bool) {
+			v := q.Get(name)
+			if v == "" {
+				return 0, true
+			}
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return 0, false
+			}
+			return time.Duration(n) * time.Millisecond, true
+		}
+		from, ok1 := parseMS("from_ms")
+		to, ok2 := parseMS("to_ms")
+		if !ok1 || !ok2 {
+			http.Error(w, "bad window", http.StatusBadRequest)
+			return
+		}
+		out := []Event{}
+		store.Replay(from, to, func(ev Event) bool {
+			out = append(out, ev)
+			return true
+		})
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, store.Counts())
+	})
+	mux.HandleFunc("GET /apps", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, store.UserApps())
+	})
+	mux.HandleFunc("GET /topology", func(w http.ResponseWriter, r *http.Request) {
+		if topo == nil {
+			writeJSON(w, map[string]any{})
+			return
+		}
+		writeJSON(w, topo())
+	})
+	registerIndex(mux)
+	return mux
+}

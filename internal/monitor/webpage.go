@@ -1,0 +1,87 @@
+package monitor
+
+import "net/http"
+
+// The paper's front-end website (§IV.D) was a Flash page polling a LAMP
+// backend on a timer. This file is its stdlib substitute: a single
+// dependency-free HTML page that polls the JSON API every second and
+// renders the topology, live events, per-user applications, and
+// counters.
+
+// indexHTML is the embedded dashboard.
+const indexHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>LiveSec — network monitor</title>
+<style>
+  body { font-family: ui-monospace, Menlo, Consolas, monospace; margin: 1.5rem;
+         background: #10151c; color: #cfd8e3; }
+  h1 { font-size: 1.1rem; } h2 { font-size: .95rem; color: #8fb8de; margin: 1.2rem 0 .4rem; }
+  table { border-collapse: collapse; width: 100%; font-size: .8rem; }
+  th, td { text-align: left; padding: .15rem .6rem; border-bottom: 1px solid #233040; }
+  th { color: #6e7f93; font-weight: normal; }
+  .sev { color: #ff7b72; } .ok { color: #7ce38b; }
+  #grid { display: grid; grid-template-columns: 1fr 1fr; gap: 0 2rem; }
+  caption { text-align: left; color: #6e7f93; padding-bottom: .3rem; }
+</style>
+</head>
+<body>
+<h1>LiveSec <span class="ok">●</span> live network monitor</h1>
+<div id="grid">
+<div>
+  <h2>topology</h2><div id="topo"></div>
+  <h2>service elements</h2><div id="els"></div>
+  <h2>who runs what</h2><div id="apps"></div>
+</div>
+<div>
+  <h2>counters</h2><div id="stats"></div>
+  <h2>recent events</h2><div id="events"></div>
+</div>
+</div>
+<script>
+async function j(p){ const r = await fetch(p); return r.json(); }
+function table(rows, cols){
+  if(!rows || !rows.length) return '<em>none</em>';
+  let h = '<table><tr>' + cols.map(c=>'<th>'+c+'</th>').join('') + '</tr>';
+  for(const r of rows) h += '<tr>' + cols.map(c=>'<td>'+(r[c]??'')+'</td>').join('') + '</tr>';
+  return h + '</table>';
+}
+async function tick(){
+  try {
+    const topo = await j('/topology');
+    document.getElementById('topo').innerHTML =
+      '<p>' + (topo.switches||[]).length + ' switches, ' + (topo.links||[]).length +
+      ' logical links, ' + (topo.hosts||[]).length + ' hosts</p>' +
+      table(topo.switches, ['dpid','name','ports']);
+    document.getElementById('els').innerHTML =
+      table(topo.elements, ['id','service','dpid','pps','packets']);
+    const stats = await j('/stats');
+    document.getElementById('stats').innerHTML =
+      table(Object.entries(stats).map(([k,v])=>({type:k,count:v})), ['type','count']);
+    const evs = await j('/events?limit=400');
+    const recent = evs.slice(-15).reverse().map(e=>({
+      at: (e.at/1e6).toFixed(1)+'ms', type: e.type,
+      user: e.user||'', detail: (e.detail||'') + (e.severity?(' <span class=sev>sev '+e.severity+'</span>'):'')
+    }));
+    document.getElementById('events').innerHTML = table(recent, ['at','type','user','detail']);
+    const apps = await j('/apps');
+    const rows = Object.entries(apps).map(([u,ps])=>({
+      user: u, applications: Object.entries(ps).map(([p,n])=>p+'('+n+')').join(', ')
+    }));
+    document.getElementById('apps').innerHTML = table(rows, ['user','applications']);
+  } catch(e) { /* backend briefly unavailable; retry next tick */ }
+}
+tick(); setInterval(tick, 1000);
+</script>
+</body>
+</html>
+`
+
+// registerIndex serves the dashboard at the root path.
+func registerIndex(mux *http.ServeMux) {
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write([]byte(indexHTML))
+	})
+}

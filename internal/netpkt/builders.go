@@ -1,0 +1,84 @@
+package netpkt
+
+// Builders for the frame types LiveSec components emit. They keep host,
+// controller, and workload code compact and make tests readable.
+
+// NewARPRequest builds a broadcast ARP request asking who-has targetIP.
+func NewARPRequest(srcMAC MAC, srcIP, targetIP IPv4Addr) *Packet {
+	return &Packet{
+		EthDst:  Broadcast,
+		EthSrc:  srcMAC,
+		EthType: EtherTypeARP,
+		ARP: &ARP{
+			Op:        ARPRequest,
+			SenderMAC: srcMAC,
+			SenderIP:  srcIP,
+			TargetIP:  targetIP,
+		},
+	}
+}
+
+// NewARPReply builds a unicast ARP reply answering an ARP request.
+func NewARPReply(srcMAC MAC, srcIP IPv4Addr, dstMAC MAC, dstIP IPv4Addr) *Packet {
+	return &Packet{
+		EthDst:  dstMAC,
+		EthSrc:  srcMAC,
+		EthType: EtherTypeARP,
+		ARP: &ARP{
+			Op:        ARPReply,
+			SenderMAC: srcMAC,
+			SenderIP:  srcIP,
+			TargetMAC: dstMAC,
+			TargetIP:  dstIP,
+		},
+	}
+}
+
+// NewLLDP builds the discovery frame an AS switch emits on each port.
+func NewLLDP(srcMAC MAC, dpid uint64, port uint32) *Packet {
+	return &Packet{
+		EthDst:  MAC{0x01, 0x80, 0xc2, 0x00, 0x00, 0x0e}, // LLDP multicast
+		EthSrc:  srcMAC,
+		EthType: EtherTypeLLDP,
+		LLDP:    &LLDP{ChassisID: dpid, PortID: port},
+	}
+}
+
+// NewUDP builds a UDP datagram.
+func NewUDP(srcMAC, dstMAC MAC, srcIP, dstIP IPv4Addr, srcPort, dstPort uint16, payload []byte) *Packet {
+	return &Packet{
+		EthDst:  dstMAC,
+		EthSrc:  srcMAC,
+		EthType: EtherTypeIPv4,
+		IP:      &IPv4Header{TTL: 64, Proto: ProtoUDP, Src: srcIP, Dst: dstIP},
+		UDP:     &UDPHeader{SrcPort: srcPort, DstPort: dstPort},
+		Payload: payload,
+	}
+}
+
+// NewTCP builds a TCP segment with the given flags.
+func NewTCP(srcMAC, dstMAC MAC, srcIP, dstIP IPv4Addr, srcPort, dstPort uint16, payload []byte) *Packet {
+	return &Packet{
+		EthDst:  dstMAC,
+		EthSrc:  srcMAC,
+		EthType: EtherTypeIPv4,
+		IP:      &IPv4Header{TTL: 64, Proto: ProtoTCP, Src: srcIP, Dst: dstIP},
+		TCP:     &TCPHeader{SrcPort: srcPort, DstPort: dstPort, ACK: true},
+		Payload: payload,
+	}
+}
+
+// NewICMPEcho builds an ICMP echo request (reply=false) or reply.
+func NewICMPEcho(srcMAC, dstMAC MAC, srcIP, dstIP IPv4Addr, id, seq uint16, reply bool) *Packet {
+	typ := ICMPEchoRequest
+	if reply {
+		typ = ICMPEchoReply
+	}
+	return &Packet{
+		EthDst:  dstMAC,
+		EthSrc:  srcMAC,
+		EthType: EtherTypeIPv4,
+		IP:      &IPv4Header{TTL: 64, Proto: ProtoICMP, Src: srcIP, Dst: dstIP},
+		ICMP:    &ICMPHeader{Type: typ, ID: id, Seq: seq},
+	}
+}

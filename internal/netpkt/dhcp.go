@@ -1,0 +1,95 @@
+package netpkt
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// DHCP support for the directory proxy (§III.C.2: "a dedicated directory
+// proxy should be employed to specially handle all ARP and DHCP
+// resolutions"). The exchange is the standard DISCOVER→ACK handshake
+// carried over UDP 68→67; the payload uses a compact fixed layout rather
+// than full BOOTP options (documented as a substitution in DESIGN.md).
+
+// DHCP UDP ports.
+const (
+	DHCPServerPort uint16 = 67
+	DHCPClientPort uint16 = 68
+)
+
+// DHCPOp discriminates DHCP message types.
+type DHCPOp uint8
+
+// DHCP message types (subset).
+const (
+	DHCPDiscover DHCPOp = 1
+	DHCPAck      DHCPOp = 5
+)
+
+// DHCP is a parsed lease message.
+type DHCP struct {
+	Op  DHCPOp
+	XID uint32
+	MAC MAC      // client hardware address
+	IP  IPv4Addr // offered/acknowledged address (zero in DISCOVER)
+}
+
+var dhcpMagic = [4]byte{'D', 'H', 'L', 'S'}
+
+// ErrNotDHCP reports a payload that is not a directory-proxy DHCP
+// message.
+var ErrNotDHCP = errors.New("netpkt: not a DHCP message")
+
+// MarshalDHCP encodes a lease message as a UDP payload.
+func MarshalDHCP(m *DHCP) []byte {
+	b := make([]byte, 0, 4+1+4+6+4)
+	b = append(b, dhcpMagic[:]...)
+	b = append(b, byte(m.Op))
+	b = binary.BigEndian.AppendUint32(b, m.XID)
+	b = append(b, m.MAC[:]...)
+	b = append(b, m.IP[:]...)
+	return b
+}
+
+// IsDHCP reports whether a UDP payload carries a lease message.
+func IsDHCP(payload []byte) bool {
+	return len(payload) >= 19 && [4]byte(payload[0:4]) == dhcpMagic
+}
+
+// ParseDHCP decodes a lease message.
+func ParseDHCP(payload []byte) (*DHCP, error) {
+	if !IsDHCP(payload) {
+		return nil, ErrNotDHCP
+	}
+	m := &DHCP{
+		Op:  DHCPOp(payload[4]),
+		XID: binary.BigEndian.Uint32(payload[5:9]),
+	}
+	copy(m.MAC[:], payload[9:15])
+	copy(m.IP[:], payload[15:19])
+	return m, nil
+}
+
+// NewDHCPDiscover builds the client broadcast requesting a lease.
+func NewDHCPDiscover(client MAC, xid uint32) *Packet {
+	return &Packet{
+		EthDst:  Broadcast,
+		EthSrc:  client,
+		EthType: EtherTypeIPv4,
+		IP:      &IPv4Header{TTL: 64, Proto: ProtoUDP, Src: IPv4Addr{}, Dst: IP(255, 255, 255, 255)},
+		UDP:     &UDPHeader{SrcPort: DHCPClientPort, DstPort: DHCPServerPort},
+		Payload: MarshalDHCP(&DHCP{Op: DHCPDiscover, XID: xid, MAC: client}),
+	}
+}
+
+// NewDHCPAck builds the server's unicast lease acknowledgement.
+func NewDHCPAck(serverMAC MAC, serverIP IPv4Addr, client MAC, clientIP IPv4Addr, xid uint32) *Packet {
+	return &Packet{
+		EthDst:  client,
+		EthSrc:  serverMAC,
+		EthType: EtherTypeIPv4,
+		IP:      &IPv4Header{TTL: 64, Proto: ProtoUDP, Src: serverIP, Dst: clientIP},
+		UDP:     &UDPHeader{SrcPort: DHCPServerPort, DstPort: DHCPClientPort},
+		Payload: MarshalDHCP(&DHCP{Op: DHCPAck, XID: xid, MAC: client, IP: clientIP}),
+	}
+}

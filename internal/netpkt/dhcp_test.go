@@ -1,0 +1,84 @@
+package netpkt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDHCPRoundTrip(t *testing.T) {
+	m := &DHCP{Op: DHCPDiscover, XID: 0xdeadbeef, MAC: MACFromUint64(7)}
+	got, err := ParseDHCP(MarshalDHCP(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *m {
+		t.Fatalf("round trip: %+v != %+v", got, m)
+	}
+	ack := &DHCP{Op: DHCPAck, XID: 1, MAC: MACFromUint64(7), IP: IP(10, 0, 0, 5)}
+	got, err = ParseDHCP(MarshalDHCP(ack))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IP != ack.IP || got.Op != DHCPAck {
+		t.Fatalf("ack round trip: %+v", got)
+	}
+}
+
+func TestDHCPRejectsJunk(t *testing.T) {
+	if IsDHCP([]byte("not dhcp at all....")) {
+		t.Fatal("junk accepted")
+	}
+	if _, err := ParseDHCP([]byte("DHLS")); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	if _, err := ParseDHCP(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestDHCPDiscoverFrameShape(t *testing.T) {
+	client := MACFromUint64(3)
+	p := NewDHCPDiscover(client, 42)
+	if !p.EthDst.IsBroadcast() {
+		t.Fatal("DISCOVER must broadcast")
+	}
+	if p.UDP.SrcPort != DHCPClientPort || p.UDP.DstPort != DHCPServerPort {
+		t.Fatalf("ports: %+v", p.UDP)
+	}
+	if !p.IP.Src.IsZero() {
+		t.Fatalf("DISCOVER source IP = %v, want 0.0.0.0", p.IP.Src)
+	}
+	// Survives the wire.
+	back, err := Unmarshal(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseDHCP(back.Payload)
+	if err != nil || m.MAC != client || m.XID != 42 {
+		t.Fatalf("wire round trip: %+v %v", m, err)
+	}
+}
+
+func TestDHCPAckFrameShape(t *testing.T) {
+	client := MACFromUint64(3)
+	leased := IP(10, 100, 0, 10)
+	p := NewDHCPAck(MACFromUint64(99), IP(10, 255, 255, 254), client, leased, 42)
+	if p.EthDst != client {
+		t.Fatal("ACK must unicast to the client")
+	}
+	m, err := ParseDHCP(p.Payload)
+	if err != nil || m.Op != DHCPAck || m.IP != leased {
+		t.Fatalf("ack payload: %+v %v", m, err)
+	}
+}
+
+func TestPropertyDHCPRoundTrip(t *testing.T) {
+	f := func(op uint8, xid uint32, macN uint64, ipV uint32) bool {
+		m := &DHCP{Op: DHCPOp(op), XID: xid, MAC: MACFromUint64(macN), IP: IPFromUint32(ipV)}
+		got, err := ParseDHCP(MarshalDHCP(m))
+		return err == nil && *got == *m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

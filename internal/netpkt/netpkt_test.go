@@ -1,0 +1,216 @@
+package netpkt
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	macA = MACFromUint64(1)
+	macB = MACFromUint64(2)
+	ipA  = IP(10, 0, 0, 1)
+	ipB  = IP(10, 0, 0, 2)
+)
+
+func TestMACString(t *testing.T) {
+	m := MAC{0x02, 0xab, 0x00, 0x01, 0x02, 0x03}
+	if got, want := m.String(), "02:ab:00:01:02:03"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestMACFromUint64Unique(t *testing.T) {
+	seen := map[MAC]bool{}
+	for i := uint64(0); i < 10000; i++ {
+		m := MACFromUint64(i)
+		if seen[m] {
+			t.Fatalf("MACFromUint64 collision at %d", i)
+		}
+		if m.IsBroadcast() {
+			t.Fatalf("MACFromUint64(%d) is broadcast", i)
+		}
+		seen[m] = true
+	}
+}
+
+func TestIPv4AddrRoundTrip(t *testing.T) {
+	f := func(v uint32) bool { return IPFromUint32(v).Uint32() == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func roundTrip(t *testing.T, p *Packet) *Packet {
+	t.Helper()
+	data := p.Marshal()
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal(%s): %v", p, err)
+	}
+	return got
+}
+
+func TestARPRoundTrip(t *testing.T) {
+	p := NewARPRequest(macA, ipA, ipB)
+	got := roundTrip(t, p)
+	if !reflect.DeepEqual(got.ARP, p.ARP) {
+		t.Fatalf("ARP round trip: got %+v want %+v", got.ARP, p.ARP)
+	}
+	if got.EthDst != Broadcast {
+		t.Fatalf("ARP request not broadcast: %v", got.EthDst)
+	}
+}
+
+func TestLLDPRoundTrip(t *testing.T) {
+	p := NewLLDP(macA, 0xdeadbeef12, 7)
+	got := roundTrip(t, p)
+	if got.LLDP.ChassisID != 0xdeadbeef12 || got.LLDP.PortID != 7 {
+		t.Fatalf("LLDP round trip: %+v", got.LLDP)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	p := NewUDP(macA, macB, ipA, ipB, 1234, 53, []byte("query"))
+	got := roundTrip(t, p)
+	if got.UDP.SrcPort != 1234 || got.UDP.DstPort != 53 {
+		t.Fatalf("UDP ports: %+v", got.UDP)
+	}
+	if !bytes.Equal(got.Payload, []byte("query")) {
+		t.Fatalf("payload = %q", got.Payload)
+	}
+	if got.IP.Proto != ProtoUDP {
+		t.Fatalf("proto = %d", got.IP.Proto)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	p := NewTCP(macA, macB, ipA, ipB, 40000, 80, []byte("GET / HTTP/1.1\r\n"))
+	p.TCP.SYN = true
+	p.TCP.Seq = 1000
+	p.TCP.Ack = 2000
+	got := roundTrip(t, p)
+	if !reflect.DeepEqual(got.TCP, p.TCP) {
+		t.Fatalf("TCP round trip: got %+v want %+v", got.TCP, p.TCP)
+	}
+	if !bytes.Equal(got.Payload, p.Payload) {
+		t.Fatalf("payload = %q", got.Payload)
+	}
+}
+
+func TestICMPRoundTrip(t *testing.T) {
+	p := NewICMPEcho(macA, macB, ipA, ipB, 42, 7, false)
+	got := roundTrip(t, p)
+	if got.ICMP.Type != ICMPEchoRequest || got.ICMP.ID != 42 || got.ICMP.Seq != 7 {
+		t.Fatalf("ICMP round trip: %+v", got.ICMP)
+	}
+}
+
+func TestVLANRoundTrip(t *testing.T) {
+	p := NewUDP(macA, macB, ipA, ipB, 1, 2, []byte("x"))
+	p.VLAN = 100
+	got := roundTrip(t, p)
+	if got.VLAN != 100 {
+		t.Fatalf("VLAN = %d, want 100", got.VLAN)
+	}
+	if got.UDP == nil || got.UDP.DstPort != 2 {
+		t.Fatalf("inner UDP lost after VLAN tag: %+v", got.UDP)
+	}
+}
+
+func TestWireLenMinimumFrame(t *testing.T) {
+	p := NewARPRequest(macA, ipA, ipB)
+	if p.WireLen() != 60 {
+		t.Fatalf("ARP WireLen = %d, want 60 (padded)", p.WireLen())
+	}
+}
+
+func TestWireLenBulk(t *testing.T) {
+	p := NewUDP(macA, macB, ipA, ipB, 1, 2, []byte("hdr"))
+	p.BulkLen = 1458
+	// 14 eth + 20 ip + 8 udp + 1458 = 1500
+	if p.WireLen() != 1500 {
+		t.Fatalf("bulk WireLen = %d, want 1500", p.WireLen())
+	}
+	// BulkLen never shrinks the real payload.
+	p.BulkLen = 1
+	if p.PayloadLen() != 3 {
+		t.Fatalf("PayloadLen = %d, want 3", p.PayloadLen())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := NewTCP(macA, macB, ipA, ipB, 1, 2, []byte("abc"))
+	q := p.Clone()
+	q.EthDst = MACFromUint64(99)
+	q.IP.Dst = IP(1, 2, 3, 4)
+	q.TCP.DstPort = 9999
+	q.Payload[0] = 'z'
+	if p.EthDst != macB || p.IP.Dst != ipB || p.TCP.DstPort != 2 || p.Payload[0] != 'a' {
+		t.Fatal("Clone is not deep: mutation leaked into original")
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		NewARPRequest(macA, ipA, ipB).Marshal()[:20],
+		NewUDP(macA, macB, ipA, ipB, 1, 2, nil).Marshal()[:16],
+	}
+	for i, data := range cases {
+		if _, err := Unmarshal(data); err == nil {
+			t.Errorf("case %d: expected error for truncated input", i)
+		}
+	}
+}
+
+// Property: any UDP packet with random addresses, ports and payload
+// survives a marshal/unmarshal round trip.
+func TestPropertyUDPRoundTrip(t *testing.T) {
+	f := func(srcN, dstN uint64, srcIPv, dstIPv uint32, sp, dp uint16, payload []byte) bool {
+		p := NewUDP(MACFromUint64(srcN), MACFromUint64(dstN),
+			IPFromUint32(srcIPv), IPFromUint32(dstIPv), sp, dp, payload)
+		got, err := Unmarshal(p.Marshal())
+		if err != nil {
+			return false
+		}
+		return got.EthSrc == p.EthSrc && got.EthDst == p.EthDst &&
+			got.IP.Src == p.IP.Src && got.IP.Dst == p.IP.Dst &&
+			got.UDP.SrcPort == sp && got.UDP.DstPort == dp &&
+			bytes.Equal(got.Payload, payload)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: unmarshal never panics on arbitrary bytes.
+func TestPropertyUnmarshalNoPanic(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Unmarshal(data) // must not panic
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(12))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringSummaries(t *testing.T) {
+	cases := []struct {
+		pkt  *Packet
+		want string
+	}{
+		{NewARPRequest(macA, ipA, ipB), "ARP request 10.0.0.1->10.0.0.2"},
+		{NewLLDP(macA, 5, 2), "LLDP dpid=5 port=2"},
+	}
+	for _, c := range cases {
+		if got := c.pkt.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

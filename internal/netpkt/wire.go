@@ -1,0 +1,269 @@
+package netpkt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Errors returned by Unmarshal.
+var (
+	ErrTruncated   = errors.New("netpkt: truncated frame")
+	ErrUnsupported = errors.New("netpkt: unsupported frame")
+)
+
+// Marshal encodes the packet to its binary wire format. Only the real
+// carried payload is written; BulkLen is a simulation-side annotation and
+// does not appear on the wire.
+func (p *Packet) Marshal() []byte {
+	buf := make([]byte, 0, p.headerLen()+len(p.Payload))
+	buf = append(buf, p.EthDst[:]...)
+	buf = append(buf, p.EthSrc[:]...)
+	if p.VLAN != 0 {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(EtherTypeVLAN))
+		buf = binary.BigEndian.AppendUint16(buf, p.VLAN&0x0fff)
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(p.EthType))
+	switch p.EthType {
+	case EtherTypeARP:
+		buf = p.marshalARP(buf)
+	case EtherTypeLLDP:
+		buf = p.marshalLLDP(buf)
+	case EtherTypeIPv4:
+		buf = p.marshalIPv4(buf)
+	default:
+		buf = append(buf, p.Payload...)
+	}
+	return buf
+}
+
+func (p *Packet) marshalARP(buf []byte) []byte {
+	a := p.ARP
+	if a == nil {
+		a = &ARP{}
+	}
+	buf = binary.BigEndian.AppendUint16(buf, 1) // htype: Ethernet
+	buf = binary.BigEndian.AppendUint16(buf, uint16(EtherTypeIPv4))
+	buf = append(buf, 6, 4) // hlen, plen
+	buf = binary.BigEndian.AppendUint16(buf, a.Op)
+	buf = append(buf, a.SenderMAC[:]...)
+	buf = append(buf, a.SenderIP[:]...)
+	buf = append(buf, a.TargetMAC[:]...)
+	buf = append(buf, a.TargetIP[:]...)
+	return buf
+}
+
+func (p *Packet) marshalLLDP(buf []byte) []byte {
+	l := p.LLDP
+	if l == nil {
+		l = &LLDP{}
+	}
+	// Simplified LLDP body: chassis (8 bytes dpid) + port (4 bytes) + pad.
+	buf = binary.BigEndian.AppendUint64(buf, l.ChassisID)
+	buf = binary.BigEndian.AppendUint32(buf, l.PortID)
+	buf = append(buf, 0, 0, 0, 0) // end-of-LLDPDU padding
+	return buf
+}
+
+func (p *Packet) marshalIPv4(buf []byte) []byte {
+	ip := p.IP
+	if ip == nil {
+		ip = &IPv4Header{TTL: 64}
+	}
+	transportLen := 0
+	switch ip.Proto {
+	case ProtoTCP:
+		transportLen = tcpHeaderLen
+	case ProtoUDP:
+		transportLen = udpHeaderLen
+	case ProtoICMP:
+		transportLen = icmpHeaderLen
+	}
+	totalLen := ipv4HeaderLen + transportLen + len(p.Payload)
+	buf = append(buf, 0x45, ip.TOS)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(totalLen))
+	buf = append(buf, 0, 0, 0, 0) // id, flags, frag offset
+	buf = append(buf, ip.TTL, byte(ip.Proto))
+	buf = append(buf, 0, 0) // header checksum (not modeled)
+	buf = append(buf, ip.Src[:]...)
+	buf = append(buf, ip.Dst[:]...)
+	switch ip.Proto {
+	case ProtoTCP:
+		t := p.TCP
+		if t == nil {
+			t = &TCPHeader{}
+		}
+		buf = binary.BigEndian.AppendUint16(buf, t.SrcPort)
+		buf = binary.BigEndian.AppendUint16(buf, t.DstPort)
+		buf = binary.BigEndian.AppendUint32(buf, t.Seq)
+		buf = binary.BigEndian.AppendUint32(buf, t.Ack)
+		var flags uint16
+		if t.FIN {
+			flags |= 0x01
+		}
+		if t.SYN {
+			flags |= 0x02
+		}
+		if t.RST {
+			flags |= 0x04
+		}
+		if t.ACK {
+			flags |= 0x10
+		}
+		buf = binary.BigEndian.AppendUint16(buf, 0x5000|flags) // data offset 5
+		buf = append(buf, 0xff, 0xff, 0, 0, 0, 0)              // window, checksum, urgent
+	case ProtoUDP:
+		u := p.UDP
+		if u == nil {
+			u = &UDPHeader{}
+		}
+		buf = binary.BigEndian.AppendUint16(buf, u.SrcPort)
+		buf = binary.BigEndian.AppendUint16(buf, u.DstPort)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(udpHeaderLen+len(p.Payload)))
+		buf = append(buf, 0, 0) // checksum (not modeled)
+	case ProtoICMP:
+		c := p.ICMP
+		if c == nil {
+			c = &ICMPHeader{}
+		}
+		buf = append(buf, c.Type, c.Code, 0, 0)
+		buf = binary.BigEndian.AppendUint16(buf, c.ID)
+		buf = binary.BigEndian.AppendUint16(buf, c.Seq)
+	}
+	return append(buf, p.Payload...)
+}
+
+// Unmarshal parses a binary frame produced by Marshal (or any real frame
+// using the supported layers).
+func Unmarshal(data []byte) (*Packet, error) {
+	if len(data) < ethHeaderLen {
+		return nil, ErrTruncated
+	}
+	p := &Packet{}
+	copy(p.EthDst[:], data[0:6])
+	copy(p.EthSrc[:], data[6:12])
+	et := EtherType(binary.BigEndian.Uint16(data[12:14]))
+	rest := data[14:]
+	if et == EtherTypeVLAN {
+		if len(rest) < 4 {
+			return nil, ErrTruncated
+		}
+		p.VLAN = binary.BigEndian.Uint16(rest[0:2]) & 0x0fff
+		et = EtherType(binary.BigEndian.Uint16(rest[2:4]))
+		rest = rest[4:]
+	}
+	p.EthType = et
+	switch et {
+	case EtherTypeARP:
+		return p, p.unmarshalARP(rest)
+	case EtherTypeLLDP:
+		return p, p.unmarshalLLDP(rest)
+	case EtherTypeIPv4:
+		return p, p.unmarshalIPv4(rest)
+	default:
+		p.Payload = append([]byte(nil), rest...)
+		return p, nil
+	}
+}
+
+func (p *Packet) unmarshalARP(b []byte) error {
+	if len(b) < arpBodyLen {
+		return ErrTruncated
+	}
+	a := &ARP{Op: binary.BigEndian.Uint16(b[6:8])}
+	copy(a.SenderMAC[:], b[8:14])
+	copy(a.SenderIP[:], b[14:18])
+	copy(a.TargetMAC[:], b[18:24])
+	copy(a.TargetIP[:], b[24:28])
+	p.ARP = a
+	return nil
+}
+
+func (p *Packet) unmarshalLLDP(b []byte) error {
+	if len(b) < lldpBodyLen-4 {
+		return ErrTruncated
+	}
+	p.LLDP = &LLDP{
+		ChassisID: binary.BigEndian.Uint64(b[0:8]),
+		PortID:    binary.BigEndian.Uint32(b[8:12]),
+	}
+	return nil
+}
+
+func (p *Packet) unmarshalIPv4(b []byte) error {
+	if len(b) < ipv4HeaderLen {
+		return ErrTruncated
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if b[0]>>4 != 4 {
+		return fmt.Errorf("%w: IP version %d", ErrUnsupported, b[0]>>4)
+	}
+	if ihl < ipv4HeaderLen || len(b) < ihl {
+		return ErrTruncated
+	}
+	ip := &IPv4Header{
+		TOS:   b[1],
+		TTL:   b[8],
+		Proto: IPProto(b[9]),
+	}
+	copy(ip.Src[:], b[12:16])
+	copy(ip.Dst[:], b[16:20])
+	p.IP = ip
+	totalLen := int(binary.BigEndian.Uint16(b[2:4]))
+	if totalLen > len(b) {
+		totalLen = len(b) // tolerate padded frames
+	}
+	body := b[ihl:totalLen]
+	switch ip.Proto {
+	case ProtoTCP:
+		if len(body) < tcpHeaderLen {
+			return ErrTruncated
+		}
+		flags := binary.BigEndian.Uint16(body[12:14])
+		dataOff := int(flags>>12) * 4
+		if dataOff < tcpHeaderLen || len(body) < dataOff {
+			return ErrTruncated
+		}
+		p.TCP = &TCPHeader{
+			SrcPort: binary.BigEndian.Uint16(body[0:2]),
+			DstPort: binary.BigEndian.Uint16(body[2:4]),
+			Seq:     binary.BigEndian.Uint32(body[4:8]),
+			Ack:     binary.BigEndian.Uint32(body[8:12]),
+			FIN:     flags&0x01 != 0,
+			SYN:     flags&0x02 != 0,
+			RST:     flags&0x04 != 0,
+			ACK:     flags&0x10 != 0,
+		}
+		p.Payload = append([]byte(nil), body[dataOff:]...)
+	case ProtoUDP:
+		if len(body) < udpHeaderLen {
+			return ErrTruncated
+		}
+		p.UDP = &UDPHeader{
+			SrcPort: binary.BigEndian.Uint16(body[0:2]),
+			DstPort: binary.BigEndian.Uint16(body[2:4]),
+		}
+		udpLen := int(binary.BigEndian.Uint16(body[4:6]))
+		if udpLen > len(body) || udpLen < udpHeaderLen {
+			udpLen = len(body)
+		}
+		p.Payload = append([]byte(nil), body[udpHeaderLen:udpLen]...)
+	case ProtoICMP:
+		if len(body) < icmpHeaderLen {
+			return ErrTruncated
+		}
+		p.ICMP = &ICMPHeader{
+			Type: body[0],
+			Code: body[1],
+			ID:   binary.BigEndian.Uint16(body[4:6]),
+			Seq:  binary.BigEndian.Uint16(body[6:8]),
+		}
+		p.Payload = append([]byte(nil), body[icmpHeaderLen:]...)
+	default:
+		p.Payload = append([]byte(nil), body...)
+	}
+	if len(p.Payload) == 0 {
+		p.Payload = nil
+	}
+	return nil
+}

@@ -1,0 +1,494 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"livesec/internal/flow"
+	"livesec/internal/netpkt"
+)
+
+// Codec errors.
+var (
+	ErrTruncated  = errors.New("openflow: truncated message")
+	ErrBadVersion = errors.New("openflow: unsupported version")
+	ErrBadType    = errors.New("openflow: unknown message type")
+)
+
+const (
+	headerLen   = 8
+	matchLen    = 40
+	portDescLen = 28
+	flowStatLen = matchLen + 2 + 8 + 8 + 8 + 6 // match, prio, cookie, pkts, bytes, pad
+	portStatLen = 4 + 6*8 + 4                  // port, six counters, pad
+)
+
+// Encode serializes a message to its wire format:
+// header{version, type, length, xid} followed by the type-specific body.
+func Encode(m Message) []byte {
+	body := encodeBody(m)
+	buf := make([]byte, 0, headerLen+len(body))
+	buf = append(buf, Version, byte(m.Type()))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(headerLen+len(body)))
+	buf = binary.BigEndian.AppendUint32(buf, m.xid())
+	return append(buf, body...)
+}
+
+func encodeBody(m Message) []byte {
+	switch v := m.(type) {
+	case *Hello, *FeaturesRequest, *BarrierRequest, *BarrierReply:
+		return nil
+	case *EchoRequest:
+		return v.Data
+	case *EchoReply:
+		return v.Data
+	case *FeaturesReply:
+		b := make([]byte, 0, 16+len(v.Ports)*portDescLen)
+		b = binary.BigEndian.AppendUint64(b, v.DPID)
+		b = append(b, v.NTables, 0, 0, 0, 0, 0, 0, 0)
+		for _, p := range v.Ports {
+			b = appendPortDesc(b, p)
+		}
+		return b
+	case *PacketIn:
+		b := make([]byte, 0, 12+len(v.Data))
+		b = binary.BigEndian.AppendUint32(b, v.BufferID)
+		b = binary.BigEndian.AppendUint32(b, v.InPort)
+		b = append(b, v.Reason, 0, 0, 0)
+		return append(b, v.Data...)
+	case *PacketOut:
+		acts := encodeActions(v.Actions)
+		b := make([]byte, 0, 12+len(acts)+len(v.Data))
+		b = binary.BigEndian.AppendUint32(b, v.BufferID)
+		b = binary.BigEndian.AppendUint32(b, v.InPort)
+		b = binary.BigEndian.AppendUint16(b, uint16(len(acts)))
+		b = append(b, 0, 0)
+		b = append(b, acts...)
+		return append(b, v.Data...)
+	case *FlowMod:
+		acts := encodeActions(v.Actions)
+		b := make([]byte, 0, matchLen+24+len(acts))
+		b = appendMatch(b, v.Match)
+		b = binary.BigEndian.AppendUint64(b, v.Cookie)
+		b = append(b, v.Command)
+		var flags uint8
+		if v.NotifyDel {
+			flags = 1
+		}
+		b = append(b, flags)
+		b = binary.BigEndian.AppendUint16(b, v.IdleTimeout)
+		b = binary.BigEndian.AppendUint16(b, v.HardTimeout)
+		b = binary.BigEndian.AppendUint16(b, v.Priority)
+		return append(b, acts...)
+	case *FlowRemoved:
+		b := make([]byte, 0, matchLen+32)
+		b = appendMatch(b, v.Match)
+		b = binary.BigEndian.AppendUint64(b, v.Cookie)
+		b = binary.BigEndian.AppendUint16(b, v.Priority)
+		b = append(b, v.Reason, 0)
+		b = binary.BigEndian.AppendUint64(b, v.Packets)
+		b = binary.BigEndian.AppendUint64(b, v.Bytes)
+		return b
+	case *PortStatus:
+		b := make([]byte, 0, 8+portDescLen)
+		b = append(b, v.Reason, 0, 0, 0, 0, 0, 0, 0)
+		return appendPortDesc(b, v.Desc)
+	case *StatsRequest:
+		b := make([]byte, 0, 4+matchLen)
+		b = binary.BigEndian.AppendUint16(b, uint16(v.Kind))
+		b = append(b, 0, 0)
+		if v.Kind == StatsFlow {
+			b = appendMatch(b, v.Match)
+		}
+		return b
+	case *StatsReply:
+		b := make([]byte, 0, 4)
+		b = binary.BigEndian.AppendUint16(b, uint16(v.Kind))
+		b = append(b, 0, 0)
+		switch v.Kind {
+		case StatsFlow:
+			for _, fs := range v.Flows {
+				b = appendMatch(b, fs.Match)
+				b = binary.BigEndian.AppendUint16(b, fs.Priority)
+				b = binary.BigEndian.AppendUint64(b, fs.Cookie)
+				b = binary.BigEndian.AppendUint64(b, fs.Packets)
+				b = binary.BigEndian.AppendUint64(b, fs.Bytes)
+				b = append(b, 0, 0, 0, 0, 0, 0)
+			}
+		case StatsPort:
+			for _, ps := range v.Ports {
+				b = binary.BigEndian.AppendUint32(b, ps.PortNo)
+				for _, c := range []uint64{ps.RxPackets, ps.TxPackets, ps.RxBytes, ps.TxBytes, ps.RxDropped, ps.TxDropped} {
+					b = binary.BigEndian.AppendUint64(b, c)
+				}
+				b = append(b, 0, 0, 0, 0)
+			}
+		}
+		return b
+	case *ErrorMsg:
+		b := make([]byte, 0, 4+len(v.Data))
+		b = binary.BigEndian.AppendUint16(b, v.Code)
+		b = append(b, 0, 0)
+		return append(b, v.Data...)
+	default:
+		panic(fmt.Sprintf("openflow: cannot encode %T", m))
+	}
+}
+
+func appendPortDesc(b []byte, p PortDesc) []byte {
+	b = binary.BigEndian.AppendUint32(b, p.No)
+	b = append(b, p.MAC[:]...)
+	name := make([]byte, 16)
+	copy(name, p.Name)
+	b = append(b, name...)
+	return append(b, 0, 0) // pad to portDescLen
+}
+
+func appendMatch(b []byte, m flow.Match) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(m.Wildcards))
+	b = binary.BigEndian.AppendUint32(b, m.Key.InPort)
+	b = append(b, m.Key.EthSrc[:]...)
+	b = append(b, m.Key.EthDst[:]...)
+	b = binary.BigEndian.AppendUint16(b, m.Key.VLAN)
+	b = binary.BigEndian.AppendUint16(b, uint16(m.Key.EthType))
+	b = append(b, m.Key.IPSrc[:]...)
+	b = append(b, m.Key.IPDst[:]...)
+	b = append(b, byte(m.Key.IPProto), m.Key.IPTOS)
+	b = binary.BigEndian.AppendUint16(b, m.Key.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, m.Key.DstPort)
+	return append(b, 0, 0) // pad to matchLen
+}
+
+func encodeActions(actions []Action) []byte {
+	var b []byte
+	for _, a := range actions {
+		switch v := a.(type) {
+		case ActionOutput:
+			b = binary.BigEndian.AppendUint16(b, actOutput)
+			b = binary.BigEndian.AppendUint16(b, 12)
+			b = binary.BigEndian.AppendUint32(b, v.Port)
+			b = binary.BigEndian.AppendUint16(b, v.MaxLen)
+			b = append(b, 0, 0)
+		case ActionSetDLSrc:
+			b = binary.BigEndian.AppendUint16(b, actSetDLSrc)
+			b = binary.BigEndian.AppendUint16(b, 16)
+			b = append(b, v.MAC[:]...)
+			b = append(b, 0, 0, 0, 0, 0, 0)
+		case ActionSetDLDst:
+			b = binary.BigEndian.AppendUint16(b, actSetDLDst)
+			b = binary.BigEndian.AppendUint16(b, 16)
+			b = append(b, v.MAC[:]...)
+			b = append(b, 0, 0, 0, 0, 0, 0)
+		default:
+			panic(fmt.Sprintf("openflow: cannot encode action %T", a))
+		}
+	}
+	return b
+}
+
+// Decode parses one complete message from data (which must contain exactly
+// one message, as produced by Encode or split by the stream framer).
+func Decode(data []byte) (Message, error) {
+	if len(data) < headerLen {
+		return nil, ErrTruncated
+	}
+	if data[0] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, data[0])
+	}
+	typ := MsgType(data[1])
+	length := int(binary.BigEndian.Uint16(data[2:4]))
+	if length > len(data) || length < headerLen {
+		return nil, ErrTruncated
+	}
+	xid := binary.BigEndian.Uint32(data[4:8])
+	body := data[headerLen:length]
+	switch typ {
+	case TypeHello:
+		return &Hello{XID: xid}, nil
+	case TypeEchoRequest:
+		return &EchoRequest{XID: xid, Data: cloneBytes(body)}, nil
+	case TypeEchoReply:
+		return &EchoReply{XID: xid, Data: cloneBytes(body)}, nil
+	case TypeFeaturesRequest:
+		return &FeaturesRequest{XID: xid}, nil
+	case TypeBarrierRequest:
+		return &BarrierRequest{XID: xid}, nil
+	case TypeBarrierReply:
+		return &BarrierReply{XID: xid}, nil
+	case TypeFeaturesReply:
+		return decodeFeaturesReply(xid, body)
+	case TypePacketIn:
+		return decodePacketIn(xid, body)
+	case TypePacketOut:
+		return decodePacketOut(xid, body)
+	case TypeFlowMod:
+		return decodeFlowMod(xid, body)
+	case TypeFlowRemoved:
+		return decodeFlowRemoved(xid, body)
+	case TypePortStatus:
+		return decodePortStatus(xid, body)
+	case TypeStatsRequest:
+		return decodeStatsRequest(xid, body)
+	case TypeStatsReply:
+		return decodeStatsReply(xid, body)
+	case TypeError:
+		if len(body) < 4 {
+			return nil, ErrTruncated
+		}
+		return &ErrorMsg{XID: xid, Code: binary.BigEndian.Uint16(body[0:2]), Data: cloneBytes(body[4:])}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadType, typ)
+	}
+}
+
+func cloneBytes(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+func decodeFeaturesReply(xid uint32, b []byte) (Message, error) {
+	if len(b) < 16 {
+		return nil, ErrTruncated
+	}
+	m := &FeaturesReply{XID: xid, DPID: binary.BigEndian.Uint64(b[0:8]), NTables: b[8]}
+	rest := b[16:]
+	for len(rest) >= portDescLen {
+		p, err := decodePortDesc(rest[:portDescLen])
+		if err != nil {
+			return nil, err
+		}
+		m.Ports = append(m.Ports, p)
+		rest = rest[portDescLen:]
+	}
+	if len(rest) != 0 {
+		return nil, ErrTruncated
+	}
+	return m, nil
+}
+
+func decodePortDesc(b []byte) (PortDesc, error) {
+	if len(b) < portDescLen {
+		return PortDesc{}, ErrTruncated
+	}
+	p := PortDesc{No: binary.BigEndian.Uint32(b[0:4])}
+	copy(p.MAC[:], b[4:10])
+	name := b[10:26]
+	end := 0
+	for end < len(name) && name[end] != 0 {
+		end++
+	}
+	p.Name = string(name[:end])
+	return p, nil
+}
+
+func decodePacketIn(xid uint32, b []byte) (Message, error) {
+	if len(b) < 12 {
+		return nil, ErrTruncated
+	}
+	return &PacketIn{
+		XID:      xid,
+		BufferID: binary.BigEndian.Uint32(b[0:4]),
+		InPort:   binary.BigEndian.Uint32(b[4:8]),
+		Reason:   b[8],
+		Data:     cloneBytes(b[12:]),
+	}, nil
+}
+
+func decodePacketOut(xid uint32, b []byte) (Message, error) {
+	if len(b) < 12 {
+		return nil, ErrTruncated
+	}
+	actLen := int(binary.BigEndian.Uint16(b[8:10]))
+	if len(b) < 12+actLen {
+		return nil, ErrTruncated
+	}
+	actions, err := decodeActions(b[12 : 12+actLen])
+	if err != nil {
+		return nil, err
+	}
+	return &PacketOut{
+		XID:      xid,
+		BufferID: binary.BigEndian.Uint32(b[0:4]),
+		InPort:   binary.BigEndian.Uint32(b[4:8]),
+		Actions:  actions,
+		Data:     cloneBytes(b[12+actLen:]),
+	}, nil
+}
+
+func decodeMatch(b []byte) (flow.Match, error) {
+	var m flow.Match
+	if len(b) < matchLen {
+		return m, ErrTruncated
+	}
+	m.Wildcards = flow.Wildcard(binary.BigEndian.Uint32(b[0:4]))
+	m.Key.InPort = binary.BigEndian.Uint32(b[4:8])
+	copy(m.Key.EthSrc[:], b[8:14])
+	copy(m.Key.EthDst[:], b[14:20])
+	m.Key.VLAN = binary.BigEndian.Uint16(b[20:22])
+	m.Key.EthType = netpkt.EtherType(binary.BigEndian.Uint16(b[22:24]))
+	copy(m.Key.IPSrc[:], b[24:28])
+	copy(m.Key.IPDst[:], b[28:32])
+	m.Key.IPProto = netpkt.IPProto(b[32])
+	m.Key.IPTOS = b[33]
+	m.Key.SrcPort = binary.BigEndian.Uint16(b[34:36])
+	m.Key.DstPort = binary.BigEndian.Uint16(b[36:38])
+	return m, nil
+}
+
+func decodeFlowMod(xid uint32, b []byte) (Message, error) {
+	if len(b) < matchLen+16 {
+		return nil, ErrTruncated
+	}
+	m, err := decodeMatch(b)
+	if err != nil {
+		return nil, err
+	}
+	rest := b[matchLen:]
+	actions, err := decodeActions(rest[16:])
+	if err != nil {
+		return nil, err
+	}
+	return &FlowMod{
+		XID:         xid,
+		Match:       m,
+		Cookie:      binary.BigEndian.Uint64(rest[0:8]),
+		Command:     rest[8],
+		NotifyDel:   rest[9]&1 != 0,
+		IdleTimeout: binary.BigEndian.Uint16(rest[10:12]),
+		HardTimeout: binary.BigEndian.Uint16(rest[12:14]),
+		Priority:    binary.BigEndian.Uint16(rest[14:16]),
+		Actions:     actions,
+	}, nil
+}
+
+func decodeFlowRemoved(xid uint32, b []byte) (Message, error) {
+	if len(b) < matchLen+28 {
+		return nil, ErrTruncated
+	}
+	m, err := decodeMatch(b)
+	if err != nil {
+		return nil, err
+	}
+	rest := b[matchLen:]
+	return &FlowRemoved{
+		XID:      xid,
+		Match:    m,
+		Cookie:   binary.BigEndian.Uint64(rest[0:8]),
+		Priority: binary.BigEndian.Uint16(rest[8:10]),
+		Reason:   rest[10],
+		Packets:  binary.BigEndian.Uint64(rest[12:20]),
+		Bytes:    binary.BigEndian.Uint64(rest[20:28]),
+	}, nil
+}
+
+func decodePortStatus(xid uint32, b []byte) (Message, error) {
+	if len(b) < 8+portDescLen {
+		return nil, ErrTruncated
+	}
+	desc, err := decodePortDesc(b[8:])
+	if err != nil {
+		return nil, err
+	}
+	return &PortStatus{XID: xid, Reason: b[0], Desc: desc}, nil
+}
+
+func decodeStatsRequest(xid uint32, b []byte) (Message, error) {
+	if len(b) < 4 {
+		return nil, ErrTruncated
+	}
+	m := &StatsRequest{XID: xid, Kind: StatsKind(binary.BigEndian.Uint16(b[0:2]))}
+	if m.Kind == StatsFlow {
+		match, err := decodeMatch(b[4:])
+		if err != nil {
+			return nil, err
+		}
+		m.Match = match
+	}
+	return m, nil
+}
+
+func decodeStatsReply(xid uint32, b []byte) (Message, error) {
+	if len(b) < 4 {
+		return nil, ErrTruncated
+	}
+	m := &StatsReply{XID: xid, Kind: StatsKind(binary.BigEndian.Uint16(b[0:2]))}
+	rest := b[4:]
+	switch m.Kind {
+	case StatsFlow:
+		for len(rest) >= flowStatLen {
+			match, err := decodeMatch(rest)
+			if err != nil {
+				return nil, err
+			}
+			body := rest[matchLen:]
+			m.Flows = append(m.Flows, FlowStat{
+				Match:    match,
+				Priority: binary.BigEndian.Uint16(body[0:2]),
+				Cookie:   binary.BigEndian.Uint64(body[2:10]),
+				Packets:  binary.BigEndian.Uint64(body[10:18]),
+				Bytes:    binary.BigEndian.Uint64(body[18:26]),
+			})
+			rest = rest[flowStatLen:]
+		}
+	case StatsPort:
+		for len(rest) >= portStatLen {
+			ps := PortStat{PortNo: binary.BigEndian.Uint32(rest[0:4])}
+			counters := []*uint64{&ps.RxPackets, &ps.TxPackets, &ps.RxBytes, &ps.TxBytes, &ps.RxDropped, &ps.TxDropped}
+			for i, c := range counters {
+				*c = binary.BigEndian.Uint64(rest[4+8*i : 12+8*i])
+			}
+			m.Ports = append(m.Ports, ps)
+			rest = rest[portStatLen:]
+		}
+	}
+	if len(rest) != 0 {
+		return nil, ErrTruncated
+	}
+	return m, nil
+}
+
+func decodeActions(b []byte) ([]Action, error) {
+	var actions []Action
+	for len(b) > 0 {
+		if len(b) < 4 {
+			return nil, ErrTruncated
+		}
+		typ := binary.BigEndian.Uint16(b[0:2])
+		alen := int(binary.BigEndian.Uint16(b[2:4]))
+		if alen < 4 || alen > len(b) {
+			return nil, ErrTruncated
+		}
+		body := b[4:alen]
+		switch typ {
+		case actOutput:
+			if len(body) < 6 {
+				return nil, ErrTruncated
+			}
+			actions = append(actions, ActionOutput{
+				Port:   binary.BigEndian.Uint32(body[0:4]),
+				MaxLen: binary.BigEndian.Uint16(body[4:6]),
+			})
+		case actSetDLSrc:
+			if len(body) < 6 {
+				return nil, ErrTruncated
+			}
+			var a ActionSetDLSrc
+			copy(a.MAC[:], body[0:6])
+			actions = append(actions, a)
+		case actSetDLDst:
+			if len(body) < 6 {
+				return nil, ErrTruncated
+			}
+			var a ActionSetDLDst
+			copy(a.MAC[:], body[0:6])
+			actions = append(actions, a)
+		default:
+			return nil, fmt.Errorf("openflow: unknown action type %d", typ)
+		}
+		b = b[alen:]
+	}
+	return actions, nil
+}

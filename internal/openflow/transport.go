@@ -1,0 +1,173 @@
+package openflow
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"livesec/internal/sim"
+)
+
+// Conn is one side of an OpenFlow secure channel. Implementations deliver
+// whole messages; Send never blocks the caller on peer processing.
+type Conn interface {
+	// Send transmits a message to the peer.
+	Send(m Message)
+	// SetHandler registers the receive callback. It must be called before
+	// the first message arrives; messages delivered with no handler are
+	// dropped.
+	SetHandler(fn func(Message))
+	// Close tears the channel down. Further Sends are ignored.
+	Close() error
+}
+
+// simConn is a secure channel endpoint inside the discrete-event
+// simulator. Messages are truly encoded to bytes and re-decoded at the
+// receiver so the wire codec is on the path of every simulated exchange.
+type simConn struct {
+	eng     *sim.Engine
+	latency time.Duration
+	peer    *simConn
+	handler func(Message)
+	closed  bool
+}
+
+// SimPipe creates a connected pair of simulated secure-channel endpoints
+// with the given one-way control latency.
+func SimPipe(eng *sim.Engine, latency time.Duration) (Conn, Conn) {
+	a := &simConn{eng: eng, latency: latency}
+	b := &simConn{eng: eng, latency: latency}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+func (c *simConn) Send(m Message) {
+	if c.closed {
+		return
+	}
+	data := Encode(m)
+	peer := c.peer
+	c.eng.Schedule(c.latency, func() {
+		if peer.closed || peer.handler == nil {
+			return
+		}
+		msg, err := Decode(data)
+		if err != nil {
+			// A decode failure here is a codec bug; surface it loudly in
+			// simulation rather than silently dropping.
+			panic(fmt.Sprintf("openflow: sim transport decode: %v", err))
+		}
+		peer.handler(msg)
+	})
+}
+
+func (c *simConn) SetHandler(fn func(Message)) { c.handler = fn }
+
+func (c *simConn) Close() error {
+	c.closed = true
+	return nil
+}
+
+// WriteMessage frames and writes one message to w.
+func WriteMessage(w io.Writer, m Message) error {
+	_, err := w.Write(Encode(m))
+	return err
+}
+
+// ReadMessage reads exactly one framed message from r.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	length := int(binary.BigEndian.Uint16(hdr[2:4]))
+	if length < headerLen {
+		return nil, ErrTruncated
+	}
+	buf := make([]byte, length)
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[headerLen:]); err != nil {
+		return nil, err
+	}
+	return Decode(buf)
+}
+
+// netConn adapts a real stream (e.g. *net.TCPConn) to Conn. A reader
+// goroutine decodes messages and invokes the handler; writes are
+// serialized with a mutex. Used by cmd/livesecd for TCP deployments.
+type netConn struct {
+	rwc io.ReadWriteCloser
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	hmu     sync.Mutex
+	handler func(Message)
+	started bool
+
+	closeOnce sync.Once
+	done      chan struct{}
+	// OnError, if set, observes reader-loop termination errors other than
+	// EOF/closed.
+	OnError func(error)
+}
+
+// NewNetConn wraps a byte stream as an OpenFlow channel. The reader loop
+// starts when SetHandler is called.
+func NewNetConn(rwc io.ReadWriteCloser) Conn {
+	return &netConn{rwc: rwc, bw: bufio.NewWriter(rwc), done: make(chan struct{})}
+}
+
+func (c *netConn) Send(m Message) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := WriteMessage(c.bw, m); err != nil {
+		return
+	}
+	_ = c.bw.Flush()
+}
+
+func (c *netConn) SetHandler(fn func(Message)) {
+	c.hmu.Lock()
+	c.handler = fn
+	start := !c.started
+	c.started = true
+	c.hmu.Unlock()
+	if start {
+		go c.readLoop()
+	}
+}
+
+func (c *netConn) readLoop() {
+	br := bufio.NewReader(c.rwc)
+	for {
+		m, err := ReadMessage(br)
+		if err != nil {
+			if c.OnError != nil && err != io.EOF {
+				c.OnError(err)
+			}
+			_ = c.Close()
+			return
+		}
+		c.hmu.Lock()
+		h := c.handler
+		c.hmu.Unlock()
+		if h != nil {
+			h(m)
+		}
+	}
+}
+
+func (c *netConn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.done)
+		err = c.rwc.Close()
+	})
+	return err
+}
+
+// Done exposes channel closure for tests.
+func (c *netConn) Done() <-chan struct{} { return c.done }

@@ -1,0 +1,271 @@
+// Package policy implements the controller's global policy table
+// (§IV.A): pre-configured, administrator-managed rules that decide, per
+// end-to-end flow, whether traffic is allowed, denied, or must traverse a
+// chain of security service elements — and with which load-balancing
+// granularity and algorithm.
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"livesec/internal/flow"
+	"livesec/internal/loadbalance"
+	"livesec/internal/netpkt"
+	"livesec/internal/seproto"
+)
+
+// Action is a policy decision.
+type Action int
+
+// Policy actions.
+const (
+	// Allow forwards the flow directly end-to-end.
+	Allow Action = iota + 1
+	// Deny drops the flow at its ingress AS switch.
+	Deny
+	// Chain steers the flow through the rule's service chain before
+	// delivery.
+	Chain
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case Allow:
+		return "allow"
+	case Deny:
+		return "deny"
+	case Chain:
+		return "chain"
+	default:
+		return "unknown"
+	}
+}
+
+// Prefix is an IPv4 CIDR predicate; the zero value matches any address.
+type Prefix struct {
+	Addr netpkt.IPv4Addr
+	Bits int // 0 with zero Addr = any
+}
+
+// CIDR builds a prefix.
+func CIDR(a, b, c, d byte, bits int) Prefix {
+	return Prefix{Addr: netpkt.IP(a, b, c, d), Bits: bits}
+}
+
+// HostIP builds a /32 prefix.
+func HostIP(ip netpkt.IPv4Addr) Prefix { return Prefix{Addr: ip, Bits: 32} }
+
+// Any reports whether the prefix matches every address.
+func (p Prefix) Any() bool { return p.Bits == 0 && p.Addr.IsZero() }
+
+// Matches reports whether ip falls inside the prefix.
+func (p Prefix) Matches(ip netpkt.IPv4Addr) bool {
+	if p.Any() {
+		return true
+	}
+	if p.Bits <= 0 {
+		return true
+	}
+	mask := ^uint32(0) << (32 - uint(p.Bits))
+	return ip.Uint32()&mask == p.Addr.Uint32()&mask
+}
+
+// String renders the prefix.
+func (p Prefix) String() string {
+	if p.Any() {
+		return "any"
+	}
+	return fmt.Sprintf("%s/%d", p.Addr, p.Bits)
+}
+
+// Match selects the flows a rule applies to; zero-valued fields match
+// anything.
+type Match struct {
+	// User matches the flow's source MAC (the network user, §III.A).
+	User netpkt.MAC
+	// SrcIP/DstIP are CIDR predicates.
+	SrcIP, DstIP Prefix
+	// Proto matches the IP protocol (0 = any).
+	Proto netpkt.IPProto
+	// DstPort matches the transport destination port (0 = any).
+	DstPort uint16
+	// VLAN matches the 802.1Q tag (0 = any).
+	VLAN uint16
+}
+
+// Matches reports whether the flow key satisfies the match.
+func (m Match) Matches(k flow.Key) bool {
+	switch {
+	case !m.User.IsZero() && m.User != k.EthSrc:
+		return false
+	case !m.SrcIP.Matches(k.IPSrc):
+		return false
+	case !m.DstIP.Matches(k.IPDst):
+		return false
+	case m.Proto != 0 && m.Proto != k.IPProto:
+		return false
+	case m.DstPort != 0 && m.DstPort != k.DstPort:
+		return false
+	case m.VLAN != 0 && m.VLAN != k.VLAN:
+		return false
+	}
+	return true
+}
+
+// String renders the match compactly.
+func (m Match) String() string {
+	var parts []string
+	if !m.User.IsZero() {
+		parts = append(parts, "user="+m.User.String())
+	}
+	if !m.SrcIP.Any() {
+		parts = append(parts, "src="+m.SrcIP.String())
+	}
+	if !m.DstIP.Any() {
+		parts = append(parts, "dst="+m.DstIP.String())
+	}
+	if m.Proto != 0 {
+		parts = append(parts, fmt.Sprintf("proto=%d", m.Proto))
+	}
+	if m.DstPort != 0 {
+		parts = append(parts, fmt.Sprintf("dport=%d", m.DstPort))
+	}
+	if m.VLAN != 0 {
+		parts = append(parts, fmt.Sprintf("vlan=%d", m.VLAN))
+	}
+	if len(parts) == 0 {
+		return "any"
+	}
+	return strings.Join(parts, ",")
+}
+
+// Rule is one policy table entry.
+type Rule struct {
+	// Name identifies the rule for management operations.
+	Name string
+	// Priority orders rules; higher wins. Ties break on name for
+	// determinism.
+	Priority int
+	Match    Match
+	Action   Action
+	// Services is the chain of service types a Chain rule steers through,
+	// in order (§II pswitch comparison: "desired sequences of security
+	// middleboxes").
+	Services []seproto.ServiceType
+	// Grain and Algorithm configure load balancing for this rule; zero
+	// values inherit the controller defaults.
+	Grain     loadbalance.Grain
+	Algorithm loadbalance.Algorithm
+}
+
+// Validate checks rule consistency.
+func (r *Rule) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("policy: rule needs a name")
+	}
+	switch r.Action {
+	case Allow, Deny:
+		if len(r.Services) != 0 {
+			return fmt.Errorf("policy: rule %q: services only valid with Chain", r.Name)
+		}
+	case Chain:
+		if len(r.Services) == 0 {
+			return fmt.Errorf("policy: rule %q: Chain needs at least one service", r.Name)
+		}
+	default:
+		return fmt.Errorf("policy: rule %q: unknown action %d", r.Name, r.Action)
+	}
+	return nil
+}
+
+// Table is the controller's global policy table. The zero value is not
+// usable; call NewTable.
+type Table struct {
+	rules  []*Rule
+	byName map[string]*Rule
+	// Default is the action for flows no rule matches.
+	Default Action
+}
+
+// NewTable creates a table with the given default action.
+func NewTable(defaultAction Action) *Table {
+	return &Table{byName: make(map[string]*Rule), Default: defaultAction}
+}
+
+// Add installs or replaces (by name) a rule.
+func (t *Table) Add(r *Rule) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if _, exists := t.byName[r.Name]; exists {
+		t.Remove(r.Name)
+	}
+	t.byName[r.Name] = r
+	t.rules = append(t.rules, r)
+	sort.SliceStable(t.rules, func(i, j int) bool {
+		if t.rules[i].Priority != t.rules[j].Priority {
+			return t.rules[i].Priority > t.rules[j].Priority
+		}
+		return t.rules[i].Name < t.rules[j].Name
+	})
+	return nil
+}
+
+// Remove deletes a rule by name; it reports whether a rule was removed.
+func (t *Table) Remove(name string) bool {
+	if _, ok := t.byName[name]; !ok {
+		return false
+	}
+	delete(t.byName, name)
+	for i, r := range t.rules {
+		if r.Name == name {
+			t.rules = append(t.rules[:i], t.rules[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Get returns a rule by name.
+func (t *Table) Get(name string) (*Rule, bool) {
+	r, ok := t.byName[name]
+	return r, ok
+}
+
+// Len returns the rule count.
+func (t *Table) Len() int { return len(t.rules) }
+
+// Rules returns rules in evaluation order (a copy).
+func (t *Table) Rules() []*Rule {
+	return append([]*Rule(nil), t.rules...)
+}
+
+// Decision is the result of a policy lookup.
+type Decision struct {
+	Action    Action
+	Services  []seproto.ServiceType
+	Grain     loadbalance.Grain
+	Algorithm loadbalance.Algorithm
+	// Rule is the matched rule's name, or "" for the table default.
+	Rule string
+}
+
+// Lookup evaluates the table for a flow key: the highest-priority
+// matching rule wins; otherwise the table default applies.
+func (t *Table) Lookup(k flow.Key) Decision {
+	for _, r := range t.rules {
+		if r.Match.Matches(k) {
+			return Decision{
+				Action:    r.Action,
+				Services:  r.Services,
+				Grain:     r.Grain,
+				Algorithm: r.Algorithm,
+				Rule:      r.Name,
+			}
+		}
+	}
+	return Decision{Action: t.Default}
+}

@@ -1,0 +1,180 @@
+package policy
+
+import (
+	"testing"
+
+	"livesec/internal/flow"
+	"livesec/internal/netpkt"
+	"livesec/internal/seproto"
+)
+
+func key(user uint64, dstIP netpkt.IPv4Addr, dstPort uint16) flow.Key {
+	return flow.Key{
+		EthSrc:  netpkt.MACFromUint64(user),
+		EthType: netpkt.EtherTypeIPv4,
+		IPSrc:   netpkt.IP(10, 0, 0, byte(user)),
+		IPDst:   dstIP,
+		IPProto: netpkt.ProtoTCP,
+		SrcPort: 50000,
+		DstPort: dstPort,
+	}
+}
+
+func TestPrefixMatching(t *testing.T) {
+	p := CIDR(10, 1, 0, 0, 16)
+	if !p.Matches(netpkt.IP(10, 1, 200, 3)) {
+		t.Fatal("in-prefix address rejected")
+	}
+	if p.Matches(netpkt.IP(10, 2, 0, 1)) {
+		t.Fatal("out-of-prefix address accepted")
+	}
+	if !(Prefix{}).Matches(netpkt.IP(1, 2, 3, 4)) {
+		t.Fatal("any prefix rejected an address")
+	}
+	if !HostIP(netpkt.IP(1, 2, 3, 4)).Matches(netpkt.IP(1, 2, 3, 4)) {
+		t.Fatal("host prefix rejected its own address")
+	}
+	if HostIP(netpkt.IP(1, 2, 3, 4)).Matches(netpkt.IP(1, 2, 3, 5)) {
+		t.Fatal("host prefix matched neighbour")
+	}
+}
+
+func TestRuleValidation(t *testing.T) {
+	bad := []*Rule{
+		{Name: "", Action: Allow},
+		{Name: "x", Action: Chain}, // chain without services
+		{Name: "x", Action: Allow, Services: []seproto.ServiceType{seproto.ServiceIDS}}, // services without chain
+		{Name: "x", Action: Action(0)},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d: invalid rule accepted", i)
+		}
+	}
+	good := &Rule{Name: "ok", Action: Chain, Services: []seproto.ServiceType{seproto.ServiceIDS}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupPriorityOrder(t *testing.T) {
+	tbl := NewTable(Allow)
+	if err := tbl.Add(&Rule{Name: "inspect-web", Priority: 10,
+		Match:  Match{DstPort: 80},
+		Action: Chain, Services: []seproto.ServiceType{seproto.ServiceIDS}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Add(&Rule{Name: "block-bad-user", Priority: 100,
+		Match:  Match{User: netpkt.MACFromUint64(13)},
+		Action: Deny}); err != nil {
+		t.Fatal(err)
+	}
+	// Bad user hitting port 80: deny wins on priority.
+	d := tbl.Lookup(key(13, netpkt.IP(1, 1, 1, 1), 80))
+	if d.Action != Deny || d.Rule != "block-bad-user" {
+		t.Fatalf("decision = %+v", d)
+	}
+	// Normal user to port 80: chain through IDS.
+	d = tbl.Lookup(key(5, netpkt.IP(1, 1, 1, 1), 80))
+	if d.Action != Chain || len(d.Services) != 1 || d.Services[0] != seproto.ServiceIDS {
+		t.Fatalf("decision = %+v", d)
+	}
+	// Unmatched: table default.
+	d = tbl.Lookup(key(5, netpkt.IP(1, 1, 1, 1), 443))
+	if d.Action != Allow || d.Rule != "" {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestAddReplacesByName(t *testing.T) {
+	tbl := NewTable(Allow)
+	_ = tbl.Add(&Rule{Name: "r", Priority: 1, Action: Deny})
+	_ = tbl.Add(&Rule{Name: "r", Priority: 2, Action: Allow})
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	r, _ := tbl.Get("r")
+	if r.Priority != 2 || r.Action != Allow {
+		t.Fatalf("rule = %+v", r)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	tbl := NewTable(Allow)
+	_ = tbl.Add(&Rule{Name: "r", Action: Deny})
+	if !tbl.Remove("r") || tbl.Remove("r") {
+		t.Fatal("Remove semantics wrong")
+	}
+	if d := tbl.Lookup(key(1, netpkt.IP(1, 1, 1, 1), 80)); d.Action != Allow {
+		t.Fatalf("removed rule still matching: %+v", d)
+	}
+}
+
+func TestMatchFieldsIndividually(t *testing.T) {
+	k := key(7, netpkt.IP(166, 111, 1, 1), 80)
+	k.VLAN = 5
+	cases := []struct {
+		name string
+		m    Match
+		want bool
+	}{
+		{"any", Match{}, true},
+		{"user hit", Match{User: netpkt.MACFromUint64(7)}, true},
+		{"user miss", Match{User: netpkt.MACFromUint64(8)}, false},
+		{"src hit", Match{SrcIP: CIDR(10, 0, 0, 0, 8)}, true},
+		{"src miss", Match{SrcIP: CIDR(192, 168, 0, 0, 16)}, false},
+		{"dst hit", Match{DstIP: HostIP(netpkt.IP(166, 111, 1, 1))}, true},
+		{"dst miss", Match{DstIP: HostIP(netpkt.IP(166, 111, 1, 2))}, false},
+		{"proto hit", Match{Proto: netpkt.ProtoTCP}, true},
+		{"proto miss", Match{Proto: netpkt.ProtoUDP}, false},
+		{"port hit", Match{DstPort: 80}, true},
+		{"port miss", Match{DstPort: 81}, false},
+		{"vlan hit", Match{VLAN: 5}, true},
+		{"vlan miss", Match{VLAN: 6}, false},
+		{"combined", Match{User: netpkt.MACFromUint64(7), DstPort: 80, Proto: netpkt.ProtoTCP}, true},
+		{"combined one miss", Match{User: netpkt.MACFromUint64(7), DstPort: 81}, false},
+	}
+	for _, c := range cases {
+		if got := c.m.Matches(k); got != c.want {
+			t.Errorf("%s: Matches = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestTieBreakOnName(t *testing.T) {
+	tbl := NewTable(Allow)
+	_ = tbl.Add(&Rule{Name: "b", Priority: 5, Action: Deny})
+	_ = tbl.Add(&Rule{Name: "a", Priority: 5, Action: Chain, Services: []seproto.ServiceType{seproto.ServiceL7}})
+	d := tbl.Lookup(key(1, netpkt.IP(1, 1, 1, 1), 80))
+	if d.Rule != "a" {
+		t.Fatalf("tie broke to %q, want \"a\"", d.Rule)
+	}
+}
+
+func TestServiceChainOrderPreserved(t *testing.T) {
+	tbl := NewTable(Allow)
+	chain := []seproto.ServiceType{seproto.ServiceIDS, seproto.ServiceAV, seproto.ServiceCI}
+	_ = tbl.Add(&Rule{Name: "full", Action: Chain, Services: chain})
+	d := tbl.Lookup(key(1, netpkt.IP(1, 1, 1, 1), 80))
+	if len(d.Services) != 3 {
+		t.Fatalf("services = %v", d.Services)
+	}
+	for i := range chain {
+		if d.Services[i] != chain[i] {
+			t.Fatalf("chain order changed: %v", d.Services)
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	m := Match{User: netpkt.MACFromUint64(1), DstPort: 80}
+	if m.String() == "" || (Match{}).String() != "any" {
+		t.Fatal("Match.String")
+	}
+	if Allow.String() != "allow" || Deny.String() != "deny" || Chain.String() != "chain" {
+		t.Fatal("Action.String")
+	}
+	if CIDR(10, 0, 0, 0, 8).String() != "10.0.0.0/8" || (Prefix{}).String() != "any" {
+		t.Fatal("Prefix.String")
+	}
+}

@@ -1,0 +1,306 @@
+// Package seproto implements the communication mechanism between service
+// elements and the LiveSec controller (§III.D.1): UDP datagrams with a
+// specialized format and identifier. The controller never installs a flow
+// entry for this UDP flow, so every message keeps arriving as a packet-in.
+//
+// Two message kinds exist: the periodic real-time ONLINE message carrying
+// the element's service type and load (CPU, memory, packets per second),
+// and the EVENT report generated when a network-service result is
+// produced (an IDS alert, an identified application protocol, …).
+// Messages carry a certificate issued by the controller; flows from
+// uncertified elements are dropped at the ingress AS switch.
+package seproto
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"livesec/internal/flow"
+	"livesec/internal/netpkt"
+)
+
+// Port is the well-known UDP port service-element daemons send to.
+const Port uint16 = 6633
+
+// Magic identifies a LiveSec service-element datagram.
+var Magic = [4]byte{'L', 'S', 'E', 'C'}
+
+// Version of the message format.
+const Version = 1
+
+// Kind discriminates message bodies.
+type Kind uint8
+
+// Message kinds.
+const (
+	KindOnline Kind = iota + 1
+	KindEvent
+)
+
+// ServiceType is the network service an element provides (§III.D).
+type ServiceType uint8
+
+// Service types LiveSec deploys.
+const (
+	ServiceIDS ServiceType = iota + 1 // intrusion detection (Snort)
+	ServiceL7                         // protocol identification (l7-filter)
+	ServiceAV                         // virus scanning
+	ServiceCI                         // content inspection
+)
+
+// String names the service type.
+func (s ServiceType) String() string {
+	switch s {
+	case ServiceIDS:
+		return "intrusion-detection"
+	case ServiceL7:
+		return "protocol-identification"
+	case ServiceAV:
+		return "virus-scanning"
+	case ServiceCI:
+		return "content-inspection"
+	default:
+		return fmt.Sprintf("service(%d)", uint8(s))
+	}
+}
+
+// CertLen is the certificate length in bytes (HMAC-SHA256).
+const CertLen = 32
+
+// Cert is the proof a service element was admitted by the controller.
+type Cert [CertLen]byte
+
+// Load is the real-time load attached to ONLINE messages.
+type Load struct {
+	CPUPermille uint16 // 0‒1000
+	MemPermille uint16
+	PPS         uint32 // packets per second over the last interval
+	Packets     uint64 // total processed packets
+	Bytes       uint64 // total processed bytes
+	QueueLen    uint32 // packets waiting in the element
+}
+
+// Online is the periodic liveness + load report.
+type Online struct {
+	SEID    uint64
+	Service ServiceType
+	Cert    Cert
+	// CapacityBps advertises the element's nominal processing rate.
+	CapacityBps uint64
+	Load        Load
+}
+
+// EventClass classifies an event report.
+type EventClass uint8
+
+// Event classes.
+const (
+	EventAttack   EventClass = iota + 1 // IDS verdict: malicious flow
+	EventProtocol                       // L7 verdict: application identified
+	EventVirus                          // AV verdict: payload carries a signature
+	EventContent                        // CI verdict: content policy hit
+)
+
+// String names the event class.
+func (c EventClass) String() string {
+	switch c {
+	case EventAttack:
+		return "attack"
+	case EventProtocol:
+		return "protocol"
+	case EventVirus:
+		return "virus"
+	case EventContent:
+		return "content"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(c))
+	}
+}
+
+// Event is a network-service result report. Flow identifies the offending
+// or classified end-to-end flow so the controller can act on it (§IV.A:
+// the 12-tuple of the detected flow plus the attack type).
+type Event struct {
+	SEID     uint64
+	Cert     Cert
+	Class    EventClass
+	Severity uint8  // 0 info … 255 critical
+	SigID    uint32 // rule / signature identifier
+	Flow     flow.Key
+	Detail   string // attack type or application protocol name
+}
+
+// Errors returned by Parse.
+var (
+	ErrNotSEProto = errors.New("seproto: not a service-element datagram")
+	ErrTruncated  = errors.New("seproto: truncated message")
+	ErrBadKind    = errors.New("seproto: unknown message kind")
+)
+
+const keyLen = 34
+
+func appendKey(b []byte, k flow.Key) []byte {
+	b = binary.BigEndian.AppendUint32(b, k.InPort)
+	b = append(b, k.EthSrc[:]...)
+	b = append(b, k.EthDst[:]...)
+	b = binary.BigEndian.AppendUint16(b, k.VLAN)
+	b = binary.BigEndian.AppendUint16(b, uint16(k.EthType))
+	b = append(b, k.IPSrc[:]...)
+	b = append(b, k.IPDst[:]...)
+	b = append(b, byte(k.IPProto), k.IPTOS)
+	b = binary.BigEndian.AppendUint16(b, k.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, k.DstPort)
+	return b
+}
+
+func decodeKey(b []byte) (flow.Key, error) {
+	var k flow.Key
+	if len(b) < keyLen {
+		return k, ErrTruncated
+	}
+	k.InPort = binary.BigEndian.Uint32(b[0:4])
+	copy(k.EthSrc[:], b[4:10])
+	copy(k.EthDst[:], b[10:16])
+	k.VLAN = binary.BigEndian.Uint16(b[16:18])
+	k.EthType = netpkt.EtherType(binary.BigEndian.Uint16(b[18:20]))
+	copy(k.IPSrc[:], b[20:24])
+	copy(k.IPDst[:], b[24:28])
+	k.IPProto = netpkt.IPProto(b[28])
+	k.IPTOS = b[29]
+	k.SrcPort = binary.BigEndian.Uint16(b[30:32])
+	k.DstPort = binary.BigEndian.Uint16(b[32:34])
+	return k, nil
+}
+
+// MarshalOnline encodes an ONLINE message into a UDP payload.
+func MarshalOnline(m *Online) []byte {
+	b := make([]byte, 0, 6+8+1+CertLen+8+22)
+	b = append(b, Magic[:]...)
+	b = append(b, Version, byte(KindOnline))
+	b = binary.BigEndian.AppendUint64(b, m.SEID)
+	b = append(b, byte(m.Service))
+	b = append(b, m.Cert[:]...)
+	b = binary.BigEndian.AppendUint64(b, m.CapacityBps)
+	b = binary.BigEndian.AppendUint16(b, m.Load.CPUPermille)
+	b = binary.BigEndian.AppendUint16(b, m.Load.MemPermille)
+	b = binary.BigEndian.AppendUint32(b, m.Load.PPS)
+	b = binary.BigEndian.AppendUint64(b, m.Load.Packets)
+	b = binary.BigEndian.AppendUint64(b, m.Load.Bytes)
+	b = binary.BigEndian.AppendUint32(b, m.Load.QueueLen)
+	return b
+}
+
+// MarshalEvent encodes an EVENT message into a UDP payload.
+func MarshalEvent(m *Event) []byte {
+	detail := m.Detail
+	if len(detail) > 255 {
+		detail = detail[:255]
+	}
+	b := make([]byte, 0, 6+8+CertLen+7+keyLen+1+len(detail))
+	b = append(b, Magic[:]...)
+	b = append(b, Version, byte(KindEvent))
+	b = binary.BigEndian.AppendUint64(b, m.SEID)
+	b = append(b, m.Cert[:]...)
+	b = append(b, byte(m.Class), m.Severity)
+	b = binary.BigEndian.AppendUint32(b, m.SigID)
+	b = appendKey(b, m.Flow)
+	b = append(b, byte(len(detail)))
+	b = append(b, detail...)
+	return b
+}
+
+// IsSEProto reports whether a UDP payload looks like a service-element
+// message (the "specialized identifier" check the controller's message
+// parsing module performs first).
+func IsSEProto(payload []byte) bool {
+	return len(payload) >= 6 && [4]byte(payload[0:4]) == Magic && payload[4] == Version
+}
+
+// Parse decodes a service-element datagram payload into *Online or
+// *Event.
+func Parse(payload []byte) (any, error) {
+	if !IsSEProto(payload) {
+		return nil, ErrNotSEProto
+	}
+	kind := Kind(payload[5])
+	body := payload[6:]
+	switch kind {
+	case KindOnline:
+		if len(body) < 8+1+CertLen+8+28 {
+			return nil, ErrTruncated
+		}
+		m := &Online{
+			SEID:    binary.BigEndian.Uint64(body[0:8]),
+			Service: ServiceType(body[8]),
+		}
+		copy(m.Cert[:], body[9:9+CertLen])
+		rest := body[9+CertLen:]
+		m.CapacityBps = binary.BigEndian.Uint64(rest[0:8])
+		m.Load = Load{
+			CPUPermille: binary.BigEndian.Uint16(rest[8:10]),
+			MemPermille: binary.BigEndian.Uint16(rest[10:12]),
+			PPS:         binary.BigEndian.Uint32(rest[12:16]),
+			Packets:     binary.BigEndian.Uint64(rest[16:24]),
+			Bytes:       binary.BigEndian.Uint64(rest[24:32]),
+			QueueLen:    binary.BigEndian.Uint32(rest[32:36]),
+		}
+		return m, nil
+	case KindEvent:
+		if len(body) < 8+CertLen+6+keyLen+1 {
+			return nil, ErrTruncated
+		}
+		m := &Event{SEID: binary.BigEndian.Uint64(body[0:8])}
+		copy(m.Cert[:], body[8:8+CertLen])
+		rest := body[8+CertLen:]
+		m.Class = EventClass(rest[0])
+		m.Severity = rest[1]
+		m.SigID = binary.BigEndian.Uint32(rest[2:6])
+		key, err := decodeKey(rest[6:])
+		if err != nil {
+			return nil, err
+		}
+		m.Flow = key
+		rest = rest[6+keyLen:]
+		dlen := int(rest[0])
+		if len(rest) < 1+dlen {
+			return nil, ErrTruncated
+		}
+		m.Detail = string(rest[1 : 1+dlen])
+		return m, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, kind)
+	}
+}
+
+// Certifier issues and verifies service-element certificates. The
+// controller holds the secret; a certificate is the HMAC-SHA256 of the
+// element's identity, so it cannot be forged by uncertified elements.
+type Certifier struct {
+	secret []byte
+}
+
+// NewCertifier creates a certifier with the given controller secret.
+func NewCertifier(secret []byte) *Certifier {
+	return &Certifier{secret: append([]byte(nil), secret...)}
+}
+
+// Issue returns the certificate for a service-element identity.
+func (c *Certifier) Issue(seID uint64, mac netpkt.MAC) Cert {
+	h := hmac.New(sha256.New, c.secret)
+	var idb [8]byte
+	binary.BigEndian.PutUint64(idb[:], seID)
+	h.Write(idb[:])
+	h.Write(mac[:])
+	var cert Cert
+	copy(cert[:], h.Sum(nil))
+	return cert
+}
+
+// Verify checks a presented certificate against the identity.
+func (c *Certifier) Verify(seID uint64, mac netpkt.MAC, cert Cert) bool {
+	want := c.Issue(seID, mac)
+	return hmac.Equal(want[:], cert[:])
+}

@@ -1,0 +1,196 @@
+package seproto
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"livesec/internal/flow"
+	"livesec/internal/netpkt"
+)
+
+func sampleKey() flow.Key {
+	return flow.Key{
+		InPort:  2,
+		EthSrc:  netpkt.MACFromUint64(10),
+		EthDst:  netpkt.MACFromUint64(20),
+		EthType: netpkt.EtherTypeIPv4,
+		IPSrc:   netpkt.IP(10, 0, 0, 5),
+		IPDst:   netpkt.IP(166, 111, 1, 1),
+		IPProto: netpkt.ProtoTCP,
+		SrcPort: 51234,
+		DstPort: 80,
+	}
+}
+
+func TestOnlineRoundTrip(t *testing.T) {
+	m := &Online{
+		SEID:        42,
+		Service:     ServiceIDS,
+		Cert:        Cert{1, 2, 3},
+		CapacityBps: 500_000_000,
+		Load: Load{
+			CPUPermille: 512, MemPermille: 300, PPS: 41000,
+			Packets: 123456789, Bytes: 987654321, QueueLen: 17,
+		},
+	}
+	got, err := Parse(MarshalOnline(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip:\n got %#v\nwant %#v", got, m)
+	}
+}
+
+func TestEventRoundTrip(t *testing.T) {
+	m := &Event{
+		SEID:     7,
+		Cert:     Cert{9, 9},
+		Class:    EventAttack,
+		Severity: 200,
+		SigID:    1002,
+		Flow:     sampleKey(),
+		Detail:   "ET TROJAN known C2 beacon",
+	}
+	got, err := Parse(MarshalEvent(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip:\n got %#v\nwant %#v", got, m)
+	}
+}
+
+func TestEventEmptyDetail(t *testing.T) {
+	m := &Event{SEID: 1, Class: EventProtocol, Flow: sampleKey()}
+	got, err := Parse(MarshalEvent(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(*Event).Detail != "" {
+		t.Fatalf("detail = %q", got.(*Event).Detail)
+	}
+}
+
+func TestEventDetailTruncatedAt255(t *testing.T) {
+	long := make([]byte, 500)
+	for i := range long {
+		long[i] = 'a'
+	}
+	m := &Event{SEID: 1, Class: EventProtocol, Flow: sampleKey(), Detail: string(long)}
+	got, err := Parse(MarshalEvent(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.(*Event).Detail) != 255 {
+		t.Fatalf("detail length = %d, want 255", len(got.(*Event).Detail))
+	}
+}
+
+func TestIsSEProto(t *testing.T) {
+	if IsSEProto([]byte("not a livesec message")) {
+		t.Fatal("accepted junk")
+	}
+	if IsSEProto(nil) {
+		t.Fatal("accepted nil")
+	}
+	if !IsSEProto(MarshalOnline(&Online{})) {
+		t.Fatal("rejected valid ONLINE")
+	}
+	bad := MarshalOnline(&Online{})
+	bad[4] = 99 // wrong version
+	if IsSEProto(bad) {
+		t.Fatal("accepted wrong version")
+	}
+}
+
+func TestParseRejectsJunk(t *testing.T) {
+	if _, err := Parse([]byte("LSEC")); err == nil {
+		t.Fatal("short magic accepted")
+	}
+	bad := MarshalEvent(&Event{Flow: sampleKey()})
+	bad[5] = 77
+	if _, err := Parse(bad); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	trunc := MarshalOnline(&Online{})
+	if _, err := Parse(trunc[:20]); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func TestPropertyParseNoPanic(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Parse(data)
+		if len(data) >= 6 {
+			copy(data[0:4], Magic[:])
+			data[4] = Version
+			_, _ = Parse(data)
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCertifierIssueVerify(t *testing.T) {
+	c := NewCertifier([]byte("controller-secret"))
+	mac := netpkt.MACFromUint64(9)
+	cert := c.Issue(42, mac)
+	if !c.Verify(42, mac, cert) {
+		t.Fatal("valid cert rejected")
+	}
+	if c.Verify(43, mac, cert) {
+		t.Fatal("cert valid for wrong SEID")
+	}
+	if c.Verify(42, netpkt.MACFromUint64(10), cert) {
+		t.Fatal("cert valid for wrong MAC")
+	}
+	var forged Cert
+	if c.Verify(42, mac, forged) {
+		t.Fatal("zero cert accepted")
+	}
+	other := NewCertifier([]byte("different-secret"))
+	if other.Verify(42, mac, cert) {
+		t.Fatal("cert crossed controller secrets")
+	}
+}
+
+func TestServiceTypeStrings(t *testing.T) {
+	cases := map[ServiceType]string{
+		ServiceIDS:      "intrusion-detection",
+		ServiceL7:       "protocol-identification",
+		ServiceAV:       "virus-scanning",
+		ServiceCI:       "content-inspection",
+		ServiceType(99): "service(99)",
+	}
+	for st, want := range cases {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), want)
+		}
+	}
+	if EventAttack.String() != "attack" || EventClass(9).String() != "event(9)" {
+		t.Error("EventClass.String mismatch")
+	}
+}
+
+// Property: random Online messages survive the codec.
+func TestPropertyOnlineRoundTrip(t *testing.T) {
+	f := func(seid, cap_, pkts, bytes_ uint64, cpu, mem uint16, pps, q uint32, svc uint8) bool {
+		m := &Online{
+			SEID:        seid,
+			Service:     ServiceType(svc),
+			CapacityBps: cap_,
+			Load:        Load{CPUPermille: cpu, MemPermille: mem, PPS: pps, Packets: pkts, Bytes: bytes_, QueueLen: q},
+		}
+		got, err := Parse(MarshalOnline(m))
+		return err == nil && reflect.DeepEqual(got, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

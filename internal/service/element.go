@@ -1,0 +1,261 @@
+// Package service implements VM-based service elements (§III.D.1): the
+// off-path middleboxes LiveSec plugs into the Network-Periphery layer.
+// An Element receives flows steered to its MAC address, runs a pluggable
+// inspection engine (IDS, protocol identification, virus scanning,
+// content inspection) at a bounded processing rate, emits the traffic
+// back toward its original destination, and talks to the controller with
+// the seproto daemon messages (periodic ONLINE load reports and EVENT
+// verdicts).
+package service
+
+import (
+	"time"
+
+	"livesec/internal/flow"
+	"livesec/internal/link"
+	"livesec/internal/netpkt"
+	"livesec/internal/seproto"
+	"livesec/internal/sim"
+)
+
+// ControllerMAC and ControllerIP address the controller's virtual
+// presence; seproto datagrams to them always miss the flow table and
+// reach the controller as packet-ins.
+var (
+	ControllerMAC = netpkt.MAC{0x02, 0x00, 0x00, 0x00, 0xff, 0xfd}
+	ControllerIP  = netpkt.IP(10, 255, 255, 254)
+)
+
+// HeartbeatInterval is how often elements send ONLINE reports.
+const HeartbeatInterval = 500 * time.Millisecond
+
+// DefaultCapacityBps is the paper's single-VM bypass throughput
+// (§V.B.1: "single VM-based service element can reach about 500 Mbps").
+const DefaultCapacityBps = 500_000_000
+
+// defaultQueueBytes bounds the element's ingress queue.
+const defaultQueueBytes = 512 << 10
+
+// Verdict is one inspection result.
+type Verdict struct {
+	Class    seproto.EventClass
+	Severity uint8
+	SigID    uint32
+	Detail   string
+}
+
+// Inspector is a pluggable deep-inspection engine.
+type Inspector interface {
+	// ServiceType identifies the network service provided.
+	ServiceType() seproto.ServiceType
+	// Inspect examines one packet and returns zero or more verdicts.
+	Inspect(pkt *netpkt.Packet) []Verdict
+	// PerPacketCost is the fixed CPU cost added to each packet on top of
+	// the byte-rate cost; it models header parsing and automaton setup.
+	PerPacketCost() time.Duration
+}
+
+// Config configures an Element.
+type Config struct {
+	ID   uint64
+	Name string
+	MAC  netpkt.MAC
+	IP   netpkt.IPv4Addr
+	// CapacityBps is the nominal processing rate; 0 means
+	// DefaultCapacityBps.
+	CapacityBps int64
+	// QueueBytes bounds buffered traffic; 0 means 512 KiB.
+	QueueBytes int
+	// Inspector is the engine; nil puts the element in pure bypass mode
+	// (forwarding at CapacityBps with no inspection).
+	Inspector Inspector
+	// Cert is the certificate issued by the controller.
+	Cert seproto.Cert
+}
+
+// Stats are the element's processing counters.
+type Stats struct {
+	Packets uint64
+	Bytes   uint64
+	Drops   uint64
+	Events  uint64
+}
+
+// Element is one VM-based service element.
+type Element struct {
+	eng *sim.Engine
+	cfg Config
+
+	ep       link.Endpoint
+	attached bool
+
+	busyUntil time.Duration
+	queued    int
+
+	stats      Stats
+	windowPkts uint64 // packets since the last heartbeat
+	stopBeat   func()
+
+	// OnVerdict, if set, observes local verdicts (tests and examples).
+	OnVerdict func(flow.Key, Verdict)
+}
+
+// New creates a service element.
+func New(eng *sim.Engine, cfg Config) *Element {
+	if cfg.CapacityBps == 0 {
+		cfg.CapacityBps = DefaultCapacityBps
+	}
+	if cfg.QueueBytes == 0 {
+		cfg.QueueBytes = defaultQueueBytes
+	}
+	return &Element{eng: eng, cfg: cfg}
+}
+
+// ID returns the element identifier.
+func (e *Element) ID() uint64 { return e.cfg.ID }
+
+// MAC returns the element's address (the steering target).
+func (e *Element) MAC() netpkt.MAC { return e.cfg.MAC }
+
+// IP returns the element's address.
+func (e *Element) IP() netpkt.IPv4Addr { return e.cfg.IP }
+
+// ServiceType returns the provided network service.
+func (e *Element) ServiceType() seproto.ServiceType {
+	if e.cfg.Inspector == nil {
+		return 0
+	}
+	return e.cfg.Inspector.ServiceType()
+}
+
+// Stats returns a copy of the processing counters.
+func (e *Element) Stats() Stats { return e.stats }
+
+// Attach wires the element to its access link and starts the daemon
+// heartbeat.
+func (e *Element) Attach(l *link.Link) {
+	e.ep = l.From(e)
+	e.attached = true
+	if e.stopBeat == nil {
+		e.stopBeat = e.eng.Ticker(HeartbeatInterval, e.heartbeat)
+		// First ONLINE goes out immediately so the controller learns the
+		// element without waiting a full interval.
+		e.eng.Schedule(0, e.heartbeat)
+	}
+}
+
+// Shutdown stops the heartbeat.
+func (e *Element) Shutdown() {
+	if e.stopBeat != nil {
+		e.stopBeat()
+		e.stopBeat = nil
+	}
+}
+
+// Receive implements link.Node: a steered packet arrived for processing.
+// Steered traffic is always unicast IP; L2 control traffic (ARP floods,
+// LLDP probes, broadcasts) that reaches the VM is ignored rather than
+// bounced back into the network.
+func (e *Element) Receive(_ uint32, pkt *netpkt.Packet) {
+	if pkt.IP == nil || pkt.EthDst.IsBroadcast() {
+		return
+	}
+	size := pkt.WireLen()
+	if e.queued+size > e.cfg.QueueBytes {
+		e.stats.Drops++
+		return
+	}
+	now := e.eng.Now()
+	start := e.busyUntil
+	if start < now {
+		start = now
+	}
+	cost := time.Duration(int64(size) * 8 * int64(time.Second) / e.cfg.CapacityBps)
+	if e.cfg.Inspector != nil {
+		cost += e.cfg.Inspector.PerPacketCost()
+	}
+	e.busyUntil = start + cost
+	e.queued += size
+	e.eng.At(e.busyUntil, func() {
+		e.queued -= size
+		e.process(pkt)
+	})
+}
+
+func (e *Element) process(pkt *netpkt.Packet) {
+	e.stats.Packets++
+	e.stats.Bytes += uint64(pkt.WireLen())
+	e.windowPkts++
+	if e.cfg.Inspector != nil {
+		for _, v := range e.cfg.Inspector.Inspect(pkt) {
+			key := flow.KeyOf(0, pkt)
+			e.stats.Events++
+			if e.OnVerdict != nil {
+				e.OnVerdict(key, v)
+			}
+			e.reportEvent(key, v)
+		}
+	}
+	// Bypass mode (§V.B.1): the checked packet leaves unchanged; the AS
+	// switch's flow entry rewrites dl_dst back to the original target.
+	if e.attached {
+		e.ep.Send(pkt)
+	}
+}
+
+func (e *Element) reportEvent(key flow.Key, v Verdict) {
+	payload := seproto.MarshalEvent(&seproto.Event{
+		SEID:     e.cfg.ID,
+		Cert:     e.cfg.Cert,
+		Class:    v.Class,
+		Severity: v.Severity,
+		SigID:    v.SigID,
+		Flow:     key,
+		Detail:   v.Detail,
+	})
+	e.sendToController(payload)
+}
+
+func (e *Element) heartbeat() {
+	if !e.attached {
+		return
+	}
+	interval := HeartbeatInterval.Seconds()
+	pps := uint32(float64(e.windowPkts) / interval)
+	e.windowPkts = 0
+	cpu := uint16(0)
+	if e.busyUntil > e.eng.Now() {
+		cpu = 1000 // saturated
+	} else if pps > 0 {
+		// Approximate utilization from the achieved rate vs capacity.
+		util := float64(pps) * 1500 * 8 / float64(e.cfg.CapacityBps)
+		if util > 1 {
+			util = 1
+		}
+		cpu = uint16(util * 1000)
+	}
+	payload := seproto.MarshalOnline(&seproto.Online{
+		SEID:        e.cfg.ID,
+		Service:     e.ServiceType(),
+		Cert:        e.cfg.Cert,
+		CapacityBps: uint64(e.cfg.CapacityBps),
+		Load: seproto.Load{
+			CPUPermille: cpu,
+			MemPermille: 300,
+			PPS:         pps,
+			Packets:     e.stats.Packets,
+			Bytes:       e.stats.Bytes,
+			QueueLen:    uint32(e.queued),
+		},
+	})
+	e.sendToController(payload)
+}
+
+func (e *Element) sendToController(payload []byte) {
+	if !e.attached {
+		return
+	}
+	pkt := netpkt.NewUDP(e.cfg.MAC, ControllerMAC, e.cfg.IP, ControllerIP,
+		seproto.Port, seproto.Port, payload)
+	e.ep.Send(pkt)
+}

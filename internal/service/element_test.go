@@ -1,0 +1,261 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"livesec/internal/ids"
+	"livesec/internal/link"
+	"livesec/internal/netpkt"
+	"livesec/internal/seproto"
+	"livesec/internal/sim"
+)
+
+// harness receives whatever the element emits (both forwarded traffic
+// and daemon datagrams), mimicking the AS switch port it attaches to.
+type harness struct {
+	forwarded []*netpkt.Packet
+	daemon    []any // parsed seproto messages
+	t         *testing.T
+}
+
+func (h *harness) Receive(_ uint32, pkt *netpkt.Packet) {
+	if pkt.UDP != nil && pkt.IP.Dst == ControllerIP && seproto.IsSEProto(pkt.Payload) {
+		m, err := seproto.Parse(pkt.Payload)
+		if err != nil {
+			h.t.Fatalf("element emitted unparseable daemon message: %v", err)
+		}
+		h.daemon = append(h.daemon, m)
+		return
+	}
+	h.forwarded = append(h.forwarded, pkt)
+}
+
+func newElement(t *testing.T, eng *sim.Engine, insp Inspector) (*Element, *harness) {
+	t.Helper()
+	e := New(eng, Config{
+		ID: 7, Name: "se7",
+		MAC:       netpkt.MACFromUint64(0x700),
+		IP:        netpkt.IP(10, 9, 0, 7),
+		Inspector: insp,
+	})
+	h := &harness{t: t}
+	l := link.Connect(eng, e, 0, h, 0, link.Params{})
+	e.Attach(l)
+	return e, h
+}
+
+func steered(payload string, bulk int) *netpkt.Packet {
+	p := netpkt.NewTCP(netpkt.MACFromUint64(1), netpkt.MACFromUint64(0x700),
+		netpkt.IP(10, 0, 0, 1), netpkt.IP(166, 111, 1, 1), 50000, 80, []byte(payload))
+	p.BulkLen = bulk
+	return p
+}
+
+func TestBypassForwardsUnchanged(t *testing.T) {
+	eng := sim.NewEngine(1)
+	e, h := newElement(t, eng, nil)
+	pkt := steered("GET / HTTP/1.1", 0)
+	eng.Schedule(0, func() { e.Receive(0, pkt) })
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.forwarded) != 1 {
+		t.Fatalf("forwarded %d packets", len(h.forwarded))
+	}
+	if h.forwarded[0] != pkt {
+		t.Fatal("bypass must forward the same packet")
+	}
+	e.Shutdown()
+}
+
+func TestHeartbeatOnlineMessages(t *testing.T) {
+	eng := sim.NewEngine(1)
+	e, h := newElement(t, eng, NewL7())
+	if err := eng.Run(1100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	var onlines []*seproto.Online
+	for _, m := range h.daemon {
+		if o, ok := m.(*seproto.Online); ok {
+			onlines = append(onlines, o)
+		}
+	}
+	// t=0 immediate + t=0.5s + t=1.0s
+	if len(onlines) != 3 {
+		t.Fatalf("got %d ONLINE messages, want 3", len(onlines))
+	}
+	if onlines[0].SEID != 7 || onlines[0].Service != seproto.ServiceL7 {
+		t.Fatalf("online = %+v", onlines[0])
+	}
+	if onlines[0].CapacityBps != DefaultCapacityBps {
+		t.Fatalf("capacity = %d", onlines[0].CapacityBps)
+	}
+	e.Shutdown()
+}
+
+func TestIDSVerdictReportsEvent(t *testing.T) {
+	eng := sim.NewEngine(1)
+	insp, err := NewIDS(ids.CommunityRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, h := newElement(t, eng, insp)
+	eng.Schedule(0, func() { e.Receive(0, steered("GET /?q=' OR 1=1 HTTP/1.1", 0)) })
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var events []*seproto.Event
+	for _, m := range h.daemon {
+		if ev, ok := m.(*seproto.Event); ok {
+			events = append(events, ev)
+		}
+	}
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.Class != seproto.EventAttack || ev.SigID != 1001 || ev.SEID != 7 {
+		t.Fatalf("event = %+v", ev)
+	}
+	if ev.Flow.IPSrc != netpkt.IP(10, 0, 0, 1) || ev.Flow.DstPort != 80 {
+		t.Fatalf("event flow = %+v", ev.Flow)
+	}
+	// The malicious packet is still forwarded (action belongs to the
+	// controller, not the element).
+	if len(h.forwarded) != 1 {
+		t.Fatalf("forwarded %d packets", len(h.forwarded))
+	}
+	e.Shutdown()
+}
+
+func TestL7EventOncePerSession(t *testing.T) {
+	eng := sim.NewEngine(1)
+	e, h := newElement(t, eng, NewL7())
+	eng.Schedule(0, func() {
+		e.Receive(0, steered("GET / HTTP/1.1\r\n", 0))
+		e.Receive(0, steered("GET /again HTTP/1.1\r\n", 0))
+	})
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	events := 0
+	for _, m := range h.daemon {
+		if ev, ok := m.(*seproto.Event); ok {
+			if ev.Class != seproto.EventProtocol || ev.Detail != "http" {
+				t.Fatalf("event = %+v", ev)
+			}
+			events++
+		}
+	}
+	if events != 1 {
+		t.Fatalf("got %d protocol events, want 1 per session", events)
+	}
+	e.Shutdown()
+}
+
+func TestCapacityLimitsThroughput(t *testing.T) {
+	eng := sim.NewEngine(1)
+	e, h := newElement(t, eng, nil) // bypass: pure 500 Mbps
+	// Offer 1 Gbps of MTU traffic for 100 ms.
+	interval := time.Duration(int64(1500*8) * int64(time.Second) / 1_000_000_000)
+	cancel := eng.Ticker(interval, func() { e.Receive(0, steered("data", 1454)) })
+	eng.Schedule(100*time.Millisecond, cancel)
+	if err := eng.Run(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	bits := 0
+	for _, p := range h.forwarded {
+		bits += p.WireLen() * 8
+	}
+	mbps := float64(bits) / 0.1 / 1e6
+	if mbps < 450 || mbps > 510 {
+		t.Fatalf("bypass delivered %.0f Mbps, want ≈500", mbps)
+	}
+	if e.Stats().Drops == 0 {
+		t.Fatal("oversubscription must tail-drop")
+	}
+	e.Shutdown()
+}
+
+func TestIDSEffectiveRateNearPaper(t *testing.T) {
+	eng := sim.NewEngine(1)
+	insp, err := NewIDS(ids.CommunityRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, h := newElement(t, eng, insp)
+	interval := time.Duration(int64(1500*8) * int64(time.Second) / 1_000_000_000)
+	cancel := eng.Ticker(interval, func() {
+		e.Receive(0, steered("GET /index.html HTTP/1.1\r\nHost: a\r\n", 1410))
+	})
+	eng.Schedule(200*time.Millisecond, cancel)
+	if err := eng.Run(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	bits := 0
+	for _, p := range h.forwarded {
+		bits += p.WireLen() * 8
+	}
+	mbps := float64(bits) / 0.2 / 1e6
+	// Paper: 421 Mbps for one element on HTTP under inspection.
+	if mbps < 390 || mbps > 460 {
+		t.Fatalf("IDS element delivered %.0f Mbps, want ≈420", mbps)
+	}
+	e.Shutdown()
+}
+
+func TestQueueBackpressureOrdering(t *testing.T) {
+	eng := sim.NewEngine(1)
+	e, h := newElement(t, eng, nil)
+	eng.Schedule(0, func() {
+		for i := 0; i < 5; i++ {
+			e.Receive(0, steered("data", 1454))
+		}
+	})
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.forwarded) != 5 {
+		t.Fatalf("forwarded %d", len(h.forwarded))
+	}
+	if e.Stats().Packets != 5 {
+		t.Fatalf("stats = %+v", e.Stats())
+	}
+	e.Shutdown()
+}
+
+func TestInspectorAVAndCI(t *testing.T) {
+	eng := sim.NewEngine(1)
+	av, hAV := newElement(t, eng, NewAV())
+	eng.Schedule(0, func() {
+		av.Receive(0, steered(`X5O!P%@AP[4\PZX54(P^)7CC)7}$EICAR test`, 0))
+	})
+	ci := New(eng, Config{ID: 8, MAC: netpkt.MACFromUint64(0x800), IP: netpkt.IP(10, 9, 0, 8), Inspector: NewCI("SECRET-PROJECT")})
+	hCI := &harness{t: t}
+	l := link.Connect(eng, ci, 0, hCI, 0, link.Params{})
+	ci.Attach(l)
+	eng.Schedule(0, func() {
+		ci.Receive(0, steered("leaking SECRET-PROJECT plans", 0))
+	})
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	countEvents := func(h *harness, class seproto.EventClass) int {
+		n := 0
+		for _, m := range h.daemon {
+			if ev, ok := m.(*seproto.Event); ok && ev.Class == class {
+				n++
+			}
+		}
+		return n
+	}
+	if countEvents(hAV, seproto.EventVirus) != 1 {
+		t.Fatal("AV event missing")
+	}
+	if countEvents(hCI, seproto.EventContent) != 1 {
+		t.Fatal("CI event missing")
+	}
+	av.Shutdown()
+	ci.Shutdown()
+}

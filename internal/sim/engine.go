@@ -1,0 +1,172 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All LiveSec data-plane behaviour (packet transmission, queuing,
+// propagation, service-element processing) is scheduled on a virtual clock
+// owned by an Engine. Events fire in (time, sequence) order, so a run with
+// a fixed seed is fully reproducible.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// ErrStopped is returned by Run variants when the engine was stopped
+// explicitly before the requested horizon.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// Event is a scheduled callback. The callback runs at the event's virtual
+// time; it may schedule further events.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event scheduler with a virtual clock.
+// It is not safe for concurrent use; all components of one simulation must
+// interact with it from event callbacks (or before Run is called).
+type Engine struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	stopped bool
+
+	// Processed counts events executed so far; useful for run-away guards
+	// in tests.
+	Processed uint64
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time (duration since simulation start).
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule runs fn at virtual time now+delay. A negative delay is treated
+// as zero (fn runs "immediately", after already-queued events at the same
+// timestamp).
+func (e *Engine) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time at. Times in the past are clamped to
+// the current time.
+func (e *Engine) At(at time.Duration, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// Stop makes the current Run call return after the in-flight event
+// completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Run executes events until the queue is empty, the horizon is passed, or
+// Stop is called. Events scheduled exactly at the horizon still run;
+// events after it remain queued (Now is advanced to the horizon). Run
+// returns ErrStopped only when stopped explicitly.
+func (e *Engine) Run(horizon time.Duration) error {
+	e.stopped = false
+	for len(e.queue) > 0 {
+		if e.stopped {
+			return ErrStopped
+		}
+		next := e.queue[0]
+		if next.at > horizon {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		e.Processed++
+		next.fn()
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+	return nil
+}
+
+// RunAll executes events until the queue drains or maxEvents fire; it
+// guards against run-away feedback loops. It returns ErrStopped when
+// stopped, or an error when the event budget is exhausted.
+func (e *Engine) RunAll(maxEvents uint64) error {
+	e.stopped = false
+	var n uint64
+	for len(e.queue) > 0 {
+		if e.stopped {
+			return ErrStopped
+		}
+		if n >= maxEvents {
+			return errors.New("sim: event budget exhausted")
+		}
+		next := heap.Pop(&e.queue).(*event)
+		e.now = next.at
+		e.Processed++
+		n++
+		next.fn()
+	}
+	return nil
+}
+
+// Ticker repeatedly invokes fn every period until the returned cancel
+// function is called or the engine drains. The first invocation happens
+// one period from now.
+func (e *Engine) Ticker(period time.Duration, fn func()) (cancel func()) {
+	if period <= 0 {
+		period = time.Nanosecond
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			e.Schedule(period, tick)
+		}
+	}
+	e.Schedule(period, tick)
+	return func() { stopped = true }
+}

@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(3*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(1*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(2*time.Millisecond, func() { got = append(got, 2) })
+	if err := e.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIFOAtSameTimestamp(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	if err := e.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-timestamp events reordered: %v", got)
+		}
+	}
+}
+
+func TestHorizonStopsButKeepsQueue(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.Schedule(5*time.Millisecond, func() { ran++ })
+	e.Schedule(50*time.Millisecond, func() { ran++ })
+	if err := e.Run(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+	if e.Now() != 10*time.Millisecond {
+		t.Fatalf("Now = %v, want 10ms", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	// Continuing past the old horizon runs the remaining event.
+	if err := e.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2", ran)
+	}
+}
+
+func TestEventAtHorizonRuns(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.Schedule(10*time.Millisecond, func() { ran = true })
+	if err := e.Run(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("event exactly at horizon did not run")
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.Schedule(-time.Second, func() { ran = true })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("negative-delay event did not run at t=0")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.Schedule(time.Millisecond, func() { ran++; e.Stop() })
+	e.Schedule(2*time.Millisecond, func() { ran++ })
+	if err := e.Run(time.Second); err != ErrStopped {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+}
+
+func TestRunAllBudget(t *testing.T) {
+	e := NewEngine(1)
+	var loop func()
+	loop = func() { e.Schedule(time.Millisecond, loop) }
+	e.Schedule(0, loop)
+	if err := e.RunAll(100); err == nil {
+		t.Fatal("expected budget-exhausted error")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine(1)
+	ticks := 0
+	cancel := e.Ticker(10*time.Millisecond, func() { ticks++ })
+	e.Schedule(55*time.Millisecond, cancel)
+	if err := e.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func(seed int64) []int64 {
+		e := NewEngine(seed)
+		var samples []int64
+		e.Ticker(time.Millisecond, func() {
+			samples = append(samples, e.Rand().Int63n(1000))
+		})
+		e.Schedule(20*time.Millisecond+time.Nanosecond, e.Stop)
+		_ = e.Run(time.Second)
+		return samples
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("sample lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run with same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: no matter what order delays are scheduled in, events fire in
+// nondecreasing time order.
+func TestPropertyEventsFireInOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(7)
+		var fired []time.Duration
+		for _, d := range delays {
+			d := time.Duration(d) * time.Microsecond
+			e.Schedule(d, func() { fired = append(fired, e.Now()) })
+		}
+		if err := e.Run(time.Hour); err != nil {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,321 @@
+// Package testbed assembles complete LiveSec deployments inside the
+// simulator: a legacy fabric, Access-Switching layer switches wired to a
+// controller, Network-Periphery hosts and VM-based service elements. It
+// is the shared harness for integration tests, examples, and the
+// experiment benches, and it can build the paper's FIT-building
+// deployment (§V: 10 OpenFlow switches, 20 OF Wi-Fi APs, 200 service
+// elements, 50 users).
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"livesec/internal/core"
+	"livesec/internal/dataplane"
+	"livesec/internal/host"
+	"livesec/internal/legacy"
+	"livesec/internal/link"
+	"livesec/internal/monitor"
+	"livesec/internal/netpkt"
+	"livesec/internal/openflow"
+	"livesec/internal/policy"
+	"livesec/internal/service"
+	"livesec/internal/sim"
+)
+
+// uplinkPort is the reserved AS-switch port number facing the legacy
+// fabric.
+const uplinkPort uint32 = 1000
+
+// Options configures a testbed network.
+type Options struct {
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Policies preloads the controller policy table (nil = allow all).
+	Policies *policy.Table
+	// RequireCerts enables service-element certification checks.
+	RequireCerts bool
+	// CtrlLatency is the secure-channel one-way latency (default 200µs).
+	CtrlLatency time.Duration
+	// UplinkRate is the AS-switch → legacy line rate (default 1 GbE).
+	UplinkRate int64
+	// FabricSwitches shapes the legacy fabric: 1 builds a single core
+	// switch; n>1 builds a star of n edge switches around a core.
+	FabricSwitches int
+	// Monitor enables the event store.
+	Monitor bool
+	// SteerForwardOnly disables reverse-path steering.
+	SteerForwardOnly bool
+	// FlowIdle overrides the controller's flow idle timeout.
+	FlowIdle time.Duration
+	// HostTTL overrides the controller's silent-host expiry.
+	HostTTL time.Duration
+	// DHCP enables the controller's address-leasing directory.
+	DHCP core.DHCPPool
+	// UseBarriers enables barrier-synchronized first-packet release.
+	UseBarriers bool
+}
+
+// Net is an assembled deployment.
+type Net struct {
+	Eng        *sim.Engine
+	Fabric     *legacy.Fabric
+	Controller *core.Controller
+	Store      *monitor.Store
+
+	Switches []*dataplane.Switch
+	Hosts    []*host.Host
+	Elements []*service.Element
+
+	opts        Options
+	nextDPID    uint64
+	nextPort    map[uint64]uint32
+	swFabric    map[uint64]int // dpid → fabric switch index
+	nextHost    uint64
+	nextSEID    uint64
+	swByDPID    map[uint64]*dataplane.Switch
+	accessLinks map[link.Node]*link.Link
+}
+
+// New creates an empty deployment.
+func New(opts Options) *Net {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.CtrlLatency == 0 {
+		opts.CtrlLatency = 200 * time.Microsecond
+	}
+	if opts.UplinkRate == 0 {
+		opts.UplinkRate = link.Rate1G
+	}
+	if opts.FabricSwitches == 0 {
+		opts.FabricSwitches = 1
+	}
+	eng := sim.NewEngine(opts.Seed)
+	var store *monitor.Store
+	if opts.Monitor {
+		store = monitor.NewStore(0)
+	}
+	var fabric *legacy.Fabric
+	if opts.FabricSwitches == 1 {
+		fabric = legacy.NewFabric(eng)
+		fabric.AddSwitch("core")
+	} else {
+		fabric = legacy.NewStar(eng, opts.FabricSwitches, link.Params{BitsPerSec: link.Rate10G})
+	}
+	ctrl := core.New(core.Config{
+		Engine:           eng,
+		Store:            store,
+		Policies:         opts.Policies,
+		RequireCerts:     opts.RequireCerts,
+		SteerForwardOnly: opts.SteerForwardOnly,
+		FlowIdle:         opts.FlowIdle,
+		HostTTL:          opts.HostTTL,
+		DHCP:             opts.DHCP,
+		UseBarriers:      opts.UseBarriers,
+		Seed:             opts.Seed,
+	})
+	return &Net{
+		Eng:         eng,
+		Fabric:      fabric,
+		Controller:  ctrl,
+		Store:       store,
+		opts:        opts,
+		nextPort:    make(map[uint64]uint32),
+		swFabric:    make(map[uint64]int),
+		swByDPID:    make(map[uint64]*dataplane.Switch),
+		accessLinks: make(map[link.Node]*link.Link),
+	}
+}
+
+// AddSwitch creates an AS switch (OvS or OF Wi-Fi), uplinks it into
+// fabric switch fabricIdx, and connects its secure channel.
+func (n *Net) AddSwitch(kind dataplane.Kind, name string, fabricIdx int) *dataplane.Switch {
+	return n.AddSwitchUplink(kind, name, fabricIdx, n.opts.UplinkRate)
+}
+
+// AddSwitchUplink is AddSwitch with an explicit uplink line rate; the
+// E2 experiment uses it to model the service-element host's shared GbE
+// NIC while client and server switches get faster uplinks.
+func (n *Net) AddSwitchUplink(kind dataplane.Kind, name string, fabricIdx int, uplinkBps int64) *dataplane.Switch {
+	return n.AddSwitchFull(kind, name, fabricIdx, uplinkBps, n.opts.CtrlLatency)
+}
+
+// AddSwitchFull additionally sets the switch's secure-channel one-way
+// latency — distant wiring closets see the controller later than nearby
+// ones, which is what makes barrier synchronization matter.
+func (n *Net) AddSwitchFull(kind dataplane.Kind, name string, fabricIdx int, uplinkBps int64, ctrlLatency time.Duration) *dataplane.Switch {
+	n.nextDPID++
+	dpid := n.nextDPID
+	if name == "" {
+		prefix := "ovs"
+		if kind == dataplane.KindWiFi {
+			prefix = "wifi"
+		}
+		name = fmt.Sprintf("%s%d", prefix, dpid)
+	}
+	sw := dataplane.New(n.Eng, dataplane.Config{DPID: dpid, Name: name, Kind: kind})
+	up := n.Fabric.Attach(fabricIdx, sw, uplinkPort, link.Params{BitsPerSec: uplinkBps})
+	sw.AttachPort(uplinkPort, up)
+	ctrlSide, swSide := openflow.SimPipe(n.Eng, ctrlLatency)
+	sw.ConnectController(swSide)
+	n.Controller.AddSwitch(ctrlSide)
+	n.Switches = append(n.Switches, sw)
+	n.swByDPID[dpid] = sw
+	n.swFabric[dpid] = fabricIdx
+	return sw
+}
+
+// AddOvS adds a wired Open vSwitch to the first fabric switch.
+func (n *Net) AddOvS(name string) *dataplane.Switch {
+	return n.AddSwitch(dataplane.KindOvS, name, 0)
+}
+
+// AddWiFi adds an OF Wi-Fi access point to the first fabric switch.
+func (n *Net) AddWiFi(name string) *dataplane.Switch {
+	return n.AddSwitch(dataplane.KindWiFi, name, 0)
+}
+
+// allocPort reserves the next access port on a switch.
+func (n *Net) allocPort(sw *dataplane.Switch) uint32 {
+	n.nextPort[sw.DPID()]++
+	return n.nextPort[sw.DPID()]
+}
+
+// AddHost attaches a user host to sw with the given access-link
+// parameters (100 Mbps wired and 43 Mbps wireless in the paper).
+func (n *Net) AddHost(sw *dataplane.Switch, name string, ip netpkt.IPv4Addr, p link.Params) *host.Host {
+	n.nextHost++
+	h := host.New(n.Eng, name, netpkt.MACFromUint64(n.nextHost), ip)
+	port := n.allocPort(sw)
+	l := link.Connect(n.Eng, sw, port, h, 0, p)
+	sw.AttachPort(port, l)
+	h.Attach(l)
+	n.accessLinks[h] = l
+	n.Hosts = append(n.Hosts, h)
+	return h
+}
+
+// MoveHost re-attaches a host to another switch (user mobility): the
+// old access link goes down and a new one comes up with the given
+// parameters. The controller discovers the move from the host's next
+// transmission.
+func (n *Net) MoveHost(h *host.Host, to *dataplane.Switch, p link.Params) {
+	if old, ok := n.accessLinks[h]; ok {
+		old.SetUp(false)
+	}
+	port := n.allocPort(to)
+	l := link.Connect(n.Eng, to, port, h, 0, p)
+	to.AttachPort(port, l)
+	h.Attach(l)
+	n.accessLinks[h] = l
+}
+
+// AddWiredUser attaches a host over a 100 Mbps access link (§V.B.1).
+func (n *Net) AddWiredUser(sw *dataplane.Switch, name string, ip netpkt.IPv4Addr) *host.Host {
+	return n.AddHost(sw, name, ip, link.Params{BitsPerSec: link.Rate100M})
+}
+
+// AddWirelessUser attaches a host over a 43 Mbps air interface (§V.B.1).
+func (n *Net) AddWirelessUser(sw *dataplane.Switch, name string, ip netpkt.IPv4Addr) *host.Host {
+	return n.AddHost(sw, name, ip, link.Params{BitsPerSec: link.Rate43M})
+}
+
+// AddServer attaches a host over an uncapped link (gateway, data-center
+// server); the bottleneck is then elsewhere by construction.
+func (n *Net) AddServer(sw *dataplane.Switch, name string, ip netpkt.IPv4Addr) *host.Host {
+	return n.AddHost(sw, name, ip, link.Params{BitsPerSec: link.Rate10G})
+}
+
+// AddElement attaches a VM-based service element to sw. Each element
+// shares the host server's GbE NIC in the paper; pass nicRate 0 for a
+// dedicated 1 GbE virtual link.
+func (n *Net) AddElement(sw *dataplane.Switch, insp service.Inspector, nicRate int64) *service.Element {
+	n.nextSEID++
+	id := n.nextSEID
+	mac := netpkt.MACFromUint64(0x5E0000 + id)
+	return n.addElementWithMAC(sw, insp, nicRate, id, mac)
+}
+
+func (n *Net) addElementWithMAC(sw *dataplane.Switch, insp service.Inspector, nicRate int64, id uint64, mac netpkt.MAC) *service.Element {
+	if nicRate == 0 {
+		nicRate = link.Rate1G
+	}
+	ip := netpkt.IP(10, 9, byte(id>>8), byte(id))
+	el := service.New(n.Eng, service.Config{
+		ID:        id,
+		Name:      fmt.Sprintf("se%d", id),
+		MAC:       mac,
+		IP:        ip,
+		Inspector: insp,
+		Cert:      n.Controller.Certify(id, mac),
+	})
+	port := n.allocPort(sw)
+	l := link.Connect(n.Eng, sw, port, el, 0, link.Params{BitsPerSec: nicRate})
+	sw.AttachPort(port, l)
+	el.Attach(l)
+	n.accessLinks[el] = l
+	n.Elements = append(n.Elements, el)
+	return el
+}
+
+// MoveElement live-migrates a VM-based service element to another
+// switch (§III.D.1 dynamic migration). Its next heartbeat teaches the
+// controller and the fabric the new location.
+func (n *Net) MoveElement(el *service.Element, to *dataplane.Switch, nicRate int64) {
+	if nicRate == 0 {
+		nicRate = link.Rate1G
+	}
+	if old, ok := n.accessLinks[el]; ok {
+		old.SetUp(false)
+	}
+	port := n.allocPort(to)
+	l := link.Connect(n.Eng, to, port, el, 0, link.Params{BitsPerSec: nicRate})
+	to.AttachPort(port, l)
+	el.Attach(l)
+	n.accessLinks[el] = l
+}
+
+// Run advances virtual time by d.
+func (n *Net) Run(d time.Duration) error {
+	return n.Eng.Run(n.Eng.Now() + d)
+}
+
+// Discover starts the controller, completes the OpenFlow handshake and
+// LLDP topology discovery, waits for the first service-element
+// heartbeats, and floods location announcements. Deployments call it
+// once after construction; afterwards Eng.Now() is the experiment epoch.
+func (n *Net) Discover() error {
+	n.Controller.Start()
+	// Handshake (hello/features) round trips.
+	if err := n.Run(5 * time.Millisecond); err != nil {
+		return err
+	}
+	// Two discovery rounds: the first teaches uplinks, the second
+	// confirms the full mesh after every switch is registered.
+	for i := 0; i < 2; i++ {
+		n.Controller.DiscoverNow()
+		if err := n.Run(5 * time.Millisecond); err != nil {
+			return err
+		}
+	}
+	// First heartbeats arrive at t=0 relative to element attach; give
+	// them a beat and re-announce everything now that uplinks are known.
+	if err := n.Run(time.Millisecond); err != nil {
+		return err
+	}
+	n.Controller.AnnounceAll()
+	return n.Run(5 * time.Millisecond)
+}
+
+// Shutdown stops background tickers on every component.
+func (n *Net) Shutdown() {
+	n.Controller.Shutdown()
+	for _, sw := range n.Switches {
+		sw.Shutdown()
+	}
+	for _, el := range n.Elements {
+		el.Shutdown()
+	}
+}

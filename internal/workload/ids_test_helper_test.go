@@ -1,0 +1,14 @@
+package workload
+
+import (
+	"livesec/internal/ids"
+)
+
+// newIDS compiles the community rule set for tests.
+func newIDS() (*ids.Engine, error) {
+	rules, err := ids.ParseRules(ids.CommunityRules)
+	if err != nil {
+		return nil, err
+	}
+	return ids.NewEngine(rules), nil
+}

@@ -1,0 +1,189 @@
+// Package workload generates the traffic the evaluation measures: UDP
+// constant-bit-rate floods (§V.B.1's access-throughput test), HTTP-like
+// request/response transactions (the SE-scaling test), application
+// sessions for service-aware monitoring (web, SSH, BitTorrent), and
+// attack traffic for the security experiments.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"livesec/internal/host"
+	"livesec/internal/netpkt"
+	"livesec/internal/sim"
+)
+
+// MTU-sized modeling constants.
+const (
+	// DataPacketBytes is the wire size of one bulk data packet.
+	DataPacketBytes = 1500
+	// udpBulk is the BulkLen giving a 1500-byte UDP frame.
+	udpBulk = DataPacketBytes - 42
+	// tcpBulk is the BulkLen giving a 1500-byte TCP frame.
+	tcpBulk = DataPacketBytes - 54
+)
+
+// UDPCBR sends a constant-bit-rate UDP stream of MTU packets from src to
+// dstIP until cancel is called.
+func UDPCBR(eng *sim.Engine, src *host.Host, dstIP netpkt.IPv4Addr, srcPort, dstPort uint16, bps int64) (cancel func()) {
+	interval := time.Duration(int64(DataPacketBytes) * 8 * int64(time.Second) / bps)
+	return eng.Ticker(interval, func() {
+		src.SendUDP(dstIP, srcPort, dstPort, []byte("CBR-DATA"), udpBulk)
+	})
+}
+
+// Meter measures goodput at a receiving host over an interval.
+type Meter struct {
+	h          *host.Host
+	startBytes uint64
+	startPkts  uint64
+	startAt    time.Duration
+	eng        *sim.Engine
+}
+
+// NewMeter snapshots the host's counters now.
+func NewMeter(eng *sim.Engine, h *host.Host) *Meter {
+	st := h.Stats()
+	return &Meter{h: h, startBytes: st.AppBytes, startPkts: st.RxPackets, startAt: eng.Now(), eng: eng}
+}
+
+// Mbps returns application-payload goodput since the snapshot.
+func (m *Meter) Mbps() float64 {
+	elapsed := m.eng.Now() - m.startAt
+	if elapsed <= 0 {
+		return 0
+	}
+	st := m.h.Stats()
+	return float64(st.AppBytes-m.startBytes) * 8 / elapsed.Seconds() / 1e6
+}
+
+// Packets returns packets received since the snapshot.
+func (m *Meter) Packets() uint64 { return m.h.Stats().RxPackets - m.startPkts }
+
+// HTTPServer installs a web responder: each request on the port triggers
+// a response of respBytes, sent as a train of MTU TCP segments paced at
+// ≈100 Mbps per response — the rate an ACK-clocked TCP converges to when
+// the receiver sits behind the paper's 100 Mbps access link. An un-paced
+// burst would tail-drop at the server's queue when many clients hit
+// simultaneously, and the model has no retransmission.
+func HTTPServer(srv *host.Host, port uint16, respBytes int) {
+	const chunkGap = 120 * time.Microsecond
+	srv.HandleTCP(port, func(req *netpkt.Packet) {
+		dst, sp := req.IP.Src, req.TCP.SrcPort
+		remaining := respBytes
+		first := true
+		delay := time.Duration(0)
+		for remaining > 0 {
+			chunk := tcpBulk
+			if chunk > remaining {
+				chunk = remaining
+			}
+			head := []byte("HTTP/1.1 200 OK\r\nContent-Type: text/html\r\n\r\n<html>")
+			if !first {
+				head = []byte("DATA")
+			}
+			sz, h := chunk, head
+			srv.Schedule(delay, func() {
+				srv.SendTCP(dst, port, sp, h, sz)
+			})
+			remaining -= chunk
+			first = false
+			delay += chunkGap
+		}
+	})
+}
+
+// HTTPClient issues GET transactions at a steady rate; each transaction
+// uses a fresh source port (a new flow, exercising flow setup and load
+// balancing). Returns a cancel function and a counter of responses.
+type HTTPClient struct {
+	Responses uint64
+	RxBytes   uint64
+
+	cancel func()
+}
+
+// NewHTTPClient starts a client on src issuing perSec requests per
+// second to dstIP:port.
+func NewHTTPClient(eng *sim.Engine, src *host.Host, dstIP netpkt.IPv4Addr, port uint16, perSec float64, basePort uint16) *HTTPClient {
+	c := &HTTPClient{}
+	next := basePort
+	interval := time.Duration(float64(time.Second) / perSec)
+	c.cancel = eng.Ticker(interval, func() {
+		sp := next
+		next++
+		if next == 0 {
+			next = basePort
+		}
+		src.HandleTCP(sp, func(resp *netpkt.Packet) {
+			c.Responses++
+			c.RxBytes += uint64(resp.PayloadLen())
+		})
+		src.SendTCP(dstIP, sp, port, []byte(fmt.Sprintf("GET /page-%d HTTP/1.1\r\nHost: server\r\n\r\n", sp)), 0)
+	})
+	return c
+}
+
+// Stop cancels the client's request ticker.
+func (c *HTTPClient) Stop() { c.cancel() }
+
+// Session emits an application-identifiable conversation for the
+// monitoring experiments: the first packet carries the protocol's
+// signature, followed by bulk traffic at the given rate.
+type Session struct {
+	cancel func()
+}
+
+// StartWeb emits an HTTP session: request signature then periodic GETs.
+func StartWeb(eng *sim.Engine, src *host.Host, dstIP netpkt.IPv4Addr, srcPort uint16) *Session {
+	send := func() {
+		src.SendTCP(dstIP, srcPort, 80, []byte("GET /index.html HTTP/1.1\r\nHost: www\r\n\r\n"), 0)
+	}
+	send()
+	return &Session{cancel: eng.Ticker(200*time.Millisecond, send)}
+}
+
+// StartSSH emits an SSH session: banner then small interactive packets.
+func StartSSH(eng *sim.Engine, src *host.Host, dstIP netpkt.IPv4Addr, srcPort uint16) *Session {
+	src.SendTCP(dstIP, srcPort, 22, []byte("SSH-2.0-OpenSSH_8.9\r\n"), 0)
+	return &Session{cancel: eng.Ticker(100*time.Millisecond, func() {
+		src.SendTCP(dstIP, srcPort, 22, []byte{0x00, 0x01, 0x02, 0x03}, 60)
+	})}
+}
+
+// StartBitTorrent emits a BT handshake then sustained bulk upload at
+// bps — the §V.B.4 scenario where one user's download saturates links.
+func StartBitTorrent(eng *sim.Engine, src *host.Host, dstIP netpkt.IPv4Addr, srcPort uint16, bps int64) *Session {
+	hs := append([]byte{19}, []byte("BitTorrent protocol")...)
+	src.SendTCP(dstIP, srcPort, 6881, hs, 0)
+	interval := time.Duration(int64(DataPacketBytes) * 8 * int64(time.Second) / bps)
+	return &Session{cancel: eng.Ticker(interval, func() {
+		src.SendTCP(dstIP, srcPort, 6881, []byte("PIECE"), tcpBulk)
+	})}
+}
+
+// Stop ends the session's traffic.
+func (s *Session) Stop() { s.cancel() }
+
+// Attacks holds canned malicious payloads matching ids.CommunityRules.
+var Attacks = map[string]struct {
+	DstPort uint16
+	Payload []byte
+}{
+	"sql-injection":  {80, []byte("GET /login?u=admin' OR 1=1-- HTTP/1.1\r\n")},
+	"dir-traversal":  {80, []byte("GET /../../etc/passwd HTTP/1.1\r\n")},
+	"shell-upload":   {80, []byte("POST /up HTTP/1.1\r\n\r\ncmd.exe /c evil")},
+	"c2-beacon":      {4444, append([]byte{0xde, 0xad, 0xbe, 0xef}, []byte(" HELO-BOT v1")...)},
+	"ssh-bruteforce": {22, []byte("SSH-2.0-hydra\r\n")},
+}
+
+// SendAttack emits one named attack packet from src.
+func SendAttack(src *host.Host, dstIP netpkt.IPv4Addr, name string, srcPort uint16) error {
+	a, ok := Attacks[name]
+	if !ok {
+		return fmt.Errorf("workload: unknown attack %q", name)
+	}
+	src.SendTCP(dstIP, srcPort, a.DstPort, a.Payload, 0)
+	return nil
+}

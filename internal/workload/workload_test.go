@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"livesec/internal/host"
+	"livesec/internal/l7"
+	"livesec/internal/legacy"
+	"livesec/internal/link"
+	"livesec/internal/netpkt"
+	"livesec/internal/sim"
+)
+
+// pair wires two hosts through one legacy switch with ideal links.
+func pair(eng *sim.Engine) (*host.Host, *host.Host) {
+	f := legacy.NewFabric(eng)
+	sw := f.AddSwitch("sw")
+	a := host.New(eng, "a", netpkt.MACFromUint64(1), netpkt.IP(10, 0, 0, 1))
+	b := host.New(eng, "b", netpkt.MACFromUint64(2), netpkt.IP(10, 0, 0, 2))
+	a.Attach(f.Attach(sw, a, 0, link.Params{}))
+	b.Attach(f.Attach(sw, b, 0, link.Params{}))
+	return a, b
+}
+
+func TestUDPCBRRate(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a, b := pair(eng)
+	cancel := UDPCBR(eng, a, b.IP, 5000, 6000, 50_000_000) // 50 Mbps
+	eng.Schedule(200*time.Millisecond, cancel)
+	meter := NewMeter(eng, b)
+	if err := eng.Run(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	mbps := meter.Mbps()
+	if mbps < 45 || mbps > 52 {
+		t.Fatalf("CBR delivered %.1f Mbps, want ≈50", mbps)
+	}
+}
+
+func TestHTTPTransaction(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a, b := pair(eng)
+	HTTPServer(b, 80, 100_000) // 100 KB responses
+	client := NewHTTPClient(eng, a, b.IP, 80, 100, 40000)
+	eng.Schedule(100*time.Millisecond, client.Stop)
+	if err := eng.Run(300 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// ~10 requests issued; each response is 100 KB split into MTU
+	// packets, so Responses counts segments.
+	if client.Responses == 0 {
+		t.Fatal("no responses")
+	}
+	if client.RxBytes < 900_000 { // ≈10 × 100 KB
+		t.Fatalf("RxBytes = %d", client.RxBytes)
+	}
+}
+
+func TestSessionsAreIdentifiable(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a, b := pair(eng)
+	cls := l7.NewClassifier()
+	var verdicts []l7.Protocol
+	b.OnPacket = func(p *netpkt.Packet) {
+		if v := cls.Classify(p); v != l7.Unknown {
+			verdicts = append(verdicts, v)
+		}
+	}
+	web := StartWeb(eng, a, b.IP, 50001)
+	ssh := StartSSH(eng, a, b.IP, 50002)
+	bt := StartBitTorrent(eng, a, b.IP, 50003, 10_000_000)
+	eng.Schedule(300*time.Millisecond, func() { web.Stop(); ssh.Stop(); bt.Stop() })
+	if err := eng.Run(300 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[l7.Protocol]bool{}
+	for _, v := range verdicts {
+		seen[v] = true
+	}
+	for _, want := range []l7.Protocol{l7.HTTP, l7.SSH, l7.BitTorrent} {
+		if !seen[want] {
+			t.Errorf("session for %s not identified (saw %v)", want, verdicts)
+		}
+	}
+}
+
+func TestAttacksMatchRuleSet(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a, b := pair(eng)
+	// The attacks must actually be detectable by the community rules.
+	ins, err := newIDS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	b.OnPacket = func(p *netpkt.Packet) {
+		if len(ins.Inspect(p)) > 0 {
+			hits++
+		}
+	}
+	i := 0
+	for name := range Attacks {
+		if err := SendAttack(a, b.IP, name, uint16(41000+i)); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if hits != len(Attacks) {
+		t.Fatalf("only %d/%d canned attacks trigger the rule set", hits, len(Attacks))
+	}
+}
+
+func TestSendAttackUnknown(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a, b := pair(eng)
+	_ = eng
+	if err := SendAttack(a, b.IP, "not-a-thing", 1); err == nil {
+		t.Fatal("unknown attack accepted")
+	}
+}
+
+func TestMeterZeroWindow(t *testing.T) {
+	eng := sim.NewEngine(1)
+	_, b := pair(eng)
+	m := NewMeter(eng, b)
+	if m.Mbps() != 0 {
+		t.Fatal("zero-window meter should read 0")
+	}
+}
