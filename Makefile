@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test vet bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark pass (real measurements; slow).
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem .
+
+# Tier-1 gate: build + vet + race tests + benchmark smoke run.
+verify:
+	sh scripts/verify.sh

@@ -4,10 +4,15 @@
 //
 // Usage:
 //
-//	livesec-bench [-scale full|ci] [-experiment all|E1|…|E7]
+//	livesec-bench [-scale full|ci] [-experiment all|E1|…|E7] [-json file]
+//
+// With -json, the headline metrics are additionally written to the given
+// file as a machine-readable report (used to snapshot before/after
+// numbers for performance work, e.g. BENCH_PR1.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +21,30 @@ import (
 
 	"livesec/internal/experiments"
 )
+
+// jsonRow mirrors experiments.Row for the -json report.
+type jsonRow struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+	Paper string  `json:"paper"`
+}
+
+type jsonExperiment struct {
+	ID      string    `json:"id"`
+	Title   string    `json:"title"`
+	Claim   string    `json:"claim"`
+	Seconds float64   `json:"seconds"`
+	Rows    []jsonRow `json:"rows"`
+	Notes   []string  `json:"notes,omitempty"`
+}
+
+type jsonReport struct {
+	Scale        string           `json:"scale"`
+	GeneratedAt  string           `json:"generated_at"`
+	Experiments  []jsonExperiment `json:"experiments"`
+	TotalSeconds float64          `json:"total_seconds"`
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -28,6 +57,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("livesec-bench", flag.ContinueOnError)
 	scaleFlag := fs.String("scale", "full", "deployment scale: full (paper sizes) or ci (fast)")
 	expFlag := fs.String("experiment", "all", "experiment to run: all, E1…E7, or ablations A1…A4")
+	jsonFlag := fs.String("json", "", "also write headline metrics to this file as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,23 +88,47 @@ func run(args []string) error {
 
 	want := strings.ToUpper(*expFlag)
 	if want != "ALL" {
-		r, ok := runners[want]
-		if !ok {
+		if _, ok := runners[want]; !ok {
 			return fmt.Errorf("unknown experiment %q (want E1…E7, A1…A4, or all)", *expFlag)
 		}
 		order = []string{want}
-		_ = r
 	}
 
 	fmt.Printf("LiveSec evaluation reproduction (scale=%s)\n", *scaleFlag)
 	fmt.Println(strings.Repeat("=", 64))
+	report := jsonReport{
+		Scale:       strings.ToLower(*scaleFlag),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
 	start := time.Now()
 	for _, id := range order {
 		t0 := time.Now()
 		res := runners[id]()
+		elapsed := time.Since(t0).Seconds()
 		fmt.Print(res.String())
-		fmt.Printf("  [%s in %.1fs]\n\n", id, time.Since(t0).Seconds())
+		fmt.Printf("  [%s in %.1fs]\n\n", id, elapsed)
+		je := jsonExperiment{
+			ID: res.ID, Title: res.Title, Claim: res.Claim,
+			Seconds: elapsed, Notes: res.Notes,
+		}
+		for _, row := range res.Rows {
+			je.Rows = append(je.Rows, jsonRow(row))
+		}
+		report.Experiments = append(report.Experiments, je)
 	}
-	fmt.Printf("total wall time: %.1fs\n", time.Since(start).Seconds())
+	report.TotalSeconds = time.Since(start).Seconds()
+	fmt.Printf("total wall time: %.1fs\n", report.TotalSeconds)
+
+	if *jsonFlag != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonFlag, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("json report written to %s\n", *jsonFlag)
+	}
 	return nil
 }

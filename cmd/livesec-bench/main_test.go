@@ -1,10 +1,42 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunSingleExperimentCI(t *testing.T) {
 	if err := run([]string{"-scale", "ci", "-experiment", "E1"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunWritesJSONReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-scale", "ci", "-experiment", "A2", "-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report jsonReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if report.Scale != "ci" || len(report.Experiments) != 1 {
+		t.Fatalf("report = %+v", report)
+	}
+	exp := report.Experiments[0]
+	if exp.ID == "" || len(exp.Rows) == 0 {
+		t.Fatalf("experiment missing headline rows: %+v", exp)
+	}
+	for _, r := range exp.Rows {
+		if r.Name == "" || r.Unit == "" {
+			t.Fatalf("incomplete row: %+v", r)
+		}
 	}
 }
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"livesec/internal/openflow"
 )
 
@@ -20,14 +22,20 @@ type pendingRelease struct {
 	waiting map[uint32]bool // outstanding barrier xids
 }
 
-// barrierRelease wires one release: barriers go to every switch in
-// dpids; the packet-out fires when the last reply lands.
-func (c *Controller) barrierRelease(st *switchState, po *openflow.PacketOut, dpids map[uint64]bool) {
+// barrierRelease wires one release: barriers are queued on the emitter
+// (riding each switch's flow-mod batch, in ascending dpid order for
+// determinism); the packet-out fires when the last reply lands.
+func (c *Controller) barrierRelease(em *emitter, st *switchState, po *openflow.PacketOut, dpids map[uint64]bool) {
 	if c.pendingReleases == nil {
 		c.pendingReleases = make(map[uint32]*pendingRelease)
 	}
 	rel := &pendingRelease{st: st, po: po, waiting: make(map[uint32]bool, len(dpids))}
+	ids := make([]uint64, 0, len(dpids))
 	for dpid := range dpids {
+		ids = append(ids, dpid)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, dpid := range ids {
 		target, ok := c.switches[dpid]
 		if !ok {
 			continue
@@ -35,7 +43,8 @@ func (c *Controller) barrierRelease(st *switchState, po *openflow.PacketOut, dpi
 		xid := c.xid()
 		rel.waiting[xid] = true
 		c.pendingReleases[xid] = rel
-		target.conn.Send(&openflow.BarrierRequest{XID: xid})
+		b := em.batchFor(target)
+		b.msgs = append(b.msgs, &openflow.BarrierRequest{XID: xid})
 	}
 	if len(rel.waiting) == 0 {
 		c.sendPacketOut(st, po)

@@ -1,0 +1,377 @@
+package core
+
+// Flow-setup fast path: a decision cache memoizing the outcome of
+// routeFlow for repeat flows.
+//
+// The first packet of every flow costs a policy-table scan plus the full
+// construction of the session's flow entries (match derivation, action
+// lists, destination and topology resolution). Production traffic
+// repeats: the same user talks to the same service with fresh ephemeral
+// ports, and every such flow re-derives an identical setup. The cache
+// splits that work in two:
+//
+//   - A *decision* cache mapping the match-relevant selectors of the
+//     flow key to the policy decision, validated against the policy
+//     table's version counter, so repeat flows skip the O(rules) scan.
+//   - A *plan* cache mapping (selectors, chosen service elements) to the
+//     fully-derived install plan: one step per flow entry, holding the
+//     concrete MAC/port overrides and a shared action list, plus the
+//     ingress release actions and programmed-switch set. Replaying a
+//     plan re-derives each exact match from the live key (ephemeral
+//     source port and TOS are patched in) and emits the flow mods as one
+//     batched transport write per switch.
+//
+// Load balancing stays live: the balancer picks elements for every
+// chained flow, and the plan cache is keyed by the picked element IDs,
+// so a cached plan can never steer a flow to an element the balancer
+// did not just choose.
+//
+// Invalidation triggers (each covered by a test in cache_test.go):
+//
+//  1. Policy change — policy.Table.Version() is compared on every
+//     decision read; a mutation makes all cached decisions stale at
+//     once. Plans are decision-independent given the picked elements,
+//     so they stay.
+//  2. Host mobility — a host seen at a new attachment point (or expired
+//     by TTL) invalidates every plan involving it as source or
+//     destination (invalidateHost).
+//  3. SE registration/failure — a service element registering, changing
+//     attachment, or timing out invalidates every plan steering through
+//     it (invalidateSE).
+//  4. Load-balancer re-weighting — a pure load report (heartbeat with
+//     unchanged attachment) also invalidates the reporting element's
+//     plans, so steering state never outlives the load information it
+//     was balanced on (invalidateSE from handleSEOnline).
+//
+// Topology changes (new LLDP link, switch removal) conservatively clear
+// everything (invalidateAll).
+
+import (
+	"livesec/internal/flow"
+	"livesec/internal/netpkt"
+	"livesec/internal/openflow"
+	"livesec/internal/policy"
+)
+
+// selectorKey is the subset of a flow key the routing decision can
+// depend on: the policy table matches on user (EthSrc), IPs, protocol,
+// destination port, and VLAN; destination resolution on EthDst; and the
+// installed paths on the ingress attachment (dpid, InPort) plus EthType.
+// SrcPort and IPTOS are deliberately absent — no policy or routing
+// choice examines them — so all ephemeral-port flows between two
+// endpoints share one cache line. They are restored from the live key
+// when a plan is replayed.
+type selectorKey struct {
+	dpid    uint64
+	inPort  uint32
+	ethSrc  netpkt.MAC
+	ethDst  netpkt.MAC
+	vlan    uint16
+	ethType netpkt.EtherType
+	ipSrc   netpkt.IPv4Addr
+	ipDst   netpkt.IPv4Addr
+	ipProto netpkt.IPProto
+	dstPort uint16
+}
+
+func selectorOf(dpid uint64, k flow.Key) selectorKey {
+	return selectorKey{
+		dpid:    dpid,
+		inPort:  k.InPort,
+		ethSrc:  k.EthSrc,
+		ethDst:  k.EthDst,
+		vlan:    k.VLAN,
+		ethType: k.EthType,
+		ipSrc:   k.IPSrc,
+		ipDst:   k.IPDst,
+		ipProto: k.IPProto,
+		dstPort: k.DstPort,
+	}
+}
+
+// maxPlanChain bounds the chain length the plan cache indexes; longer
+// chains are rebuilt on every flow (they still benefit from the decision
+// cache and batched emission).
+const maxPlanChain = 4
+
+// planKey identifies one install plan: the flow selectors plus the
+// elements the balancer picked for it (all-zero for direct paths).
+type planKey struct {
+	sel   selectorKey
+	seIDs [maxPlanChain]uint64
+	nSE   int
+}
+
+// cachedDecision is a policy decision stamped with the table version it
+// was computed under.
+type cachedDecision struct {
+	version uint64
+	dec     policy.Decision
+}
+
+// planStep is one flow entry of a session plan. The entry's exact match
+// is the live flow key (or its reverse) with EthSrc, EthDst, and InPort
+// overridden by the recorded values; everything else — including the
+// ephemeral source port and TOS excluded from the selector — comes from
+// the live key, exactly as the original install derived it.
+type planStep struct {
+	dpid      uint64
+	rev       bool // derive the match from the session's reverse key
+	ethSrc    netpkt.MAC
+	ethDst    netpkt.MAC
+	inPort    uint32
+	priority  uint16
+	idle      uint16
+	notifyDel bool
+	actions   []openflow.Action // shared across replays; never mutated
+}
+
+// sessionPlan is a fully-derived flow setup, replayable for any flow
+// with the same selector key (and, for chains, the same picked
+// elements).
+type sessionPlan struct {
+	steps        []planStep
+	firstActions []openflow.Action // ingress packet-out actions
+	programmed   map[uint64]bool   // switches the plan touches (read-only)
+	revPort      uint32            // destination port for Key.Reverse
+	seIDs        []uint64          // picked elements (chains only)
+	via          string            // pre-rendered element list for events
+}
+
+// cacheLimit caps each cache map; exceeding it clears the map (simple,
+// and in practice reached only by synthetic churn).
+const cacheLimit = 1 << 16
+
+// decisionCache holds both cache levels plus the reverse indices the
+// invalidation triggers use.
+type decisionCache struct {
+	decisions map[selectorKey]cachedDecision
+	plans     map[planKey]*sessionPlan
+
+	byHost map[netpkt.MAC]map[planKey]bool // selector src/dst → plans
+	bySE   map[uint64]map[planKey]bool     // element id → plans
+}
+
+func newDecisionCache() *decisionCache {
+	return &decisionCache{
+		decisions: make(map[selectorKey]cachedDecision),
+		plans:     make(map[planKey]*sessionPlan),
+		byHost:    make(map[netpkt.MAC]map[planKey]bool),
+		bySE:      make(map[uint64]map[planKey]bool),
+	}
+}
+
+// decision returns the cached policy decision for sel if it is still
+// valid under the given policy version.
+func (dc *decisionCache) decision(sel selectorKey, version uint64) (policy.Decision, bool) {
+	cd, ok := dc.decisions[sel]
+	if !ok || cd.version != version {
+		return policy.Decision{}, false
+	}
+	return cd.dec, true
+}
+
+func (dc *decisionCache) putDecision(sel selectorKey, version uint64, dec policy.Decision) {
+	if len(dc.decisions) >= cacheLimit {
+		dc.decisions = make(map[selectorKey]cachedDecision)
+	}
+	dc.decisions[sel] = cachedDecision{version: version, dec: dec}
+}
+
+// planKeyFor builds the plan key; ok is false for chains too long to
+// index.
+func planKeyFor(sel selectorKey, seIDs []uint64) (planKey, bool) {
+	if len(seIDs) > maxPlanChain {
+		return planKey{}, false
+	}
+	pk := planKey{sel: sel, nSE: len(seIDs)}
+	copy(pk.seIDs[:], seIDs)
+	return pk, true
+}
+
+func (dc *decisionCache) plan(pk planKey) *sessionPlan {
+	return dc.plans[pk]
+}
+
+func (dc *decisionCache) putPlan(pk planKey, p *sessionPlan) {
+	if len(dc.plans) >= cacheLimit {
+		dc.invalidateAll()
+	}
+	dc.plans[pk] = p
+	index := func(m map[netpkt.MAC]map[planKey]bool, mac netpkt.MAC) {
+		set := m[mac]
+		if set == nil {
+			set = make(map[planKey]bool)
+			m[mac] = set
+		}
+		set[pk] = true
+	}
+	index(dc.byHost, pk.sel.ethSrc)
+	index(dc.byHost, pk.sel.ethDst)
+	for _, id := range p.seIDs {
+		set := dc.bySE[id]
+		if set == nil {
+			set = make(map[planKey]bool)
+			dc.bySE[id] = set
+		}
+		set[pk] = true
+	}
+}
+
+// dropPlan removes one plan and its index entries.
+func (dc *decisionCache) dropPlan(pk planKey) {
+	p, ok := dc.plans[pk]
+	if !ok {
+		return
+	}
+	delete(dc.plans, pk)
+	unindex := func(m map[netpkt.MAC]map[planKey]bool, mac netpkt.MAC) {
+		if set := m[mac]; set != nil {
+			delete(set, pk)
+			if len(set) == 0 {
+				delete(m, mac)
+			}
+		}
+	}
+	unindex(dc.byHost, pk.sel.ethSrc)
+	unindex(dc.byHost, pk.sel.ethDst)
+	for _, id := range p.seIDs {
+		if set := dc.bySE[id]; set != nil {
+			delete(set, pk)
+			if len(set) == 0 {
+				delete(dc.bySE, id)
+			}
+		}
+	}
+}
+
+// invalidateHost drops every plan involving mac as flow source or
+// destination (trigger 2: mobility / host expiry). Returns the number of
+// plans dropped.
+func (dc *decisionCache) invalidateHost(mac netpkt.MAC) int {
+	set := dc.byHost[mac]
+	n := len(set)
+	for pk := range set {
+		dc.dropPlan(pk)
+	}
+	return n
+}
+
+// invalidateSE drops every plan steering through the element (triggers
+// 3 and 4: registration/attachment change, failure, and load
+// re-weighting). Returns the number of plans dropped.
+func (dc *decisionCache) invalidateSE(id uint64) int {
+	set := dc.bySE[id]
+	n := len(set)
+	for pk := range set {
+		dc.dropPlan(pk)
+	}
+	return n
+}
+
+// invalidateAll clears both cache levels (topology changes).
+func (dc *decisionCache) invalidateAll() {
+	dc.decisions = make(map[selectorKey]cachedDecision)
+	dc.plans = make(map[planKey]*sessionPlan)
+	dc.byHost = make(map[netpkt.MAC]map[planKey]bool)
+	dc.bySE = make(map[uint64]map[planKey]bool)
+}
+
+// emitter batches control messages per switch during one flow setup so a
+// multi-entry install costs one transport write per switch, and
+// optionally records the emitted flow mods as plan steps. A single
+// emitter is embedded in the Controller and reused across setups (the
+// controller is single-threaded on the event loop).
+type emitter struct {
+	batches []swBatch
+	n       int
+	plan    *sessionPlan // non-nil: record steps while emitting
+}
+
+type swBatch struct {
+	st   *switchState
+	msgs []openflow.Message
+}
+
+func (em *emitter) reset(plan *sessionPlan) {
+	em.n = 0
+	em.plan = plan
+}
+
+func (em *emitter) batchFor(st *switchState) *swBatch {
+	for i := 0; i < em.n; i++ {
+		if em.batches[i].st == st {
+			return &em.batches[i]
+		}
+	}
+	if em.n == len(em.batches) {
+		em.batches = append(em.batches, swBatch{})
+	}
+	b := &em.batches[em.n]
+	em.n++
+	b.st = st
+	b.msgs = b.msgs[:0]
+	return b
+}
+
+// flush sends each switch's accumulated messages as one batched write,
+// in first-touch order (deterministic: emission order is deterministic).
+func (em *emitter) flush() {
+	for i := 0; i < em.n; i++ {
+		b := &em.batches[i]
+		openflow.SendAll(b.st.conn, b.msgs...)
+		b.st = nil
+	}
+	em.n = 0
+	em.plan = nil
+}
+
+// emitFlowMod queues a flow mod on the emitter (counting it like
+// sendFlowMod) and records it as a plan step when recording is on.
+func (c *Controller) emitFlowMod(em *emitter, st *switchState, rev bool, fm *openflow.FlowMod) {
+	fm.XID = c.xid()
+	b := em.batchFor(st)
+	b.msgs = append(b.msgs, fm)
+	c.stats.FlowModsSent++
+	if em.plan != nil {
+		em.plan.steps = append(em.plan.steps, planStep{
+			dpid:      st.dpid,
+			rev:       rev,
+			ethSrc:    fm.Match.Key.EthSrc,
+			ethDst:    fm.Match.Key.EthDst,
+			inPort:    fm.Match.Key.InPort,
+			priority:  fm.Priority,
+			idle:      fm.IdleTimeout,
+			notifyDel: fm.NotifyDel,
+			actions:   fm.Actions,
+		})
+	}
+}
+
+// replayPlan re-derives every flow entry of a cached plan from the live
+// key and queues the flow mods on the emitter.
+func (c *Controller) replayPlan(em *emitter, plan *sessionPlan, key flow.Key) {
+	revKey := key.Reverse(plan.revPort)
+	for i := range plan.steps {
+		s := &plan.steps[i]
+		target, ok := c.switches[s.dpid]
+		if !ok {
+			continue // unreachable: RemoveSwitch invalidates all plans
+		}
+		m := key
+		if s.rev {
+			m = revKey
+		}
+		m.EthSrc = s.ethSrc
+		m.EthDst = s.ethDst
+		m.InPort = s.inPort
+		c.emitFlowMod(em, target, false, &openflow.FlowMod{
+			Match:       flow.ExactMatch(m),
+			Command:     openflow.FlowAdd,
+			Priority:    s.priority,
+			IdleTimeout: s.idle,
+			NotifyDel:   s.notifyDel,
+			Actions:     s.actions,
+		})
+	}
+}

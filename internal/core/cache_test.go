@@ -1,0 +1,116 @@
+package core
+
+// White-box tests of the decision-cache data structure: the invalidation
+// primitives the four triggers (cache.go) are built on. The end-to-end
+// trigger tests live in cache_integration_test.go.
+
+import (
+	"testing"
+
+	"livesec/internal/netpkt"
+	"livesec/internal/policy"
+)
+
+func testSelector(src, dst uint64) selectorKey {
+	return selectorKey{
+		dpid:   1,
+		ethSrc: netpkt.MACFromUint64(src),
+		ethDst: netpkt.MACFromUint64(dst),
+	}
+}
+
+func TestDecisionCacheVersionCheck(t *testing.T) {
+	dc := newDecisionCache()
+	sel := testSelector(1, 2)
+	dc.putDecision(sel, 7, policy.Decision{Action: policy.Allow, Rule: "r"})
+	if dec, ok := dc.decision(sel, 7); !ok || dec.Rule != "r" {
+		t.Fatalf("same-version read failed: %+v %v", dec, ok)
+	}
+	// A policy mutation bumps the table version; the stale entry must not
+	// be served (trigger 1).
+	if _, ok := dc.decision(sel, 8); ok {
+		t.Fatal("stale decision served after version bump")
+	}
+	if _, ok := dc.decision(testSelector(3, 4), 7); ok {
+		t.Fatal("decision served for unknown selector")
+	}
+}
+
+func TestDecisionCacheInvalidateHost(t *testing.T) {
+	dc := newDecisionCache()
+	mk := func(src, dst uint64, ses ...uint64) planKey {
+		pk, ok := planKeyFor(testSelector(src, dst), ses)
+		if !ok {
+			t.Fatalf("planKeyFor failed for %v", ses)
+		}
+		dc.putPlan(pk, &sessionPlan{seIDs: ses})
+		return pk
+	}
+	asSrc := mk(10, 20)
+	asDst := mk(30, 10)
+	other := mk(40, 50, 9)
+
+	if n := dc.invalidateHost(netpkt.MACFromUint64(10)); n != 2 {
+		t.Fatalf("invalidateHost dropped %d plans, want 2", n)
+	}
+	if dc.plan(asSrc) != nil || dc.plan(asDst) != nil {
+		t.Fatal("plan involving host survived invalidateHost")
+	}
+	if dc.plan(other) == nil {
+		t.Fatal("unrelated plan dropped")
+	}
+	// Index entries must be gone too: a second invalidation is a no-op.
+	if n := dc.invalidateHost(netpkt.MACFromUint64(10)); n != 0 {
+		t.Fatalf("second invalidateHost dropped %d plans", n)
+	}
+}
+
+func TestDecisionCacheInvalidateSE(t *testing.T) {
+	dc := newDecisionCache()
+	pk1, _ := planKeyFor(testSelector(1, 2), []uint64{5})
+	pk2, _ := planKeyFor(testSelector(1, 2), []uint64{5, 6})
+	pk3, _ := planKeyFor(testSelector(1, 2), []uint64{6})
+	dc.putPlan(pk1, &sessionPlan{seIDs: []uint64{5}})
+	dc.putPlan(pk2, &sessionPlan{seIDs: []uint64{5, 6}})
+	dc.putPlan(pk3, &sessionPlan{seIDs: []uint64{6}})
+
+	if n := dc.invalidateSE(5); n != 2 {
+		t.Fatalf("invalidateSE dropped %d plans, want 2", n)
+	}
+	if dc.plan(pk1) != nil || dc.plan(pk2) != nil {
+		t.Fatal("plan through element survived invalidateSE")
+	}
+	if dc.plan(pk3) == nil {
+		t.Fatal("plan through other element dropped")
+	}
+	// pk2 also steered through element 6; its index entry must have been
+	// unlinked when the plan died, leaving only pk3 behind element 6.
+	if n := dc.invalidateSE(6); n != 1 {
+		t.Fatalf("invalidateSE(6) dropped %d plans, want 1", n)
+	}
+	if len(dc.bySE) != 0 || len(dc.byHost) != 0 {
+		t.Fatalf("indices not empty after dropping every plan: bySE=%d byHost=%d",
+			len(dc.bySE), len(dc.byHost))
+	}
+}
+
+func TestDecisionCacheInvalidateAll(t *testing.T) {
+	dc := newDecisionCache()
+	dc.putDecision(testSelector(1, 2), 1, policy.Decision{Action: policy.Allow})
+	pk, _ := planKeyFor(testSelector(1, 2), []uint64{3})
+	dc.putPlan(pk, &sessionPlan{seIDs: []uint64{3}})
+	dc.invalidateAll()
+	if len(dc.decisions) != 0 || len(dc.plans) != 0 || len(dc.byHost) != 0 || len(dc.bySE) != 0 {
+		t.Fatal("invalidateAll left state behind")
+	}
+}
+
+func TestPlanKeyForChainLengthLimit(t *testing.T) {
+	sel := testSelector(1, 2)
+	if _, ok := planKeyFor(sel, make([]uint64, maxPlanChain)); !ok {
+		t.Fatalf("chain of %d not cacheable", maxPlanChain)
+	}
+	if _, ok := planKeyFor(sel, make([]uint64, maxPlanChain+1)); ok {
+		t.Fatalf("chain of %d unexpectedly cacheable", maxPlanChain+1)
+	}
+}

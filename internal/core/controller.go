@@ -138,6 +138,12 @@ type Stats struct {
 	IgnoredUplink uint64
 	DHCPLeases    uint64
 	SwitchErrors  uint64
+
+	// Flow-setup fast-path counters (see cache.go).
+	DecisionCacheHits   uint64
+	DecisionCacheMisses uint64
+	PlanCacheHits       uint64
+	PlanCacheMisses     uint64
 }
 
 // Controller is the LiveSec controller.
@@ -177,6 +183,12 @@ type Controller struct {
 	discoverPending bool
 	// pendingReleases holds packet-outs awaiting barrier replies.
 	pendingReleases map[uint32]*pendingRelease
+
+	// cache memoizes policy decisions and install plans (cache.go); emit
+	// is the reusable per-setup message batcher (the controller is
+	// single-threaded on the simulation event loop).
+	cache *decisionCache
+	emit  emitter
 
 	stats Stats
 }
@@ -227,6 +239,7 @@ func New(cfg Config) *Controller {
 		balancers:    make(map[balancerKey]*loadbalance.Balancer),
 		blockedUsers: make(map[netpkt.MAC]bool),
 		leases:       make(map[netpkt.MAC]netpkt.IPv4Addr),
+		cache:        newDecisionCache(),
 	}
 }
 
@@ -265,6 +278,12 @@ func bytesLessMAC(a, b netpkt.MAC) bool {
 
 // Stats returns a copy of the controller counters.
 func (c *Controller) Stats() Stats { return c.stats }
+
+// CacheStats reports the flow-setup fast-path cache occupancy: memoized
+// policy decisions and cached install plans (see cache.go).
+func (c *Controller) CacheStats() (decisions, plans int) {
+	return len(c.cache.decisions), len(c.cache.plans)
+}
 
 // Policies returns the live policy table.
 func (c *Controller) Policies() *policy.Table { return c.policies }
@@ -419,6 +438,9 @@ func (c *Controller) housekeep() {
 			if c.byIP[h.IP] == h.MAC {
 				delete(c.byIP, h.IP)
 			}
+			// Invalidation trigger 2 (cache.go): the expired host's plans
+			// would route to a stale attachment point.
+			c.cache.invalidateHost(h.MAC)
 			c.record(monitor.Event{Type: monitor.EventUserLeave,
 				User: h.MAC.String(), IP: h.IP.String(), Switch: h.DPID})
 		}
@@ -434,6 +456,10 @@ func (c *Controller) housekeep() {
 			delete(c.elements, id)
 			delete(c.byMAC, se.mac)
 			delete(c.hosts, se.mac)
+			// Invalidation trigger 3 (cache.go): plans steering through the
+			// failed element are dead.
+			c.cache.invalidateSE(id)
+			c.cache.invalidateHost(se.mac)
 			c.record(monitor.Event{Type: monitor.EventSEOffline, SE: id,
 				Detail: se.service.String(), Switch: se.dpid})
 		}
@@ -450,6 +476,9 @@ func (c *Controller) RemoveSwitch(dpid uint64) bool {
 	}
 	delete(c.switches, dpid)
 	_ = st.conn.Close()
+	// Topology change: every cached plan may embed ports toward the
+	// departed switch; clear everything (cache.go).
+	c.cache.invalidateAll()
 	for mac, h := range c.hosts {
 		if h.DPID != dpid {
 			continue

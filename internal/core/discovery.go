@@ -57,6 +57,9 @@ func (c *Controller) handleLLDP(st *switchState, inPort uint32, l *netpkt.LLDP) 
 	st.peers[l.ChassisID] = inPort
 	peer.uplinks[l.PortID] = true
 	if newLink {
+		// Topology change: cached install plans embed output ports chosen
+		// from the peer table; clear them all (cache.go).
+		c.cache.invalidateAll()
 		c.record(monitor.Event{Type: monitor.EventLinkDiscover, Switch: st.dpid,
 			Detail: linkName(l.ChassisID, l.PortID, st.dpid, inPort)})
 	}
@@ -163,7 +166,10 @@ func (c *Controller) learnHost(st *switchState, port uint32, mac netpkt.MAC, ip 
 		if moved {
 			// Mobility: stale entries across the network reference the
 			// old attachment; purge them so sessions re-establish here.
+			// Invalidation trigger 2 (cache.go): cached plans route to the
+			// old attachment point.
 			c.purgeHostFlows(mac)
+			c.cache.invalidateHost(mac)
 		}
 		if announce {
 			c.announceHost(st, h)

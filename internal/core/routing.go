@@ -158,7 +158,10 @@ type hop struct {
 
 // routeFlow applies the policy table to a first packet and installs the
 // resulting path (§III.C.3 end-to-end routing, §IV.A interactive policy
-// enforcement).
+// enforcement). Repeat flows hit the decision cache: the policy lookup
+// is served from the selector-keyed cache (validated against the policy
+// table version), and the install itself replays a cached plan when one
+// exists (see cache.go).
 func (c *Controller) routeFlow(st *switchState, pi *openflow.PacketIn, pkt *netpkt.Packet) {
 	key := flow.KeyOf(pi.InPort, pkt)
 	if c.blockedUsers[key.EthSrc] {
@@ -166,17 +169,26 @@ func (c *Controller) routeFlow(st *switchState, pi *openflow.PacketIn, pkt *netp
 		// (e.g. right after roaming); never route them.
 		return
 	}
-	dec := c.policies.Lookup(key)
+	sel := selectorOf(st.dpid, key)
+	version := c.policies.Version()
+	dec, hit := c.cache.decision(sel, version)
+	if hit {
+		c.stats.DecisionCacheHits++
+	} else {
+		c.stats.DecisionCacheMisses++
+		dec = c.policies.Lookup(key)
+		c.cache.putDecision(sel, version, dec)
+	}
 	switch dec.Action {
 	case policy.Deny:
 		c.installDrop(st, exactDropMatch(key), key, "policy "+dec.Rule)
 		c.stats.FlowsBlocked++
 		return
 	case policy.Chain:
-		c.installChain(st, pi, pkt, key, dec)
+		c.installChain(st, pi, pkt, key, sel, dec)
 		return
 	default:
-		c.installDirect(st, pi, pkt, key, dec.Rule)
+		c.installDirect(st, pi, pkt, key, sel, dec.Rule)
 	}
 }
 
@@ -209,27 +221,53 @@ func (c *Controller) destination(key flow.Key) (hop, bool) {
 }
 
 // installDirect installs plain two-hop forwarding for both directions of
-// the session and releases the buffered packet.
-func (c *Controller) installDirect(st *switchState, pi *openflow.PacketIn, pkt *netpkt.Packet, key flow.Key, rule string) {
+// the session and releases the buffered packet. Repeat flows replay the
+// cached plan instead of rebuilding the path.
+func (c *Controller) installDirect(st *switchState, pi *openflow.PacketIn, pkt *netpkt.Packet, key flow.Key, sel selectorKey, rule string) {
+	pk := planKey{sel: sel}
+	if plan := c.cache.plan(pk); plan != nil {
+		c.stats.PlanCacheHits++
+		em := &c.emit
+		em.reset(nil)
+		c.replayPlan(em, plan, key)
+		c.finishSetup(em, st, pi, plan.firstActions, plan.programmed)
+		c.stats.FlowsRouted++
+		c.rememberSession(key, st.dpid, rule)
+		c.record(monitor.Event{Type: monitor.EventFlowStart, Switch: st.dpid,
+			User: key.EthSrc.String(), FlowKey: &key, Detail: "allow " + rule})
+		return
+	}
+	c.stats.PlanCacheMisses++
 	dst, ok := c.destination(key)
 	if !ok {
 		return // destination unknown; drop the packet, sender will retry
 	}
-	first, programmed, ok := c.installPath(st, key, []hop{dst})
+	plan := &sessionPlan{revPort: dst.port}
+	em := &c.emit
+	em.reset(plan)
+	first, programmed, ok := c.installPath(em, st, key, []hop{dst}, false)
 	if !ok {
+		em.flush()
 		return
 	}
+	complete := false
 	// Reverse direction of the session (§III.C.3 session policy).
 	if src, ok := c.hosts[key.EthSrc]; ok {
 		revKey := key.Reverse(dst.port)
 		if srcSt, up := c.switches[src.DPID]; up {
-			_, revProg, _ := c.installPath(dst.st, revKey, []hop{{st: srcSt, port: src.Port, mac: src.MAC}})
+			_, revProg, revOK := c.installPath(em, dst.st, revKey, []hop{{st: srcSt, port: src.Port, mac: src.MAC}}, true)
 			for dpid := range revProg {
 				programmed[dpid] = true
 			}
+			complete = revOK
 		}
 	}
-	c.releasePacket(st, pi, first, programmed)
+	c.finishSetup(em, st, pi, first, programmed)
+	if complete {
+		plan.firstActions = first
+		plan.programmed = programmed
+		c.cache.putPlan(pk, plan)
+	}
 	c.stats.FlowsRouted++
 	c.rememberSession(key, st.dpid, rule)
 	c.record(monitor.Event{Type: monitor.EventFlowStart, Switch: st.dpid,
@@ -239,7 +277,7 @@ func (c *Controller) installDirect(st *switchState, pi *openflow.PacketIn, pkt *
 // installChain resolves the policy's service chain to concrete elements
 // via load balancing and installs the steering path for both directions
 // (§IV.A's four flow entries, generalized to arbitrary chain length).
-func (c *Controller) installChain(st *switchState, pi *openflow.PacketIn, pkt *netpkt.Packet, key flow.Key, dec policy.Decision) {
+func (c *Controller) installChain(st *switchState, pi *openflow.PacketIn, pkt *netpkt.Packet, key flow.Key, sel selectorKey, dec policy.Decision) {
 	dst, ok := c.destination(key)
 	if !ok {
 		return
@@ -259,18 +297,44 @@ func (c *Controller) installChain(st *switchState, pi *openflow.PacketIn, pkt *n
 		hops = append(hops, se)
 		seIDs = append(seIDs, id)
 	}
+	// The balancer pick above is live for every flow; the plan cache is
+	// keyed by the picked elements, so a hit replays a path that steers
+	// exactly where the balancer just decided.
+	pk, cacheable := planKeyFor(sel, seIDs)
+	if cacheable {
+		if plan := c.cache.plan(pk); plan != nil {
+			c.stats.PlanCacheHits++
+			em := &c.emit
+			em.reset(nil)
+			c.replayPlan(em, plan, key)
+			c.finishSetup(em, st, pi, plan.firstActions, plan.programmed)
+			c.stats.FlowsChained++
+			c.rememberSession(key, st.dpid, dec.Rule)
+			c.record(monitor.Event{Type: monitor.EventFlowStart, Switch: st.dpid,
+				User: key.EthSrc.String(), FlowKey: &key,
+				Detail: "chain " + dec.Rule + " via " + plan.via})
+			return
+		}
+	}
+	c.stats.PlanCacheMisses++
 	hops = append(hops, dst)
-	first, programmed, ok := c.installPath(st, key, hops)
+	plan := &sessionPlan{revPort: dst.port, seIDs: seIDs}
+	em := &c.emit
+	em.reset(plan)
+	first, programmed, ok := c.installPath(em, st, key, hops, false)
 	if !ok {
+		em.flush()
 		return
 	}
+	complete := false
 	if src, haveSrc := c.hosts[key.EthSrc]; haveSrc {
 		if srcSt, up := c.switches[src.DPID]; up {
 			revKey := key.Reverse(dst.port)
 			srcHop := hop{st: srcSt, port: src.Port, mac: src.MAC}
 			var revProg map[uint64]bool
+			var revOK bool
 			if c.cfg.SteerForwardOnly {
-				_, revProg, _ = c.installPath(dst.st, revKey, []hop{srcHop})
+				_, revProg, revOK = c.installPath(em, dst.st, revKey, []hop{srcHop}, true)
 			} else {
 				// Reply traverses the same elements in reverse order.
 				revHops := make([]hop, 0, len(hops))
@@ -278,19 +342,27 @@ func (c *Controller) installChain(st *switchState, pi *openflow.PacketIn, pkt *n
 					revHops = append(revHops, hops[i])
 				}
 				revHops = append(revHops, srcHop)
-				_, revProg, _ = c.installPath(dst.st, revKey, revHops)
+				_, revProg, revOK = c.installPath(em, dst.st, revKey, revHops, true)
 			}
 			for dpid := range revProg {
 				programmed[dpid] = true
 			}
+			complete = revOK
 		}
 	}
-	c.releasePacket(st, pi, first, programmed)
+	c.finishSetup(em, st, pi, first, programmed)
+	via := uitoaList(seIDs)
+	if complete && cacheable {
+		plan.firstActions = first
+		plan.programmed = programmed
+		plan.via = via
+		c.cache.putPlan(pk, plan)
+	}
 	c.stats.FlowsChained++
 	c.rememberSession(key, st.dpid, dec.Rule)
 	c.record(monitor.Event{Type: monitor.EventFlowStart, Switch: st.dpid,
 		User: key.EthSrc.String(), FlowKey: &key,
-		Detail: "chain " + dec.Rule + " via " + uitoaList(seIDs)})
+		Detail: "chain " + dec.Rule + " via " + via})
 }
 
 func uitoaList(ids []uint64) string {
@@ -350,7 +422,7 @@ func (c *Controller) pickElement(bal *loadbalance.Balancer, svc seproto.ServiceT
 // and the next arrival entry restores the original source before the
 // element or destination sees the frame (§IV.A's entries ii–iv, hardened
 // for a learning fabric).
-func (c *Controller) installPath(ingress *switchState, key flow.Key, hops []hop) ([]openflow.Action, map[uint64]bool, bool) {
+func (c *Controller) installPath(em *emitter, ingress *switchState, key flow.Key, hops []hop, rev bool) ([]openflow.Action, map[uint64]bool, bool) {
 	if len(hops) == 0 {
 		return nil, nil, false
 	}
@@ -381,7 +453,7 @@ func (c *Controller) installPath(ingress *switchState, key flow.Key, hops []hop)
 		return nil, nil, false
 	}
 	firstActions = append(firstActions, openflow.ActionOutput{Port: out})
-	c.sendFlowMod(ingress, &openflow.FlowMod{
+	c.emitFlowMod(em, ingress, rev, &openflow.FlowMod{
 		Match:       flow.ExactMatch(key),
 		Command:     openflow.FlowAdd,
 		Priority:    prioForward,
@@ -417,7 +489,7 @@ func (c *Controller) installPath(ingress *switchState, key flow.Key, hops []hop)
 				actions = append(actions, openflow.ActionSetDLSrc{MAC: origSrc})
 			}
 			actions = append(actions, openflow.ActionOutput{Port: h.port})
-			c.sendFlowMod(h.st, &openflow.FlowMod{
+			c.emitFlowMod(em, h.st, rev, &openflow.FlowMod{
 				Match:       flow.ExactMatch(arriveKey),
 				Command:     openflow.FlowAdd,
 				Priority:    prioSteer,
@@ -454,7 +526,7 @@ func (c *Controller) installPath(ingress *switchState, key flow.Key, hops []hop)
 			openflow.ActionSetDLDst{MAC: nextMAC},
 			openflow.ActionOutput{Port: outPort},
 		)
-		c.sendFlowMod(h.st, &openflow.FlowMod{
+		c.emitFlowMod(em, h.st, rev, &openflow.FlowMod{
 			Match:       flow.ExactMatch(departKey),
 			Command:     openflow.FlowAdd,
 			Priority:    prioSteer,
@@ -471,11 +543,12 @@ func (c *Controller) installPath(ingress *switchState, key flow.Key, hops []hop)
 	return firstActions, programmed, true
 }
 
-// releasePacket pushes the buffered first packet through the freshly
-// installed path, optionally after barrier acknowledgements from every
-// programmed switch (Config.UseBarriers) so the packet cannot overtake
-// its own flow entries.
-func (c *Controller) releasePacket(st *switchState, pi *openflow.PacketIn, actions []openflow.Action, programmed map[uint64]bool) {
+// finishSetup completes a flow setup: it queues the release of the
+// buffered first packet (directly, or via barriers when
+// Config.UseBarriers is set, so the packet cannot overtake its own flow
+// entries) and flushes the emitter — one batched transport write per
+// programmed switch.
+func (c *Controller) finishSetup(em *emitter, st *switchState, pi *openflow.PacketIn, actions []openflow.Action, programmed map[uint64]bool) {
 	po := &openflow.PacketOut{
 		BufferID: pi.BufferID,
 		InPort:   pi.InPort,
@@ -485,10 +558,18 @@ func (c *Controller) releasePacket(st *switchState, pi *openflow.PacketIn, actio
 		po.Data = pi.Data
 	}
 	if c.cfg.UseBarriers {
-		c.barrierRelease(st, po, programmed)
+		c.barrierRelease(em, st, po, programmed)
+		em.flush()
 		return
 	}
-	c.sendPacketOut(st, po)
+	// The packet-out rides in the ingress switch's batch, after its flow
+	// mods; downstream batches are flushed (and thus processed) before the
+	// released packet can traverse a link to them.
+	po.XID = c.xid()
+	b := em.batchFor(st)
+	b.msgs = append(b.msgs, po)
+	c.stats.PacketOuts++
+	em.flush()
 }
 
 // BlockUser installs a drop rule for every flow a user originates, at

@@ -55,6 +55,11 @@ func (c *Controller) handleSEOnline(st *switchState, inPort uint32, pkt *netpkt.
 	se.lastSeen = c.eng.Now()
 	se.certOK = certOK
 	c.byMAC[se.mac] = se
+	// Invalidation triggers 3 and 4 (cache.go): registration or attachment
+	// change makes plans through this element stale, and even a pure load
+	// report re-weights the balancer, so cached steering never outlives
+	// the load information it was balanced on.
+	c.cache.invalidateSE(m.SEID)
 	// Elements are also hosts in the routing table so steering can
 	// resolve their attachment, and so the fabric learns their location
 	// (announcements fire on first sight and on migration).

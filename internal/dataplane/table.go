@@ -29,20 +29,55 @@ type Entry struct {
 	lastUsed  time.Duration
 	Packets   uint64
 	Bytes     uint64
+
+	// seq is the entry's insertion sequence number, assigned by Add.
+	// In-place replacement (identical match and priority) inherits the
+	// replaced entry's seq, so seq order equals the stable priority-sort
+	// order the linear reference scan uses for equal-priority ties, and
+	// gives Delete/Expire a deterministic removal order.
+	seq uint64
 }
 
 // FlowTable is a priority-ordered OpenFlow table with an exact-match fast
-// path: fully-specified entries live in a hash map keyed by the 12-tuple,
-// wildcard entries in a small priority-sorted list (default rules, drop
-// rules, steering rules).
+// path and a tuple-space index for wildcard entries.
+//
+// Fully-specified entries live in a hash map keyed by the 12-tuple.
+// Wildcard entries are grouped into buckets by wildcard mask; within a
+// bucket, matching is one map probe on the masked key (see
+// flow.MaskedKey), so Lookup costs O(#distinct masks) map probes instead
+// of a linear scan over all wildcard entries. Buckets are kept sorted by
+// their highest priority so the scan stops as soon as no remaining
+// bucket can beat the best candidate (priority cutoff).
+//
+// The priority-sorted wildcard slice of the original implementation is
+// retained as `wildcards`: Delete, Expire, and Entries iterate it, and
+// lookupLinear uses it as the behavioral reference the property tests
+// check the index against.
 type FlowTable struct {
 	exact     map[flow.Key]*Entry
-	wildcards []*Entry // sorted by Priority descending, stable
+	wildcards []*Entry // sorted by Priority descending, stable (seq ascending)
+
+	buckets map[flow.Wildcard]*maskBucket
+	order   []*maskBucket // sorted by maxPrio descending
+
+	nextSeq uint64
+}
+
+// maskBucket holds all wildcard entries sharing one wildcard mask,
+// indexed by masked key. Each candidate list is sorted by (priority
+// descending, seq ascending), so its head is the bucket's best match.
+type maskBucket struct {
+	mask    flow.Wildcard
+	entries map[flow.Key][]*Entry
+	maxPrio uint16
 }
 
 // NewFlowTable returns an empty table.
 func NewFlowTable() *FlowTable {
-	return &FlowTable{exact: make(map[flow.Key]*Entry)}
+	return &FlowTable{
+		exact:   make(map[flow.Key]*Entry),
+		buckets: make(map[flow.Wildcard]*maskBucket),
+	}
 }
 
 // Len returns the number of installed entries.
@@ -50,33 +85,162 @@ func (t *FlowTable) Len() int { return len(t.exact) + len(t.wildcards) }
 
 // Add installs an entry, replacing any entry with an identical match and
 // priority (OpenFlow add-or-overwrite semantics).
+//
+// Exact-match entries are unique per key. When a new exact entry arrives
+// for a key that already has one, the priorities decide: equal priority
+// overwrites (standard add-or-overwrite), a higher-priority new entry
+// displaces the old one, and a lower-priority new entry is ignored —
+// the installed higher-priority entry would shadow it on every lookup
+// anyway, so the table keeps only the winner.
 func (t *FlowTable) Add(e *Entry, now time.Duration) {
 	e.installed = now
 	e.lastUsed = now
 	if e.Match.IsExact() {
-		if old, ok := t.exact[e.Match.Key]; ok && old.Priority != e.Priority {
-			// Exact-match entries are unique per key; higher priority wins.
+		if old, ok := t.exact[e.Match.Key]; ok {
 			if old.Priority > e.Priority {
-				return
+				return // keep-highest: the old entry shadows the new one
 			}
+			e.seq = old.seq
+		} else {
+			e.seq = t.nextSeq
+			t.nextSeq++
 		}
 		t.exact[e.Match.Key] = e
 		return
 	}
 	for i, old := range t.wildcards {
 		if old.Priority == e.Priority && old.Match == e.Match {
+			e.seq = old.seq
 			t.wildcards[i] = e
+			t.indexRemove(old)
+			t.indexAdd(e)
 			return
 		}
 	}
+	e.seq = t.nextSeq
+	t.nextSeq++
 	t.wildcards = append(t.wildcards, e)
 	sort.SliceStable(t.wildcards, func(i, j int) bool {
 		return t.wildcards[i].Priority > t.wildcards[j].Priority
 	})
+	t.indexAdd(e)
+}
+
+// indexAdd inserts a wildcard entry into its mask bucket.
+func (t *FlowTable) indexAdd(e *Entry) {
+	b := t.buckets[e.Match.Wildcards]
+	if b == nil {
+		b = &maskBucket{mask: e.Match.Wildcards, entries: make(map[flow.Key][]*Entry)}
+		t.buckets[e.Match.Wildcards] = b
+		t.order = append(t.order, b)
+	}
+	mk := flow.MaskedKey(b.mask, e.Match.Key)
+	list := b.entries[mk]
+	pos := len(list)
+	for i, o := range list {
+		if e.Priority > o.Priority || (e.Priority == o.Priority && e.seq < o.seq) {
+			pos = i
+			break
+		}
+	}
+	list = append(list, nil)
+	copy(list[pos+1:], list[pos:])
+	list[pos] = e
+	b.entries[mk] = list
+	if e.Priority > b.maxPrio || len(b.entries) == 1 && len(list) == 1 {
+		b.maxPrio = e.Priority
+	}
+	t.sortBuckets()
+}
+
+// indexRemove deletes a wildcard entry (by identity) from its bucket.
+func (t *FlowTable) indexRemove(e *Entry) {
+	b := t.buckets[e.Match.Wildcards]
+	if b == nil {
+		return
+	}
+	mk := flow.MaskedKey(b.mask, e.Match.Key)
+	list := b.entries[mk]
+	for i, o := range list {
+		if o == e {
+			list = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(b.entries, mk)
+	} else {
+		b.entries[mk] = list
+	}
+	if len(b.entries) == 0 {
+		delete(t.buckets, b.mask)
+		for i, o := range t.order {
+			if o == b {
+				t.order = append(t.order[:i], t.order[i+1:]...)
+				break
+			}
+		}
+		return
+	}
+	if e.Priority == b.maxPrio {
+		b.maxPrio = 0
+		for _, l := range b.entries {
+			if p := l[0].Priority; p > b.maxPrio {
+				b.maxPrio = p
+			}
+		}
+		t.sortBuckets()
+	}
+}
+
+func (t *FlowTable) sortBuckets() {
+	sort.Slice(t.order, func(i, j int) bool {
+		if t.order[i].maxPrio != t.order[j].maxPrio {
+			return t.order[i].maxPrio > t.order[j].maxPrio
+		}
+		return t.order[i].mask < t.order[j].mask // deterministic tie-break
+	})
 }
 
 // Lookup returns the highest-priority entry matching k, or nil on a miss.
+// Priority semantics match OpenFlow and the linear reference scan
+// (lookupLinear): the winner is the matching entry with the highest
+// priority; among equal-priority wildcard matches the earliest-installed
+// wins, and an exact-match entry beats wildcard entries of the same
+// priority.
 func (t *FlowTable) Lookup(k flow.Key) *Entry {
+	best := t.exact[k]
+	var bw *Entry
+	for _, b := range t.order {
+		if bw != nil && b.maxPrio < bw.Priority {
+			break // sorted: no remaining bucket can beat the candidate
+		}
+		if best != nil && b.maxPrio <= best.Priority {
+			break // wildcard must strictly exceed the exact hit's priority
+		}
+		list := b.entries[flow.MaskedKey(b.mask, k)]
+		if len(list) == 0 {
+			continue
+		}
+		e := list[0] // bucket-best: (priority desc, seq asc) head
+		if best != nil && e.Priority <= best.Priority {
+			continue
+		}
+		if bw == nil || e.Priority > bw.Priority ||
+			(e.Priority == bw.Priority && e.seq < bw.seq) {
+			bw = e
+		}
+	}
+	if bw != nil {
+		return bw
+	}
+	return best
+}
+
+// lookupLinear is the pre-index reference implementation: a linear scan
+// of the priority-sorted wildcard list. Kept (and exercised by the
+// property tests) as the specification Lookup must agree with.
+func (t *FlowTable) lookupLinear(k flow.Key) *Entry {
 	best := t.exact[k]
 	for _, e := range t.wildcards {
 		if best != nil && e.Priority <= best.Priority {
@@ -89,9 +253,10 @@ func (t *FlowTable) Lookup(k flow.Key) *Entry {
 	return best
 }
 
-// Delete removes entries per OpenFlow semantics and returns them. Strict
-// deletion removes only the entry with the identical match and priority;
-// non-strict removes every entry subsumed by the match.
+// Delete removes entries per OpenFlow semantics and returns them in
+// deterministic installation (seq) order. Strict deletion removes only
+// the entry with the identical match and priority; non-strict removes
+// every entry subsumed by the match.
 func (t *FlowTable) Delete(m flow.Match, priority uint16, strict bool) []*Entry {
 	var removed []*Entry
 	keep := func(e *Entry) bool {
@@ -112,17 +277,20 @@ func (t *FlowTable) Delete(m flow.Match, priority uint16, strict bool) []*Entry 
 			kept = append(kept, e)
 		} else {
 			removed = append(removed, e)
+			t.indexRemove(e)
 		}
 	}
 	for i := len(kept); i < len(t.wildcards); i++ {
 		t.wildcards[i] = nil
 	}
 	t.wildcards = kept
+	sortBySeq(removed)
 	return removed
 }
 
 // Expire removes entries whose idle or hard timeout has elapsed at now and
-// returns them paired with the OpenFlow removal reason.
+// returns them, in deterministic installation (seq) order, paired with the
+// OpenFlow removal reason.
 func (t *FlowTable) Expire(now time.Duration) []ExpiredEntry {
 	var expired []ExpiredEntry
 	check := func(e *Entry) (uint8, bool) {
@@ -144,6 +312,7 @@ func (t *FlowTable) Expire(now time.Duration) []ExpiredEntry {
 	for _, e := range t.wildcards {
 		if reason, dead := check(e); dead {
 			expired = append(expired, ExpiredEntry{e, reason})
+			t.indexRemove(e)
 		} else {
 			kept = append(kept, e)
 		}
@@ -152,7 +321,12 @@ func (t *FlowTable) Expire(now time.Duration) []ExpiredEntry {
 		t.wildcards[i] = nil
 	}
 	t.wildcards = kept
+	sort.Slice(expired, func(i, j int) bool { return expired[i].Entry.seq < expired[j].Entry.seq })
 	return expired
+}
+
+func sortBySeq(es []*Entry) {
+	sort.Slice(es, func(i, j int) bool { return es[i].seq < es[j].seq })
 }
 
 // ExpiredEntry pairs a removed entry with its removal reason.
@@ -161,12 +335,13 @@ type ExpiredEntry struct {
 	Reason uint8
 }
 
-// Entries returns all entries (exact then wildcard); order within the
-// exact set is unspecified.
+// Entries returns all entries: the exact set in installation order, then
+// wildcards in priority order.
 func (t *FlowTable) Entries() []*Entry {
 	out := make([]*Entry, 0, t.Len())
 	for _, e := range t.exact {
 		out = append(out, e)
 	}
+	sortBySeq(out)
 	return append(out, t.wildcards...)
 }

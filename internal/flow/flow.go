@@ -146,6 +146,49 @@ func (m Match) Matches(k Key) bool {
 // IsExact reports whether the match has no wildcards.
 func (m Match) IsExact() bool { return m.Wildcards == 0 }
 
+// MaskedKey returns k with every field w ignores zeroed. For a fixed
+// mask w this canonicalizes keys so that a match m with m.Wildcards == w
+// satisfies m.Matches(k) if and only if
+// MaskedKey(w, m.Key) == MaskedKey(w, k) — the identity behind
+// tuple-space lookup: within one mask bucket, wildcard matching is a
+// single map probe on the masked key.
+func MaskedKey(w Wildcard, k Key) Key {
+	if w&WildInPort != 0 {
+		k.InPort = 0
+	}
+	if w&WildEthSrc != 0 {
+		k.EthSrc = netpkt.MAC{}
+	}
+	if w&WildEthDst != 0 {
+		k.EthDst = netpkt.MAC{}
+	}
+	if w&WildVLAN != 0 {
+		k.VLAN = 0
+	}
+	if w&WildEthType != 0 {
+		k.EthType = 0
+	}
+	if w&WildIPSrc != 0 {
+		k.IPSrc = netpkt.IPv4Addr{}
+	}
+	if w&WildIPDst != 0 {
+		k.IPDst = netpkt.IPv4Addr{}
+	}
+	if w&WildIPProto != 0 {
+		k.IPProto = 0
+	}
+	if w&WildIPTOS != 0 {
+		k.IPTOS = 0
+	}
+	if w&WildSrcPort != 0 {
+		k.SrcPort = 0
+	}
+	if w&WildDstPort != 0 {
+		k.DstPort = 0
+	}
+	return k
+}
+
 // Specificity returns the number of concrete (non-wildcarded) fields; a
 // useful default priority orders more specific rules first.
 func (m Match) Specificity() int {

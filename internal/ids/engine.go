@@ -1,6 +1,8 @@
 package ids
 
 import (
+	"sync"
+
 	"livesec/internal/netpkt"
 )
 
@@ -31,6 +33,64 @@ type Engine struct {
 	Inspected uint64
 	// Alerts counts alerts produced.
 	Alerts uint64
+
+	// scratchPool recycles per-Inspect working state so the hot clean
+	// path (no pattern hits) allocates nothing; pooling (rather than one
+	// scratch on the Engine) keeps concurrent Inspect calls safe.
+	scratchPool sync.Pool
+}
+
+// inspectScratch is the reusable per-call working state of Inspect:
+// generation-stamped hit tracking (no clearing between packets) and the
+// lower-cased payload buffer for nocase matching.
+type inspectScratch struct {
+	gen     uint32
+	ruleGen []uint32 // per rule: gen when it last gained a pattern hit
+	count   []int32  // per rule: distinct patterns matched this gen
+	patGen  []uint32 // per pattern (cs ids, then cf ids): dedupe stamp
+	lower   []byte   // reusable lower-casing buffer
+	cand    []int    // candidate rule indices, in first-hit order
+}
+
+func (e *Engine) getScratch() *inspectScratch {
+	s, _ := e.scratchPool.Get().(*inspectScratch)
+	if s == nil {
+		s = &inspectScratch{
+			ruleGen: make([]uint32, len(e.rules)),
+			count:   make([]int32, len(e.rules)),
+			patGen:  make([]uint32, len(e.csOwner)+len(e.cfOwner)),
+		}
+	}
+	s.gen++
+	if s.gen == 0 {
+		// Wrapped: stamps from 2^32 packets ago could collide; reset.
+		clearUint32(s.ruleGen)
+		clearUint32(s.patGen)
+		s.gen = 1
+	}
+	s.cand = s.cand[:0]
+	return s
+}
+
+func clearUint32(v []uint32) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// lowered lower-cases b into the scratch buffer (grown once, reused).
+func (s *inspectScratch) lowered(b []byte) []byte {
+	if cap(s.lower) < len(b) {
+		s.lower = make([]byte, len(b))
+	}
+	out := s.lower[:len(b)]
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		out[i] = c
+	}
+	return out
 }
 
 // NewEngine compiles a rule set.
@@ -74,22 +134,29 @@ func MustEngine(ruleText string) *Engine {
 // NumRules returns the number of compiled rules.
 func (e *Engine) NumRules() int { return len(e.rules) }
 
-// Inspect runs the packet through the rule set and returns any alerts.
+// Inspect runs the packet through the rule set and returns any alerts,
+// in rule-definition order. The clean path (no pattern hits) performs no
+// heap allocation: the working state is pooled and generation-stamped.
 func (e *Engine) Inspect(pkt *netpkt.Packet) []Alert {
 	e.Inspected++
 	if pkt.IP == nil || len(pkt.Payload) == 0 {
 		return nil
 	}
-	// Phase 1: multi-pattern scan collects distinct matched patterns per
-	// candidate rule.
-	hits := make(map[int]map[int]bool)
+	s := e.getScratch()
+	defer e.scratchPool.Put(s)
+	// Phase 1: multi-pattern scan counts distinct matched patterns per
+	// candidate rule (repeat occurrences dedupe via the pattern stamp).
 	record := func(ri, id int) {
-		set := hits[ri]
-		if set == nil {
-			set = make(map[int]bool)
-			hits[ri] = set
+		if s.patGen[id] == s.gen {
+			return
 		}
-		set[id] = true
+		s.patGen[id] = s.gen
+		if s.ruleGen[ri] != s.gen {
+			s.ruleGen[ri] = s.gen
+			s.count[ri] = 0
+			s.cand = append(s.cand, ri)
+		}
+		s.count[ri]++
 	}
 	if e.caseSensitive.NumPatterns() > 0 {
 		e.caseSensitive.Find(pkt.Payload, func(p, end int) bool {
@@ -100,19 +167,29 @@ func (e *Engine) Inspect(pkt *netpkt.Packet) []Alert {
 		})
 	}
 	if e.caseFolded.NumPatterns() > 0 {
-		e.caseFolded.Find(lower(pkt.Payload), func(p, end int) bool {
+		e.caseFolded.Find(s.lowered(pkt.Payload), func(p, end int) bool {
 			if positionOK(e.cfContent[p], end) {
 				// Disjoint id namespace from case-sensitive patterns.
-				record(e.cfOwner[p], -1-p)
+				record(e.cfOwner[p], len(e.csOwner)+p)
 			}
 			return true
 		})
 	}
+	if len(s.cand) == 0 {
+		return nil
+	}
 	// Phase 2: header predicates for rules whose contents all matched.
+	// Candidates are sorted by rule index (insertion sort: the list is
+	// tiny) so alert order is deterministic rule-definition order.
+	for i := 1; i < len(s.cand); i++ {
+		for j := i; j > 0 && s.cand[j] < s.cand[j-1]; j-- {
+			s.cand[j], s.cand[j-1] = s.cand[j-1], s.cand[j]
+		}
+	}
 	var alerts []Alert
-	for ri, set := range hits {
+	for _, ri := range s.cand {
 		r := e.rules[ri]
-		if len(set) < e.needed[ri] {
+		if int(s.count[ri]) < e.needed[ri] {
 			continue
 		}
 		if !headerMatches(r, pkt) {

@@ -27,24 +27,61 @@ const (
 // Encode serializes a message to its wire format:
 // header{version, type, length, xid} followed by the type-specific body.
 func Encode(m Message) []byte {
-	body := encodeBody(m)
-	buf := make([]byte, 0, headerLen+len(body))
-	buf = append(buf, Version, byte(m.Type()))
-	buf = binary.BigEndian.AppendUint16(buf, uint16(headerLen+len(body)))
-	buf = binary.BigEndian.AppendUint32(buf, m.xid())
-	return append(buf, body...)
+	return MarshalAppend(make([]byte, 0, headerLen+bodyLen(m)), m)
 }
 
-func encodeBody(m Message) []byte {
+// MarshalAppend appends m's wire encoding to dst and returns the extended
+// buffer. It performs no allocation beyond growing dst, so callers on the
+// transport hot path can amortize buffers across messages; several
+// messages appended to one buffer form a valid OpenFlow stream.
+func MarshalAppend(dst []byte, m Message) []byte {
+	start := len(dst)
+	dst = append(dst, Version, byte(m.Type()), 0, 0) // length patched below
+	dst = binary.BigEndian.AppendUint32(dst, m.xid())
+	dst = appendBody(dst, m)
+	binary.BigEndian.PutUint16(dst[start+2:start+4], uint16(len(dst)-start))
+	return dst
+}
+
+// bodyLen sizes a message body so Encode can allocate exactly once.
+func bodyLen(m Message) int {
+	switch v := m.(type) {
+	case *EchoRequest:
+		return len(v.Data)
+	case *EchoReply:
+		return len(v.Data)
+	case *FeaturesReply:
+		return 16 + len(v.Ports)*portDescLen
+	case *PacketIn:
+		return 12 + len(v.Data)
+	case *PacketOut:
+		return 12 + actionsWireLen(v.Actions) + len(v.Data)
+	case *FlowMod:
+		return matchLen + 16 + actionsWireLen(v.Actions)
+	case *FlowRemoved:
+		return matchLen + 28
+	case *PortStatus:
+		return 8 + portDescLen
+	case *StatsRequest:
+		return 4 + matchLen
+	case *StatsReply:
+		return 4 + len(v.Flows)*flowStatLen + len(v.Ports)*portStatLen
+	case *ErrorMsg:
+		return 4 + len(v.Data)
+	default:
+		return 0
+	}
+}
+
+func appendBody(b []byte, m Message) []byte {
 	switch v := m.(type) {
 	case *Hello, *FeaturesRequest, *BarrierRequest, *BarrierReply:
-		return nil
+		return b
 	case *EchoRequest:
-		return v.Data
+		return append(b, v.Data...)
 	case *EchoReply:
-		return v.Data
+		return append(b, v.Data...)
 	case *FeaturesReply:
-		b := make([]byte, 0, 16+len(v.Ports)*portDescLen)
 		b = binary.BigEndian.AppendUint64(b, v.DPID)
 		b = append(b, v.NTables, 0, 0, 0, 0, 0, 0, 0)
 		for _, p := range v.Ports {
@@ -52,23 +89,18 @@ func encodeBody(m Message) []byte {
 		}
 		return b
 	case *PacketIn:
-		b := make([]byte, 0, 12+len(v.Data))
 		b = binary.BigEndian.AppendUint32(b, v.BufferID)
 		b = binary.BigEndian.AppendUint32(b, v.InPort)
 		b = append(b, v.Reason, 0, 0, 0)
 		return append(b, v.Data...)
 	case *PacketOut:
-		acts := encodeActions(v.Actions)
-		b := make([]byte, 0, 12+len(acts)+len(v.Data))
 		b = binary.BigEndian.AppendUint32(b, v.BufferID)
 		b = binary.BigEndian.AppendUint32(b, v.InPort)
-		b = binary.BigEndian.AppendUint16(b, uint16(len(acts)))
+		b = binary.BigEndian.AppendUint16(b, uint16(actionsWireLen(v.Actions)))
 		b = append(b, 0, 0)
-		b = append(b, acts...)
+		b = appendActions(b, v.Actions)
 		return append(b, v.Data...)
 	case *FlowMod:
-		acts := encodeActions(v.Actions)
-		b := make([]byte, 0, matchLen+24+len(acts))
 		b = appendMatch(b, v.Match)
 		b = binary.BigEndian.AppendUint64(b, v.Cookie)
 		b = append(b, v.Command)
@@ -80,9 +112,8 @@ func encodeBody(m Message) []byte {
 		b = binary.BigEndian.AppendUint16(b, v.IdleTimeout)
 		b = binary.BigEndian.AppendUint16(b, v.HardTimeout)
 		b = binary.BigEndian.AppendUint16(b, v.Priority)
-		return append(b, acts...)
+		return appendActions(b, v.Actions)
 	case *FlowRemoved:
-		b := make([]byte, 0, matchLen+32)
 		b = appendMatch(b, v.Match)
 		b = binary.BigEndian.AppendUint64(b, v.Cookie)
 		b = binary.BigEndian.AppendUint16(b, v.Priority)
@@ -91,11 +122,9 @@ func encodeBody(m Message) []byte {
 		b = binary.BigEndian.AppendUint64(b, v.Bytes)
 		return b
 	case *PortStatus:
-		b := make([]byte, 0, 8+portDescLen)
 		b = append(b, v.Reason, 0, 0, 0, 0, 0, 0, 0)
 		return appendPortDesc(b, v.Desc)
 	case *StatsRequest:
-		b := make([]byte, 0, 4+matchLen)
 		b = binary.BigEndian.AppendUint16(b, uint16(v.Kind))
 		b = append(b, 0, 0)
 		if v.Kind == StatsFlow {
@@ -103,7 +132,6 @@ func encodeBody(m Message) []byte {
 		}
 		return b
 	case *StatsReply:
-		b := make([]byte, 0, 4)
 		b = binary.BigEndian.AppendUint16(b, uint16(v.Kind))
 		b = append(b, 0, 0)
 		switch v.Kind {
@@ -119,15 +147,17 @@ func encodeBody(m Message) []byte {
 		case StatsPort:
 			for _, ps := range v.Ports {
 				b = binary.BigEndian.AppendUint32(b, ps.PortNo)
-				for _, c := range []uint64{ps.RxPackets, ps.TxPackets, ps.RxBytes, ps.TxBytes, ps.RxDropped, ps.TxDropped} {
-					b = binary.BigEndian.AppendUint64(b, c)
-				}
+				b = binary.BigEndian.AppendUint64(b, ps.RxPackets)
+				b = binary.BigEndian.AppendUint64(b, ps.TxPackets)
+				b = binary.BigEndian.AppendUint64(b, ps.RxBytes)
+				b = binary.BigEndian.AppendUint64(b, ps.TxBytes)
+				b = binary.BigEndian.AppendUint64(b, ps.RxDropped)
+				b = binary.BigEndian.AppendUint64(b, ps.TxDropped)
 				b = append(b, 0, 0, 0, 0)
 			}
 		}
 		return b
 	case *ErrorMsg:
-		b := make([]byte, 0, 4+len(v.Data))
 		b = binary.BigEndian.AppendUint16(b, v.Code)
 		b = append(b, 0, 0)
 		return append(b, v.Data...)
@@ -139,9 +169,14 @@ func encodeBody(m Message) []byte {
 func appendPortDesc(b []byte, p PortDesc) []byte {
 	b = binary.BigEndian.AppendUint32(b, p.No)
 	b = append(b, p.MAC[:]...)
-	name := make([]byte, 16)
-	copy(name, p.Name)
-	b = append(b, name...)
+	n := len(p.Name)
+	if n > 16 {
+		n = 16
+	}
+	b = append(b, p.Name[:n]...)
+	for ; n < 16; n++ {
+		b = append(b, 0)
+	}
 	return append(b, 0, 0) // pad to portDescLen
 }
 
@@ -160,8 +195,24 @@ func appendMatch(b []byte, m flow.Match) []byte {
 	return append(b, 0, 0) // pad to matchLen
 }
 
-func encodeActions(actions []Action) []byte {
-	var b []byte
+// actionsWireLen is the encoded size of an action list (Output = 12
+// bytes, SetDLSrc/SetDLDst = 16 bytes, per OpenFlow 1.0).
+func actionsWireLen(actions []Action) int {
+	n := 0
+	for _, a := range actions {
+		switch a.(type) {
+		case ActionOutput:
+			n += 12
+		case ActionSetDLSrc, ActionSetDLDst:
+			n += 16
+		default:
+			panic(fmt.Sprintf("openflow: cannot size action %T", a))
+		}
+	}
+	return n
+}
+
+func appendActions(b []byte, actions []Action) []byte {
 	for _, a := range actions {
 		switch v := a.(type) {
 		case ActionOutput:
@@ -451,7 +502,20 @@ func decodeStatsReply(xid uint32, b []byte) (Message, error) {
 }
 
 func decodeActions(b []byte) ([]Action, error) {
+	// Pre-size from the wire headers so the hot decode path allocates the
+	// action slice exactly once.
+	n := 0
+	for rest := b; len(rest) >= 4; n++ {
+		alen := int(binary.BigEndian.Uint16(rest[2:4]))
+		if alen < 4 || alen > len(rest) {
+			break
+		}
+		rest = rest[alen:]
+	}
 	var actions []Action
+	if n > 0 {
+		actions = make([]Action, 0, n)
+	}
 	for len(b) > 0 {
 		if len(b) < 4 {
 			return nil, ErrTruncated

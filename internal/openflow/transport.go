@@ -24,6 +24,36 @@ type Conn interface {
 	Close() error
 }
 
+// Batcher is an optional Conn capability: transmit several messages in
+// one transport write. Both built-in Conn implementations provide it;
+// use SendAll to fall back gracefully on ones that don't.
+type Batcher interface {
+	// SendBatch transmits the messages back to back. They arrive in
+	// order, framed as a single stream write on the underlying
+	// transport. An empty batch is a no-op.
+	SendBatch(ms []Message)
+}
+
+// SendAll transmits the messages through c, using one batched transport
+// write when c implements Batcher and falling back to per-message Send
+// otherwise.
+func SendAll(c Conn, ms ...Message) {
+	if len(ms) == 0 {
+		return
+	}
+	if b, ok := c.(Batcher); ok {
+		b.SendBatch(ms)
+		return
+	}
+	for _, m := range ms {
+		c.Send(m)
+	}
+}
+
+// bufPool recycles encode buffers across Send calls on both transports.
+// Safe because Decode copies every byte slice it retains.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // simConn is a secure channel endpoint inside the discrete-event
 // simulator. Messages are truly encoded to bytes and re-decoded at the
 // receiver so the wire codec is on the path of every simulated exchange.
@@ -48,9 +78,11 @@ func (c *simConn) Send(m Message) {
 	if c.closed {
 		return
 	}
-	data := Encode(m)
+	bp := bufPool.Get().(*[]byte)
+	data := MarshalAppend((*bp)[:0], m)
 	peer := c.peer
 	c.eng.Schedule(c.latency, func() {
+		defer func() { *bp = data[:0]; bufPool.Put(bp) }()
 		if peer.closed || peer.handler == nil {
 			return
 		}
@@ -61,6 +93,45 @@ func (c *simConn) Send(m Message) {
 			panic(fmt.Sprintf("openflow: sim transport decode: %v", err))
 		}
 		peer.handler(msg)
+	})
+}
+
+// SendBatch encodes the messages into one buffer and delivers them with
+// a single scheduled event, so a multi-switch flow setup costs one
+// transport write per switch. Messages share the batch's arrival time
+// and are handed to the peer in order — identical virtual timing to N
+// consecutive Sends, which the simulator delivers at the same timestamp
+// in insertion order.
+func (c *simConn) SendBatch(ms []Message) {
+	if c.closed || len(ms) == 0 {
+		return
+	}
+	bp := bufPool.Get().(*[]byte)
+	data := (*bp)[:0]
+	for _, m := range ms {
+		data = MarshalAppend(data, m)
+	}
+	peer := c.peer
+	c.eng.Schedule(c.latency, func() {
+		defer func() { *bp = data[:0]; bufPool.Put(bp) }()
+		if peer.closed || peer.handler == nil {
+			return
+		}
+		for rest := data; len(rest) >= headerLen; {
+			length := int(binary.BigEndian.Uint16(rest[2:4]))
+			if length < headerLen || length > len(rest) {
+				panic("openflow: sim transport batch framing")
+			}
+			msg, err := Decode(rest[:length])
+			if err != nil {
+				panic(fmt.Sprintf("openflow: sim transport decode: %v", err))
+			}
+			peer.handler(msg)
+			if peer.closed {
+				return
+			}
+			rest = rest[length:]
+		}
 	})
 }
 
@@ -79,6 +150,14 @@ func WriteMessage(w io.Writer, m Message) error {
 
 // ReadMessage reads exactly one framed message from r.
 func ReadMessage(r io.Reader) (Message, error) {
+	var scratch []byte
+	return readMessageBuf(r, &scratch)
+}
+
+// readMessageBuf reads one framed message, reusing *scratch as the frame
+// buffer (growing it as needed). Safe because Decode copies every byte
+// slice it retains.
+func readMessageBuf(r io.Reader, scratch *[]byte) (Message, error) {
 	var hdr [headerLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -87,7 +166,10 @@ func ReadMessage(r io.Reader) (Message, error) {
 	if length < headerLen {
 		return nil, ErrTruncated
 	}
-	buf := make([]byte, length)
+	if cap(*scratch) < length {
+		*scratch = make([]byte, length)
+	}
+	buf := (*scratch)[:length]
 	copy(buf, hdr[:])
 	if _, err := io.ReadFull(r, buf[headerLen:]); err != nil {
 		return nil, err
@@ -99,9 +181,10 @@ func ReadMessage(r io.Reader) (Message, error) {
 // goroutine decodes messages and invokes the handler; writes are
 // serialized with a mutex. Used by cmd/livesecd for TCP deployments.
 type netConn struct {
-	rwc io.ReadWriteCloser
-	wmu sync.Mutex
-	bw  *bufio.Writer
+	rwc  io.ReadWriteCloser
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+	wbuf []byte // encode scratch, guarded by wmu
 
 	hmu     sync.Mutex
 	handler func(Message)
@@ -123,7 +206,26 @@ func NewNetConn(rwc io.ReadWriteCloser) Conn {
 func (c *netConn) Send(m Message) {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	if err := WriteMessage(c.bw, m); err != nil {
+	c.wbuf = MarshalAppend(c.wbuf[:0], m)
+	if _, err := c.bw.Write(c.wbuf); err != nil {
+		return
+	}
+	_ = c.bw.Flush()
+}
+
+// SendBatch encodes the messages into the connection's scratch buffer
+// and emits them as one write + flush, holding the write lock once.
+func (c *netConn) SendBatch(ms []Message) {
+	if len(ms) == 0 {
+		return
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.wbuf = c.wbuf[:0]
+	for _, m := range ms {
+		c.wbuf = MarshalAppend(c.wbuf, m)
+	}
+	if _, err := c.bw.Write(c.wbuf); err != nil {
 		return
 	}
 	_ = c.bw.Flush()
@@ -142,8 +244,9 @@ func (c *netConn) SetHandler(fn func(Message)) {
 
 func (c *netConn) readLoop() {
 	br := bufio.NewReader(c.rwc)
+	var scratch []byte // reused across messages; Decode clones retained data
 	for {
-		m, err := ReadMessage(br)
+		m, err := readMessageBuf(br, &scratch)
 		if err != nil {
 			if c.OnError != nil && err != io.EOF {
 				c.OnError(err)

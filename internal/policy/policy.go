@@ -188,7 +188,15 @@ type Table struct {
 	byName map[string]*Rule
 	// Default is the action for flows no rule matches.
 	Default Action
+	// version counts rule-set mutations; see Version.
+	version uint64
 }
+
+// Version returns a counter that increases on every successful Add or
+// Remove. Consumers that cache Lookup results (the controller's decision
+// cache) compare versions to detect policy changes without the table
+// having to know its cachers.
+func (t *Table) Version() uint64 { return t.version }
 
 // NewTable creates a table with the given default action.
 func NewTable(defaultAction Action) *Table {
@@ -211,6 +219,7 @@ func (t *Table) Add(r *Rule) error {
 		}
 		return t.rules[i].Name < t.rules[j].Name
 	})
+	t.version++
 	return nil
 }
 
@@ -226,6 +235,7 @@ func (t *Table) Remove(name string) bool {
 			break
 		}
 	}
+	t.version++
 	return true
 }
 

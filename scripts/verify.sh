@@ -1,0 +1,27 @@
+#!/bin/sh
+# Tier-1 verification: everything a change must pass before merging.
+#
+#   build      -> the module compiles, including all commands/examples
+#   vet        -> static checks
+#   test -race -> full test suite (short mode) under the race detector
+#   bench 1x   -> every benchmark runs once, so perf harness rot is
+#                 caught even when no one is looking at the numbers
+#
+# Usage: scripts/verify.sh   (or: make verify)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race -short ./..."
+go test -race -short ./...
+
+echo "==> bench smoke (-bench=. -benchtime=1x)"
+go test -run=NONE -bench=. -benchtime=1x .
+
+echo "verify: OK"
