@@ -11,9 +11,9 @@ vet:
 test:
 	$(GO) test ./...
 
-# Full benchmark pass (real measurements; slow).
+# Full benchmark pass over every package (real measurements; slow).
 bench:
-	$(GO) test -run=NONE -bench=. -benchmem .
+	$(GO) test -run=NONE -bench=. -benchmem ./...
 
 # Tier-1 gate: build + vet + race tests + benchmark smoke run.
 verify:

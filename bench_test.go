@@ -120,6 +120,17 @@ func BenchmarkE7BaselineComparison(b *testing.B) {
 	}
 }
 
+// BenchmarkE8ChaosRecovery — robustness extension: scripted fault storm,
+// recovery times, blackholed flows, policy-violation seconds.
+func BenchmarkE8ChaosRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.E8ChaosRecovery(scale(b))
+		if i == b.N-1 {
+			reportRows(b, r)
+		}
+	}
+}
+
 // --- Micro-benchmarks for the hot paths ---
 
 func benchPacket() *netpkt.Packet {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	livesec-bench [-scale full|ci] [-experiment all|E1|…|E7] [-json file]
+//	livesec-bench [-scale full|ci] [-experiment all|E1|…|E8] [-json file]
 //
 // With -json, the headline metrics are additionally written to the given
 // file as a machine-readable report (used to snapshot before/after
@@ -56,7 +56,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("livesec-bench", flag.ContinueOnError)
 	scaleFlag := fs.String("scale", "full", "deployment scale: full (paper sizes) or ci (fast)")
-	expFlag := fs.String("experiment", "all", "experiment to run: all, E1…E7, or ablations A1…A4")
+	expFlag := fs.String("experiment", "all", "experiment to run: all, E1…E8, or ablations A1…A4")
 	jsonFlag := fs.String("json", "", "also write headline metrics to this file as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,13 +83,14 @@ func run(args []string) error {
 		"E5": experiments.E5LatencyOverhead,
 		"E6": experiments.E6EventPipeline,
 		"E7": func() experiments.Result { return experiments.E7BaselineComparison(scale) },
+		"E8": func() experiments.Result { return experiments.E8ChaosRecovery(scale) },
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "A1", "A2", "A3", "A4"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "A1", "A2", "A3", "A4"}
 
 	want := strings.ToUpper(*expFlag)
 	if want != "ALL" {
 		if _, ok := runners[want]; !ok {
-			return fmt.Errorf("unknown experiment %q (want E1…E7, A1…A4, or all)", *expFlag)
+			return fmt.Errorf("unknown experiment %q (want E1…E8, A1…A4, or all)", *expFlag)
 		}
 		order = []string{want}
 	}

@@ -24,6 +24,18 @@ type UserTraffic struct {
 // an access port and dl_src identifies the user), so steering legs do
 // not double-count.
 func (c *Controller) handleFlowRemoved(st *switchState, fr *openflow.FlowRemoved) {
+	if c.cfg.Keepalive {
+		if st.resyncing && fr.Reason == openflow.RemovedDelete {
+			// The resync wipe floods FlowRemoved for every entry it
+			// clears; those entries were just reinstalled from the
+			// shadow and their sessions are still live.
+			return
+		}
+		st.shadowRemove(fr)
+	}
+	if fr.Cookie == dropCookie {
+		return // controller-installed drop entries carry no user traffic
+	}
 	if fr.Match.Wildcards != 0 {
 		return // only exact data entries carry attribution
 	}

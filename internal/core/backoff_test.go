@@ -1,0 +1,116 @@
+package core
+
+// White-box tests of the keepalive primitives: the bounded exponential
+// backoff schedule and the shadow flow table's datapath semantics.
+
+import (
+	"testing"
+	"time"
+
+	"livesec/internal/flow"
+	"livesec/internal/netpkt"
+	"livesec/internal/openflow"
+)
+
+func TestBackoffDelay(t *testing.T) {
+	const (
+		base = 500 * time.Millisecond
+		cap5 = 5 * time.Second
+	)
+	tests := []struct {
+		name    string
+		attempt int
+		base    time.Duration
+		max     time.Duration
+		want    time.Duration
+	}{
+		{"first attempt is base", 1, base, cap5, base},
+		{"second doubles", 2, base, cap5, time.Second},
+		{"third doubles again", 3, base, cap5, 2 * time.Second},
+		{"fourth hits cap mid-double", 4, base, cap5, 4 * time.Second},
+		{"fifth capped", 5, base, cap5, cap5},
+		{"far attempts stay capped", 20, base, cap5, cap5},
+		{"zero attempt behaves as first", 0, base, cap5, base},
+		{"base above cap clamps", 1, 10 * time.Second, cap5, cap5},
+		{"no cap grows freely", 4, base, 0, 4 * time.Second},
+		{"zero base defaults sane", 3, 0, cap5, 4 * time.Millisecond},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := backoffDelay(tt.attempt, tt.base, tt.max); got != tt.want {
+				t.Fatalf("backoffDelay(%d, %v, %v) = %v, want %v",
+					tt.attempt, tt.base, tt.max, got, tt.want)
+			}
+		})
+	}
+}
+
+func shadowTestKey(port uint16) flow.Key {
+	return flow.Key{
+		InPort:  1,
+		EthSrc:  netpkt.MACFromUint64(1),
+		EthDst:  netpkt.MACFromUint64(2),
+		EthType: netpkt.EtherTypeIPv4,
+		IPSrc:   netpkt.IP(10, 0, 0, 1),
+		IPDst:   netpkt.IP(10, 0, 0, 2),
+		IPProto: netpkt.ProtoUDP,
+		SrcPort: port,
+		DstPort: 80,
+	}
+}
+
+func TestShadowApplySemantics(t *testing.T) {
+	st := &switchState{}
+	add := func(port uint16, prio uint16) *openflow.FlowMod {
+		return &openflow.FlowMod{
+			Match:    flow.ExactMatch(shadowTestKey(port)),
+			Command:  openflow.FlowAdd,
+			Priority: prio,
+		}
+	}
+
+	st.shadowApply(add(1000, 10))
+	st.shadowApply(add(1001, 10))
+	if len(st.shadow) != 2 {
+		t.Fatalf("after two adds: %d entries", len(st.shadow))
+	}
+
+	// Overwrite (same match+priority) keeps the original sequence.
+	k := shadowKey{match: flow.ExactMatch(shadowTestKey(1000)), prio: 10}
+	seqBefore := st.shadow[k].seq
+	over := add(1000, 10)
+	over.IdleTimeout = 99
+	st.shadowApply(over)
+	if len(st.shadow) != 2 {
+		t.Fatalf("overwrite grew the shadow: %d entries", len(st.shadow))
+	}
+	if e := st.shadow[k]; e.seq != seqBefore || e.fm.IdleTimeout != 99 {
+		t.Fatalf("overwrite lost seq or payload: seq=%d idle=%d", e.seq, e.fm.IdleTimeout)
+	}
+
+	// Strict delete removes only the identical (match, priority).
+	st.shadowApply(&openflow.FlowMod{
+		Match: flow.ExactMatch(shadowTestKey(1000)), Command: openflow.FlowDeleteStrict, Priority: 11})
+	if len(st.shadow) != 2 {
+		t.Fatalf("strict delete with wrong priority removed an entry")
+	}
+	st.shadowApply(&openflow.FlowMod{
+		Match: flow.ExactMatch(shadowTestKey(1000)), Command: openflow.FlowDeleteStrict, Priority: 10})
+	if len(st.shadow) != 1 {
+		t.Fatalf("strict delete missed: %d entries", len(st.shadow))
+	}
+
+	// Non-strict delete removes everything the match subsumes.
+	st.shadowApply(add(1002, 20))
+	st.shadowApply(&openflow.FlowMod{Match: flow.MatchAll(), Command: openflow.FlowDelete})
+	if len(st.shadow) != 0 {
+		t.Fatalf("wildcard delete left %d entries", len(st.shadow))
+	}
+
+	// FlowRemoved prunes by (match, priority).
+	st.shadowApply(add(1003, 10))
+	st.shadowRemove(&openflow.FlowRemoved{Match: flow.ExactMatch(shadowTestKey(1003)), Priority: 10})
+	if len(st.shadow) != 0 {
+		t.Fatalf("shadowRemove left %d entries", len(st.shadow))
+	}
+}

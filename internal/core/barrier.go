@@ -51,8 +51,15 @@ func (c *Controller) barrierRelease(em *emitter, st *switchState, po *openflow.P
 	}
 }
 
-// handleBarrierReply resolves outstanding releases.
+// handleBarrierReply resolves outstanding resyncs and releases.
 func (c *Controller) handleBarrierReply(xid uint32) {
+	if st, ok := c.pendingResyncs[xid]; ok {
+		delete(c.pendingResyncs, xid)
+		if st.resyncing && st.resyncXID == xid {
+			c.finishResync(st)
+		}
+		return
+	}
 	rel, ok := c.pendingReleases[xid]
 	if !ok {
 		return

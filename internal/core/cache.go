@@ -329,6 +329,7 @@ func (em *emitter) flush() {
 // emitFlowMod queues a flow mod on the emitter (counting it like
 // sendFlowMod) and records it as a plan step when recording is on.
 func (c *Controller) emitFlowMod(em *emitter, st *switchState, rev bool, fm *openflow.FlowMod) {
+	c.trackFlowMod(st, fm)
 	fm.XID = c.xid()
 	b := em.batchFor(st)
 	b.msgs = append(b.msgs, fm)

@@ -79,6 +79,24 @@ type Config struct {
 	// barriers so the packet cannot overtake its own flow entries on
 	// multi-switch paths.
 	UseBarriers bool
+	// Keepalive enables control-channel hardening (resilience.go): echo
+	// liveness probing with bounded exponential backoff, switch-down
+	// detection, per-switch shadow flow tables, and a barrier-confirmed
+	// resync when a disconnected switch returns. Off by default so
+	// existing runs reproduce bit-for-bit.
+	Keepalive bool
+	// EchoInterval is the liveness probe period (default 500ms).
+	EchoInterval time.Duration
+	// EchoMaxMiss is how many consecutive unanswered probes mark a
+	// switch down (default 3).
+	EchoMaxMiss int
+	// RetryBase and RetryCap bound the exponential backoff of reconnect
+	// probes and resync retries (defaults: EchoInterval and 5s).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// ResyncMaxAttempts bounds barrier-confirmed resync retries before
+	// the switch is declared down again (default 5).
+	ResyncMaxAttempts int
 }
 
 // switchState is one registered AS switch.
@@ -92,6 +110,25 @@ type switchState struct {
 	// peers maps a reachable peer dpid to the local output port.
 	peers map[uint64]uint32
 	ready bool // features reply received
+
+	// Keepalive state (resilience.go). down: declared unreachable after
+	// missed echoes; resyncing: reconnect handshake in flight.
+	down        bool
+	resyncing   bool
+	echoXID     uint32
+	echoPending bool
+	echoMisses  int
+	// probeAttempt/nextProbe drive the backoff schedule while down.
+	probeAttempt int
+	nextProbe    time.Duration
+	// resync bookkeeping.
+	resyncXID     uint32
+	resyncAttempt int
+	// shadow mirrors every FlowMod sent to this switch so the flow table
+	// can be reinstalled after a reconnect; shadowSeq preserves emission
+	// order for the replay.
+	shadow    map[shadowKey]*shadowEntry
+	shadowSeq uint64
 }
 
 // HostLoc is one routing-table entry (§III.C.2: connected AS switch,
@@ -144,6 +181,16 @@ type Stats struct {
 	DecisionCacheMisses uint64
 	PlanCacheHits       uint64
 	PlanCacheMisses     uint64
+
+	// Resilience counters (see resilience.go).
+	EchoProbes       uint64
+	EchoMisses       uint64
+	SwitchDownEvents uint64
+	Resyncs          uint64
+	ResyncRetries    uint64
+	ResyncFailures   uint64
+	SessionsDrained  uint64
+	FlowsFailedOpen  uint64
 }
 
 // Controller is the LiveSec controller.
@@ -183,6 +230,13 @@ type Controller struct {
 	discoverPending bool
 	// pendingReleases holds packet-outs awaiting barrier replies.
 	pendingReleases map[uint32]*pendingRelease
+	// pendingResyncs maps a resync barrier xid to the switch awaiting
+	// confirmation (resilience.go).
+	pendingResyncs map[uint32]*switchState
+	// sessionSeq orders session records so drains and re-steers iterate
+	// deterministically; violationAccum totals closed fail-open windows.
+	sessionSeq     uint64
+	violationAccum time.Duration
 
 	// cache memoizes policy decisions and install plans (cache.go); emit
 	// is the reusable per-setup message batcher (the controller is
@@ -224,6 +278,23 @@ func New(cfg Config) *Controller {
 	}
 	if len(cfg.Secret) == 0 {
 		cfg.Secret = []byte("livesec-default-secret")
+	}
+	if cfg.Keepalive {
+		if cfg.EchoInterval == 0 {
+			cfg.EchoInterval = defaultEchoInterval
+		}
+		if cfg.EchoMaxMiss == 0 {
+			cfg.EchoMaxMiss = defaultEchoMaxMiss
+		}
+		if cfg.RetryBase == 0 {
+			cfg.RetryBase = cfg.EchoInterval
+		}
+		if cfg.RetryCap == 0 {
+			cfg.RetryCap = defaultRetryCap
+		}
+		if cfg.ResyncMaxAttempts == 0 {
+			cfg.ResyncMaxAttempts = defaultResyncMaxAttempts
+		}
 	}
 	return &Controller{
 		cfg:          cfg,
@@ -320,6 +391,9 @@ func (c *Controller) Start() {
 		c.eng.Ticker(c.cfg.LLDPPeriod, c.DiscoverNow),
 		c.eng.Ticker(housekeepingPeriod, c.housekeep),
 	)
+	if c.cfg.Keepalive {
+		c.stops = append(c.stops, c.eng.Ticker(c.cfg.EchoInterval, c.keepaliveSweep))
+	}
 }
 
 // Shutdown stops periodic activity.
@@ -351,7 +425,7 @@ func (c *Controller) handleMessage(st *switchState, m openflow.Message) {
 	case *openflow.BarrierReply:
 		c.handleBarrierReply(msg.XID)
 	case *openflow.EchoReply:
-		// Liveness acknowledged; nothing to do.
+		c.handleEchoReply(st, msg)
 	case *openflow.ErrorMsg:
 		c.stats.SwitchErrors++
 		c.record(monitor.Event{Type: monitor.EventSwitchError, Switch: st.dpid,
@@ -360,6 +434,10 @@ func (c *Controller) handleMessage(st *switchState, m openflow.Message) {
 }
 
 func (c *Controller) registerSwitch(st *switchState, fr *openflow.FeaturesReply) {
+	// A features reply from an already-registered switch is the resync
+	// handshake refreshing the port inventory after an outage: update
+	// state and re-probe the topology, but do not announce a new join.
+	rejoin := st.ready && c.switches[fr.DPID] == st
 	st.dpid = fr.DPID
 	st.ready = true
 	for _, p := range fr.Ports {
@@ -375,7 +453,9 @@ func (c *Controller) registerSwitch(st *switchState, fr *openflow.FeaturesReply)
 		}
 	}
 	c.switches[fr.DPID] = st
-	c.record(monitor.Event{Type: monitor.EventSwitchJoin, Switch: fr.DPID, Detail: st.name})
+	if !rejoin {
+		c.record(monitor.Event{Type: monitor.EventSwitchJoin, Switch: fr.DPID, Detail: st.name})
+	}
 	// Kick a full discovery round: the newcomer probes its links, and
 	// existing switches re-probe so both directions of every new logical
 	// link are learned without waiting for the periodic LLDP tick. The
@@ -413,6 +493,7 @@ func (c *Controller) record(ev monitor.Event) {
 
 // sendFlowMod sends a FlowMod and counts it.
 func (c *Controller) sendFlowMod(st *switchState, fm *openflow.FlowMod) {
+	c.trackFlowMod(st, fm)
 	fm.XID = c.xid()
 	st.conn.Send(fm)
 	c.stats.FlowModsSent++
@@ -462,6 +543,9 @@ func (c *Controller) housekeep() {
 			c.cache.invalidateHost(se.mac)
 			c.record(monitor.Event{Type: monitor.EventSEOffline, SE: id,
 				Detail: se.service.String(), Switch: se.dpid})
+			// Sessions steered through the dead element are torn down so
+			// their next packet re-routes through surviving elements.
+			c.drainElement(id)
 		}
 	}
 }
@@ -492,6 +576,7 @@ func (c *Controller) RemoveSwitch(dpid uint64) bool {
 				delete(c.elements, h.SEID)
 				delete(c.byMAC, mac)
 				c.record(monitor.Event{Type: monitor.EventSEOffline, SE: h.SEID, Switch: dpid})
+				c.drainElement(h.SEID)
 			}
 		} else {
 			c.record(monitor.Event{Type: monitor.EventUserLeave, User: mac.String(), Switch: dpid})

@@ -1,0 +1,378 @@
+package core
+
+// Control-channel resilience (the hardening side of internal/chaos).
+//
+// With Config.Keepalive enabled the controller:
+//
+//   - probes every registered switch with Echo requests on a fixed
+//     interval and declares it down after EchoMaxMiss consecutive
+//     unanswered probes;
+//   - keeps probing a down switch with bounded exponential backoff
+//     (backoffDelay), so a flapping channel is neither hammered nor
+//     forgotten;
+//   - mirrors every FlowMod it emits into a per-switch shadow table
+//     (adds force OFPFF_SEND_FLOW_REM so FLOW_REMOVED notifications
+//     prune the shadow exactly when the switch expires an entry);
+//   - on reconnect runs a resync handshake: refresh features, wipe the
+//     switch's flow table, reinstall the shadow in original emission
+//     order, and confirm with a barrier. The barrier reply is retried
+//     with backoff up to ResyncMaxAttempts times before the switch is
+//     declared down again;
+//   - excludes down/resyncing switches from routing decisions so new
+//     flows are never steered into a blackhole the controller knows
+//     about.
+//
+// Everything here is gated on Config.Keepalive: with the flag off no
+// ticker runs, no shadow is kept, and no message stream changes, so
+// existing deterministic runs reproduce bit-for-bit.
+
+import (
+	"sort"
+	"time"
+
+	"livesec/internal/flow"
+	"livesec/internal/monitor"
+	"livesec/internal/openflow"
+)
+
+// Keepalive defaults (Config fields override).
+const (
+	defaultEchoInterval      = 500 * time.Millisecond
+	defaultEchoMaxMiss       = 3
+	defaultRetryCap          = 5 * time.Second
+	defaultResyncMaxAttempts = 5
+)
+
+// failClosedHoldSecs is the hard timeout of the drop rule installed when
+// a fail-closed chain cannot be satisfied: long enough to absorb the
+// sender's immediate retries, short enough that the flow re-attempts
+// setup (and recovers) soon after an element returns.
+const failClosedHoldSecs uint16 = 1
+
+// dropCookie tags security drop entries so their FLOW_REMOVED
+// notifications (sent when keepalive forces NotifyDel on every add) are
+// not mistaken for expired data sessions by the accounting.
+const dropCookie uint64 = 0xD0
+
+// backoffDelay returns the bounded exponential backoff delay for the
+// given 1-based attempt: base, 2·base, 4·base, …, capped at max.
+func backoffDelay(attempt int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if max > 0 && base > max {
+		return max
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if max > 0 && d >= max {
+			return max
+		}
+	}
+	return d
+}
+
+// usable reports whether routing may rely on the switch: registered and
+// neither down nor mid-resync.
+func (st *switchState) usable() bool { return st.ready && !st.down && !st.resyncing }
+
+// SwitchDown reports whether keepalive currently considers the switch
+// unreachable.
+func (c *Controller) SwitchDown(dpid uint64) bool {
+	st, ok := c.switches[dpid]
+	return ok && st.down
+}
+
+// keepaliveSweep is the liveness ticker body: probe healthy switches,
+// count misses, and probe down switches on their backoff schedule.
+func (c *Controller) keepaliveSweep() {
+	now := c.eng.Now()
+	for _, st := range c.sortedSwitches() {
+		switch {
+		case st.resyncing:
+			// The resync path owns the channel; its barrier timeout drives
+			// retries.
+		case st.down:
+			if now >= st.nextProbe {
+				st.probeAttempt++
+				st.nextProbe = now + backoffDelay(st.probeAttempt, c.cfg.RetryBase, c.cfg.RetryCap)
+				c.sendEcho(st)
+			}
+		default:
+			if st.echoPending {
+				st.echoMisses++
+				c.stats.EchoMisses++
+				if st.echoMisses >= c.cfg.EchoMaxMiss {
+					c.markSwitchDown(st, "echo timeout")
+					continue
+				}
+			}
+			c.sendEcho(st)
+		}
+	}
+}
+
+func (c *Controller) sendEcho(st *switchState) {
+	st.echoXID = c.xid()
+	st.echoPending = true
+	c.stats.EchoProbes++
+	st.conn.Send(&openflow.EchoRequest{XID: st.echoXID})
+}
+
+// handleEchoReply clears the liveness debt; a reply from a switch marked
+// down is the reconnect signal that starts the resync handshake.
+func (c *Controller) handleEchoReply(st *switchState, m *openflow.EchoReply) {
+	if !c.cfg.Keepalive || m.XID != st.echoXID {
+		return // stale, duplicated, or keepalive disabled: ignore
+	}
+	st.echoPending = false
+	st.echoMisses = 0
+	if st.down {
+		c.beginResync(st)
+	}
+}
+
+// markSwitchDown transitions a switch to the down state: its cached
+// plans are unusable, new flows avoid it, and probing switches to the
+// backoff schedule.
+func (c *Controller) markSwitchDown(st *switchState, why string) {
+	if st.down {
+		return
+	}
+	st.down = true
+	st.resyncing = false
+	st.echoPending = false
+	st.echoMisses = 0
+	st.probeAttempt = 0
+	st.nextProbe = c.eng.Now()
+	c.stats.SwitchDownEvents++
+	// Conservative: any cached plan may route through or terminate at the
+	// unreachable switch.
+	c.cache.invalidateAll()
+	c.record(monitor.Event{Type: monitor.EventSwitchDown, Switch: st.dpid, Detail: why})
+}
+
+// shadowKey identifies one shadow-table entry the way the datapath does:
+// exact match plus priority.
+type shadowKey struct {
+	match flow.Match
+	prio  uint16
+}
+
+// shadowEntry is one mirrored FlowMod; seq preserves original emission
+// order so a resync replay converges to the same table state.
+type shadowEntry struct {
+	fm  openflow.FlowMod
+	seq uint64
+}
+
+// shadowApply mirrors an outgoing FlowMod into the shadow table with the
+// datapath's own semantics: adds insert or overwrite, strict deletes
+// remove the identical (match, priority) entry, non-strict deletes
+// remove everything the match subsumes.
+func (st *switchState) shadowApply(fm *openflow.FlowMod) {
+	switch fm.Command {
+	case openflow.FlowAdd, openflow.FlowModify:
+		k := shadowKey{match: fm.Match, prio: fm.Priority}
+		if st.shadow == nil {
+			st.shadow = make(map[shadowKey]*shadowEntry)
+		}
+		if e, ok := st.shadow[k]; ok {
+			e.fm = *fm
+			return
+		}
+		st.shadowSeq++
+		st.shadow[k] = &shadowEntry{fm: *fm, seq: st.shadowSeq}
+	case openflow.FlowDeleteStrict:
+		delete(st.shadow, shadowKey{match: fm.Match, prio: fm.Priority})
+	case openflow.FlowDelete:
+		for k := range st.shadow {
+			if fm.Match.Subsumes(k.match) {
+				delete(st.shadow, k)
+			}
+		}
+	}
+}
+
+// shadowRemove prunes the shadow when the switch reports an entry gone.
+func (st *switchState) shadowRemove(fr *openflow.FlowRemoved) {
+	delete(st.shadow, shadowKey{match: fr.Match, prio: fr.Priority})
+}
+
+// trackFlowMod is called for every FlowMod leaving the controller. In
+// keepalive mode it forces the removal notification on adds (so the
+// shadow prunes in lockstep with the switch) and mirrors the message
+// into the shadow table.
+func (c *Controller) trackFlowMod(st *switchState, fm *openflow.FlowMod) {
+	if !c.cfg.Keepalive {
+		return
+	}
+	if fm.Command == openflow.FlowAdd || fm.Command == openflow.FlowModify {
+		fm.NotifyDel = true
+	}
+	st.shadowApply(fm)
+}
+
+// beginResync starts the reconnect handshake after a down switch answers
+// a probe.
+func (c *Controller) beginResync(st *switchState) {
+	st.down = false
+	st.resyncing = true
+	st.resyncAttempt = 0
+	st.probeAttempt = 0
+	c.sendResync(st)
+}
+
+// sendResync transmits one resync attempt as a single batch: features
+// refresh (ports may have changed during the outage), a full table wipe
+// (entries added before the outage may have been deleted while the
+// channel was dark, and a wipe is the only way to remove them), the
+// complete shadow table in original emission order, and a barrier whose
+// reply confirms the switch processed it all. A timer retries with
+// backoff until ResyncMaxAttempts, then gives the switch back to the
+// down/probe loop.
+func (c *Controller) sendResync(st *switchState) {
+	st.resyncAttempt++
+	entries := make([]*shadowEntry, 0, len(st.shadow))
+	for _, e := range st.shadow {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq < entries[j].seq })
+
+	msgs := make([]openflow.Message, 0, len(entries)+3)
+	msgs = append(msgs, &openflow.FeaturesRequest{XID: c.xid()})
+	wipe := &openflow.FlowMod{XID: c.xid(), Match: flow.MatchAll(), Command: openflow.FlowDelete}
+	msgs = append(msgs, wipe)
+	c.stats.FlowModsSent++
+	for _, e := range entries {
+		fm := e.fm
+		fm.XID = c.xid()
+		msgs = append(msgs, &fm)
+		c.stats.FlowModsSent++
+	}
+	xid := c.xid()
+	st.resyncXID = xid
+	if c.pendingResyncs == nil {
+		c.pendingResyncs = make(map[uint32]*switchState)
+	}
+	c.pendingResyncs[xid] = st
+	msgs = append(msgs, &openflow.BarrierRequest{XID: xid})
+	openflow.SendAll(st.conn, msgs...)
+
+	delay := backoffDelay(st.resyncAttempt, c.cfg.RetryBase, c.cfg.RetryCap)
+	c.eng.Schedule(delay, func() {
+		cur, outstanding := c.pendingResyncs[xid]
+		if !outstanding || cur != st || !st.resyncing {
+			return // confirmed, superseded, or the switch went down again
+		}
+		delete(c.pendingResyncs, xid)
+		if st.resyncAttempt >= c.cfg.ResyncMaxAttempts {
+			c.stats.ResyncFailures++
+			st.resyncing = false
+			c.markSwitchDown(st, "resync barrier lost")
+			return
+		}
+		c.stats.ResyncRetries++
+		c.sendResync(st)
+	})
+}
+
+// finishResync completes the handshake once the barrier reply lands.
+func (c *Controller) finishResync(st *switchState) {
+	st.resyncing = false
+	st.echoPending = false
+	st.echoMisses = 0
+	c.stats.Resyncs++
+	c.record(monitor.Event{Type: monitor.EventSwitchResync, Switch: st.dpid,
+		Detail: uitoa(uint64(len(st.shadow))) + " entries reinstalled, barrier confirmed"})
+}
+
+// drainElement tears down every live session chained through the failed
+// element so each flow's next packet re-steers through the surviving
+// elements — or hits the policy's fail mode while none are left. Returns
+// the number of sessions drained.
+func (c *Controller) drainElement(id uint64) int {
+	type item struct {
+		key flow.Key
+		seq uint64
+	}
+	var victims []item
+	for key, rec := range c.sessions {
+		for _, seID := range rec.seIDs {
+			if seID == id {
+				victims = append(victims, item{key: key, seq: rec.seq})
+				break
+			}
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].seq < victims[j].seq })
+	for _, v := range victims {
+		c.teardownSession(v.key)
+		c.forgetSession(v.key)
+	}
+	if len(victims) > 0 {
+		c.stats.SessionsDrained += uint64(len(victims))
+		c.record(monitor.Event{Type: monitor.EventSEDrain, SE: id,
+			Detail: uitoa(uint64(len(victims))) + " sessions re-steered"})
+	}
+	return len(victims)
+}
+
+// resteerFailOpen tears down every fail-open session so its next packet
+// re-evaluates the chain against the recovered element set; the
+// violation window closes as each session is forgotten. Called when an
+// element (re)registers.
+func (c *Controller) resteerFailOpen() int {
+	type item struct {
+		key flow.Key
+		seq uint64
+	}
+	var victims []item
+	for key, rec := range c.sessions {
+		if rec.failOpen {
+			victims = append(victims, item{key: key, seq: rec.seq})
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].seq < victims[j].seq })
+	for _, v := range victims {
+		c.teardownSession(v.key)
+		c.forgetSession(v.key)
+	}
+	return len(victims)
+}
+
+// installFailOpen routes a Chain flow directly while no element of a
+// required service is reachable (policy fail-open window, policy.Rule.
+// FailOpen). The install is deliberately never cached — every subsequent
+// flow re-runs element selection, so steering resumes the moment an
+// element returns — and the session is marked as a live policy violation
+// for accounting and re-steering.
+func (c *Controller) installFailOpen(st *switchState, pi *openflow.PacketIn, key flow.Key, rule string) {
+	dst, ok := c.destination(key)
+	if !ok {
+		return
+	}
+	em := &c.emit
+	em.reset(nil)
+	first, programmed, ok := c.installPath(em, st, key, []hop{dst}, false)
+	if !ok {
+		em.flush()
+		return
+	}
+	if src, haveSrc := c.hosts[key.EthSrc]; haveSrc {
+		if srcSt, up := c.switches[src.DPID]; up && srcSt.usable() {
+			revKey := key.Reverse(dst.port)
+			_, revProg, _ := c.installPath(em, dst.st, revKey, []hop{{st: srcSt, port: src.Port, mac: src.MAC}}, true)
+			for dpid := range revProg {
+				programmed[dpid] = true
+			}
+		}
+	}
+	c.finishSetup(em, st, pi, first, programmed)
+	c.stats.FlowsRouted++
+	c.stats.FlowsFailedOpen++
+	c.rememberSession(key, st.dpid, rule, nil, true)
+	c.record(monitor.Event{Type: monitor.EventFailOpen, Switch: st.dpid,
+		User: key.EthSrc.String(), FlowKey: &key, Detail: "fail-open " + rule})
+}

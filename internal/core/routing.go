@@ -31,6 +31,12 @@ func (c *Controller) handlePacketIn(st *switchState, pi *openflow.PacketIn) {
 		// unknown, so nothing can be learned or installed yet.
 		return
 	}
+	if st.down || st.resyncing {
+		// A late packet-in from a switch keepalive considers unreachable
+		// (or mid-resync): installing anything now would race the resync
+		// replay, and the sender retries anyway.
+		return
+	}
 	pkt, err := netpkt.Unmarshal(pi.Data)
 	if err != nil {
 		return
@@ -196,25 +202,37 @@ func exactDropMatch(key flow.Key) flow.Match { return flow.ExactMatch(key) }
 
 // installDrop installs a drop rule at a switch and records the event.
 func (c *Controller) installDrop(st *switchState, m flow.Match, key flow.Key, why string) {
+	c.installDropTimed(st, m, key, why, 0)
+}
+
+// installDropTimed is installDrop with a hard timeout (in seconds; 0 =
+// permanent). The fail-closed path uses it so a flow blocked only
+// because its service chain was momentarily unsatisfiable retries —
+// and recovers — after elements return, instead of blackholing forever.
+func (c *Controller) installDropTimed(st *switchState, m flow.Match, key flow.Key, why string, hardSecs uint16) {
 	c.sendFlowMod(st, &openflow.FlowMod{
-		Match:    m,
-		Command:  openflow.FlowAdd,
-		Priority: prioDrop,
-		Actions:  openflow.Drop(),
+		Match:       m,
+		Cookie:      dropCookie,
+		Command:     openflow.FlowAdd,
+		Priority:    prioDrop,
+		HardTimeout: hardSecs,
+		Actions:     openflow.Drop(),
 	})
 	c.stats.DropRules++
 	c.record(monitor.Event{Type: monitor.EventFlowBlocked, Switch: st.dpid,
 		User: key.EthSrc.String(), FlowKey: &key, Detail: why})
 }
 
-// destination resolves the final host of a flow.
+// destination resolves the final host of a flow. A destination behind a
+// down or resyncing switch is treated as unknown: its flow entries could
+// not be installed, so setup waits for a retry after recovery.
 func (c *Controller) destination(key flow.Key) (hop, bool) {
 	h, ok := c.hosts[key.EthDst]
 	if !ok {
 		return hop{}, false
 	}
 	st, ok := c.switches[h.DPID]
-	if !ok {
+	if !ok || !st.usable() {
 		return hop{}, false
 	}
 	return hop{st: st, port: h.Port, mac: h.MAC}, true
@@ -232,7 +250,7 @@ func (c *Controller) installDirect(st *switchState, pi *openflow.PacketIn, pkt *
 		c.replayPlan(em, plan, key)
 		c.finishSetup(em, st, pi, plan.firstActions, plan.programmed)
 		c.stats.FlowsRouted++
-		c.rememberSession(key, st.dpid, rule)
+		c.rememberSession(key, st.dpid, rule, nil, false)
 		c.record(monitor.Event{Type: monitor.EventFlowStart, Switch: st.dpid,
 			User: key.EthSrc.String(), FlowKey: &key, Detail: "allow " + rule})
 		return
@@ -269,7 +287,7 @@ func (c *Controller) installDirect(st *switchState, pi *openflow.PacketIn, pkt *
 		c.cache.putPlan(pk, plan)
 	}
 	c.stats.FlowsRouted++
-	c.rememberSession(key, st.dpid, rule)
+	c.rememberSession(key, st.dpid, rule, nil, false)
 	c.record(monitor.Event{Type: monitor.EventFlowStart, Switch: st.dpid,
 		User: key.EthSrc.String(), FlowKey: &key, Detail: "allow " + rule})
 }
@@ -288,9 +306,18 @@ func (c *Controller) installChain(st *switchState, pi *openflow.PacketIn, pkt *n
 	for _, svc := range dec.Services {
 		se, id, ok := c.pickElement(bal, svc, key)
 		if !ok {
-			// Fail closed: a policy demanding inspection cannot be
-			// satisfied, so the flow is blocked at its entrance.
-			c.installDrop(st, exactDropMatch(key), key, "no element for "+svc.String())
+			// No reachable element provides the required service. The
+			// rule's FailOpen knob decides the window's semantics: forward
+			// uninspected (recorded as a live policy violation, re-steered
+			// as soon as an element returns) or drop at the entrance. The
+			// fail-closed drop carries a hard timeout so the flow retries
+			// setup — and recovers — after elements come back.
+			if dec.FailOpen {
+				c.installFailOpen(st, pi, key, dec.Rule)
+				return
+			}
+			c.installDropTimed(st, exactDropMatch(key), key,
+				"no element for "+svc.String(), failClosedHoldSecs)
 			c.stats.FlowsBlocked++
 			return
 		}
@@ -309,7 +336,7 @@ func (c *Controller) installChain(st *switchState, pi *openflow.PacketIn, pkt *n
 			c.replayPlan(em, plan, key)
 			c.finishSetup(em, st, pi, plan.firstActions, plan.programmed)
 			c.stats.FlowsChained++
-			c.rememberSession(key, st.dpid, dec.Rule)
+			c.rememberSession(key, st.dpid, dec.Rule, plan.seIDs, false)
 			c.record(monitor.Event{Type: monitor.EventFlowStart, Switch: st.dpid,
 				User: key.EthSrc.String(), FlowKey: &key,
 				Detail: "chain " + dec.Rule + " via " + plan.via})
@@ -359,7 +386,7 @@ func (c *Controller) installChain(st *switchState, pi *openflow.PacketIn, pkt *n
 		c.cache.putPlan(pk, plan)
 	}
 	c.stats.FlowsChained++
-	c.rememberSession(key, st.dpid, dec.Rule)
+	c.rememberSession(key, st.dpid, dec.Rule, seIDs, false)
 	c.record(monitor.Event{Type: monitor.EventFlowStart, Switch: st.dpid,
 		User: key.EthSrc.String(), FlowKey: &key,
 		Detail: "chain " + dec.Rule + " via " + via})
@@ -386,7 +413,9 @@ func (c *Controller) pickElement(bal *loadbalance.Balancer, svc seproto.ServiceT
 		if c.cfg.RequireCerts && !se.certOK {
 			continue
 		}
-		if _, ok := c.switches[se.dpid]; !ok {
+		if sw, ok := c.switches[se.dpid]; !ok || !sw.usable() {
+			// The element may be alive, but its switch is unreachable, so
+			// steering entries could not be installed there.
 			continue
 		}
 		cands = append(cands, loadbalance.Candidate{

@@ -70,6 +70,10 @@ func (c *Controller) handleSEOnline(st *switchState, inPort uint32, pkt *netpkt.
 	if !known {
 		c.record(monitor.Event{Type: monitor.EventSEOnline, SE: m.SEID,
 			Switch: st.dpid, IP: pkt.IP.Src.String(), Detail: m.Service.String()})
+		// A (re)registered element may satisfy chains that were running
+		// fail-open; tear those sessions down so their next packet is
+		// re-steered through it.
+		c.resteerFailOpen()
 	}
 }
 

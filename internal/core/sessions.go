@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"livesec/internal/flow"
 	"livesec/internal/monitor"
 	"livesec/internal/openflow"
@@ -19,19 +21,60 @@ type sessionRecord struct {
 	key  flow.Key // as seen at the ingress switch
 	dpid uint64   // ingress switch
 	rule string   // policy rule that admitted it
+	seq  uint64   // install order, for deterministic iteration
+	// seIDs are the service elements this session is steered through
+	// (nil for direct paths); used to drain sessions when an element
+	// fails (resilience.go).
+	seIDs []uint64
+	// failOpen marks a chained session that is temporarily running
+	// uninspected because no element of its required service was
+	// reachable at setup time. failOpenSince starts the
+	// policy-violation window closed by forgetSession.
+	failOpen      bool
+	failOpenSince time.Duration
 }
 
 // rememberSession records an installed flow for later re-evaluation.
-func (c *Controller) rememberSession(key flow.Key, dpid uint64, rule string) {
+// seIDs lists the service elements a chained session traverses;
+// failOpen marks a session installed on the fail-open path.
+func (c *Controller) rememberSession(key flow.Key, dpid uint64, rule string, seIDs []uint64, failOpen bool) {
 	if c.sessions == nil {
 		c.sessions = make(map[flow.Key]sessionRecord)
 	}
-	c.sessions[key] = sessionRecord{key: key, dpid: dpid, rule: rule}
+	if old, ok := c.sessions[key]; ok && old.failOpen {
+		// Overwriting a fail-open record (e.g. re-steered after an
+		// element returned): close its violation window.
+		c.violationAccum += c.eng.Now() - old.failOpenSince
+	}
+	c.sessionSeq++
+	rec := sessionRecord{key: key, dpid: dpid, rule: rule, seq: c.sessionSeq, seIDs: seIDs, failOpen: failOpen}
+	if failOpen {
+		rec.failOpenSince = c.eng.Now()
+	}
+	c.sessions[key] = rec
 }
 
-// forgetSession drops the record when the ingress entry expires.
+// forgetSession drops the record when the ingress entry expires,
+// closing any open policy-violation window.
 func (c *Controller) forgetSession(key flow.Key) {
+	if rec, ok := c.sessions[key]; ok && rec.failOpen {
+		c.violationAccum += c.eng.Now() - rec.failOpenSince
+	}
 	delete(c.sessions, key)
+}
+
+// PolicyViolationTime returns the cumulative time flows have spent
+// forwarded uninspected under fail-open policies: closed windows plus
+// any still-open episodes up to the current virtual time.
+func (c *Controller) PolicyViolationTime() time.Duration {
+	total := c.violationAccum
+	now := c.eng.Now()
+	for _, rec := range c.sessions {
+		if rec.failOpen {
+			total += now - rec.failOpenSince
+		}
+	}
+	return total
 }
 
 // ReapplyPolicies re-evaluates every live session against the current
@@ -45,7 +88,7 @@ func (c *Controller) ReapplyPolicies() int {
 		dec := c.policies.Lookup(key)
 		st, ok := c.switches[rec.dpid]
 		if !ok {
-			delete(c.sessions, key)
+			c.forgetSession(key)
 			continue
 		}
 		switch {
@@ -56,13 +99,13 @@ func (c *Controller) ReapplyPolicies() int {
 			c.installDrop(st, flow.ExactMatch(key), key, "policy reapplied: "+dec.Rule)
 			c.record(monitor.Event{Type: monitor.EventFlowBlocked, Switch: rec.dpid,
 				User: key.EthSrc.String(), Detail: "existing session denied by " + dec.Rule})
-			delete(c.sessions, key)
+			c.forgetSession(key)
 			affected++
 		case dec.Rule != rec.rule:
 			// Admission changed (different rule or chain): tear down so
 			// the next packet re-installs under the new decision.
 			c.teardownSession(key)
-			delete(c.sessions, key)
+			c.forgetSession(key)
 			affected++
 		}
 	}

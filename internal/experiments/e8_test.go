@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+func TestE8Shape(t *testing.T) {
+	r := E8ChaosRecovery(ScaleCI)
+	t.Log("\n" + r.String())
+	get := func(name string) float64 {
+		v, ok := r.Find(name)
+		if !ok {
+			t.Fatalf("row %q missing", name)
+		}
+		return v
+	}
+	if get("empty plan behaviorally identical") != 1 {
+		t.Error("chaos layer with empty plan perturbed a fault-free run")
+	}
+	detect := get("switch-down detection")
+	if detect < 0 || detect > 2000 {
+		t.Errorf("detection = %.0f ms, want within 3 echo intervals (≤2000ms)", detect)
+	}
+	recover := get("reconnect-to-resync recovery")
+	if recover < 0 || recover > 1000 {
+		t.Errorf("recovery = %.0f ms, want under one probe backoff (≤1000ms)", recover)
+	}
+	if get("resyncs (barrier-confirmed)") < 1 {
+		t.Error("no barrier-confirmed resync happened")
+	}
+	if get("sessions drained on SE crash") < 1 {
+		t.Error("no sessions drained when every IDS crashed")
+	}
+	if get("fail-open flows (uninspected)") < 1 {
+		t.Error("fail-open policy never exercised")
+	}
+	if get("policy-violation time") <= 0 {
+		t.Error("fail-open window accrued no violation time")
+	}
+	if bh := get("flows blackholed at end"); bh != 0 {
+		t.Errorf("%v flows blackholed after the storm cleared", bh)
+	}
+}

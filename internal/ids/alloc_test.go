@@ -11,6 +11,9 @@ import (
 // pooled and generation-stamped, and the nocase lower-casing buffer is
 // reused.
 func TestInspectCleanPathZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; AllocsPerRun is meaningless here")
+	}
 	e := communityEngine(t)
 	// Mixed case exercises the lower-casing buffer.
 	pkt := web("GET /Index.HTML HTTP/1.1\r\nHost: Example.COM\r\nAccept: */*")

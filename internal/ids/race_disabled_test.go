@@ -1,0 +1,5 @@
+//go:build !race
+
+package ids
+
+const raceEnabled = false

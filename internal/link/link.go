@@ -71,6 +71,9 @@ type endpoint struct {
 // Link is a full-duplex connection between two node ports.
 type Link struct {
 	a, b endpoint
+	// baseBits remembers the configured line rate so SetRateScale can
+	// degrade and later restore it.
+	baseBits int64
 }
 
 // Connect attaches nodeA:portA to nodeB:portB with symmetric parameters
@@ -81,8 +84,9 @@ func Connect(eng *sim.Engine, nodeA Node, portA uint32, nodeB Node, portB uint32
 		p.QueueBytes = defaultQueueBytes
 	}
 	l := &Link{
-		a: endpoint{eng: eng, params: p, node: nodeA, port: portA, up: true},
-		b: endpoint{eng: eng, params: p, node: nodeB, port: portB, up: true},
+		a:        endpoint{eng: eng, params: p, node: nodeA, port: portA, up: true},
+		b:        endpoint{eng: eng, params: p, node: nodeB, port: portB, up: true},
+		baseBits: p.BitsPerSec,
 	}
 	l.a.peer = &l.b
 	l.b.peer = &l.a
@@ -110,6 +114,23 @@ func (l *Link) From(node Node) Endpoint {
 func (l *Link) SetUp(up bool) {
 	l.a.up = up
 	l.b.up = up
+}
+
+// SetRateScale sets both directions' line rate to f times the configured
+// rate: 0 < f < 1 degrades the link, 1 restores it. Links configured with
+// infinite bandwidth are unaffected. Packets already serialized keep
+// their scheduled arrival; only subsequent transmissions see the new
+// rate.
+func (l *Link) SetRateScale(f float64) {
+	if l.baseBits <= 0 || f <= 0 {
+		return
+	}
+	bps := int64(float64(l.baseBits) * f)
+	if bps < 1 {
+		bps = 1
+	}
+	l.a.params.BitsPerSec = bps
+	l.b.params.BitsPerSec = bps
 }
 
 // PortA returns (node, port) of the A side.

@@ -39,6 +39,10 @@ const (
 	EventDHCPLease     EventType = "dhcp-lease"
 	EventDHCPExhausted EventType = "dhcp-exhausted"
 	EventSwitchError   EventType = "switch-error"
+	EventSwitchDown    EventType = "switch-down"
+	EventSwitchResync  EventType = "switch-resync"
+	EventSEDrain       EventType = "se-drain"
+	EventFailOpen      EventType = "fail-open"
 )
 
 // Event is one record in the global log.

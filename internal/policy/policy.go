@@ -159,6 +159,12 @@ type Rule struct {
 	// values inherit the controller defaults.
 	Grain     loadbalance.Grain
 	Algorithm loadbalance.Algorithm
+	// FailOpen selects the failure semantics of a Chain rule for the
+	// window when no element of a required service is reachable: true
+	// forwards matched flows directly (availability over inspection,
+	// recorded as policy-violation time), false — the default — drops
+	// them at the ingress switch until re-steering succeeds.
+	FailOpen bool
 }
 
 // Validate checks rule consistency.
@@ -170,6 +176,9 @@ func (r *Rule) Validate() error {
 	case Allow, Deny:
 		if len(r.Services) != 0 {
 			return fmt.Errorf("policy: rule %q: services only valid with Chain", r.Name)
+		}
+		if r.FailOpen {
+			return fmt.Errorf("policy: rule %q: FailOpen only valid with Chain", r.Name)
 		}
 	case Chain:
 		if len(r.Services) == 0 {
@@ -261,6 +270,8 @@ type Decision struct {
 	Algorithm loadbalance.Algorithm
 	// Rule is the matched rule's name, or "" for the table default.
 	Rule string
+	// FailOpen carries the matched Chain rule's failure semantics.
+	FailOpen bool
 }
 
 // Lookup evaluates the table for a flow key: the highest-priority
@@ -274,6 +285,7 @@ func (t *Table) Lookup(k flow.Key) Decision {
 				Grain:     r.Grain,
 				Algorithm: r.Algorithm,
 				Rule:      r.Name,
+				FailOpen:  r.FailOpen,
 			}
 		}
 	}

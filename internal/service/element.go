@@ -96,6 +96,13 @@ type Element struct {
 	windowPkts uint64 // packets since the last heartbeat
 	stopBeat   func()
 
+	// Fault-injection state (driven by internal/chaos): a crashed element
+	// stops heartbeating and drops traffic; a wedged one keeps
+	// heartbeating but drops traffic; slow multiplies processing cost.
+	crashed bool
+	wedged  bool
+	slow    float64
+
 	// OnVerdict, if set, observes local verdicts (tests and examples).
 	OnVerdict func(flow.Key, Verdict)
 }
@@ -152,12 +159,54 @@ func (e *Element) Shutdown() {
 	}
 }
 
+// Crash simulates a VM failure: heartbeats stop immediately and all
+// traffic (queued or arriving) is dropped until Restore.
+func (e *Element) Crash() {
+	e.crashed = true
+	if e.stopBeat != nil {
+		e.stopBeat()
+		e.stopBeat = nil
+	}
+}
+
+// Restore revives a crashed element: heartbeats resume at once (so the
+// controller re-learns it without waiting a full interval) and traffic
+// processing restarts.
+func (e *Element) Restore() {
+	if !e.crashed {
+		return
+	}
+	e.crashed = false
+	if e.attached && e.stopBeat == nil {
+		e.stopBeat = e.eng.Ticker(HeartbeatInterval, e.heartbeat)
+		e.eng.Schedule(0, e.heartbeat)
+	}
+}
+
+// SetSlowdown multiplies the element's per-packet processing cost by
+// factor (≥1); 1 restores nominal speed.
+func (e *Element) SetSlowdown(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	e.slow = factor
+}
+
+// SetWedged puts the element in (or takes it out of) the wedged failure
+// mode: heartbeats continue, so the controller believes it healthy, but
+// all data traffic is silently dropped.
+func (e *Element) SetWedged(wedged bool) { e.wedged = wedged }
+
 // Receive implements link.Node: a steered packet arrived for processing.
 // Steered traffic is always unicast IP; L2 control traffic (ARP floods,
 // LLDP probes, broadcasts) that reaches the VM is ignored rather than
 // bounced back into the network.
 func (e *Element) Receive(_ uint32, pkt *netpkt.Packet) {
 	if pkt.IP == nil || pkt.EthDst.IsBroadcast() {
+		return
+	}
+	if e.crashed || e.wedged {
+		e.stats.Drops++
 		return
 	}
 	size := pkt.WireLen()
@@ -174,6 +223,9 @@ func (e *Element) Receive(_ uint32, pkt *netpkt.Packet) {
 	if e.cfg.Inspector != nil {
 		cost += e.cfg.Inspector.PerPacketCost()
 	}
+	if e.slow > 1 {
+		cost = time.Duration(float64(cost) * e.slow)
+	}
 	e.busyUntil = start + cost
 	e.queued += size
 	e.eng.At(e.busyUntil, func() {
@@ -183,6 +235,11 @@ func (e *Element) Receive(_ uint32, pkt *netpkt.Packet) {
 }
 
 func (e *Element) process(pkt *netpkt.Packet) {
+	if e.crashed || e.wedged {
+		// The packet was queued before the fault hit; it dies with the VM.
+		e.stats.Drops++
+		return
+	}
 	e.stats.Packets++
 	e.stats.Bytes += uint64(pkt.WireLen())
 	e.windowPkts++

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"livesec/internal/chaos"
 	"livesec/internal/core"
 	"livesec/internal/dataplane"
 	"livesec/internal/host"
@@ -55,6 +56,14 @@ type Options struct {
 	DHCP core.DHCPPool
 	// UseBarriers enables barrier-synchronized first-packet release.
 	UseBarriers bool
+	// Keepalive enables the controller's echo keepalive, reconnect
+	// resync, and failure-drain machinery (core/resilience.go).
+	Keepalive bool
+	// Chaos installs a fault injector: every secure channel is wrapped
+	// in a chaos.Channel and links/elements are registered for fault
+	// events. With an empty plan the wrapped run is byte-identical to
+	// an unwrapped one.
+	Chaos bool
 }
 
 // Net is an assembled deployment.
@@ -68,6 +77,9 @@ type Net struct {
 	Hosts    []*host.Host
 	Elements []*service.Element
 
+	// Chaos is the fault injector, non-nil when Options.Chaos is set.
+	Chaos *chaos.Injector
+
 	opts        Options
 	nextDPID    uint64
 	nextPort    map[uint64]uint32
@@ -76,6 +88,9 @@ type Net struct {
 	nextSEID    uint64
 	swByDPID    map[uint64]*dataplane.Switch
 	accessLinks map[link.Node]*link.Link
+	linkIDs     map[link.Node]int // node → chaos link id (stable across moves)
+	uplinkIDs   map[uint64]int    // dpid → chaos link id of the uplink
+	nextLinkID  int
 }
 
 // New creates an empty deployment.
@@ -114,9 +129,10 @@ func New(opts Options) *Net {
 		HostTTL:          opts.HostTTL,
 		DHCP:             opts.DHCP,
 		UseBarriers:      opts.UseBarriers,
+		Keepalive:        opts.Keepalive,
 		Seed:             opts.Seed,
 	})
-	return &Net{
+	n := &Net{
 		Eng:         eng,
 		Fabric:      fabric,
 		Controller:  ctrl,
@@ -126,7 +142,13 @@ func New(opts Options) *Net {
 		swFabric:    make(map[uint64]int),
 		swByDPID:    make(map[uint64]*dataplane.Switch),
 		accessLinks: make(map[link.Node]*link.Link),
+		linkIDs:     make(map[link.Node]int),
+		uplinkIDs:   make(map[uint64]int),
 	}
+	if opts.Chaos {
+		n.Chaos = chaos.NewInjector(eng)
+	}
+	return n
 }
 
 // AddSwitch creates an AS switch (OvS or OF Wi-Fi), uplinks it into
@@ -160,7 +182,12 @@ func (n *Net) AddSwitchFull(kind dataplane.Kind, name string, fabricIdx int, upl
 	sw.AttachPort(uplinkPort, up)
 	ctrlSide, swSide := openflow.SimPipe(n.Eng, ctrlLatency)
 	sw.ConnectController(swSide)
-	n.Controller.AddSwitch(ctrlSide)
+	if n.Chaos != nil {
+		n.uplinkIDs[dpid] = n.registerLink(up)
+		n.Controller.AddSwitch(n.Chaos.WrapConn(dpid, ctrlSide))
+	} else {
+		n.Controller.AddSwitch(ctrlSide)
+	}
 	n.Switches = append(n.Switches, sw)
 	n.swByDPID[dpid] = sw
 	n.swFabric[dpid] = fabricIdx
@@ -177,6 +204,37 @@ func (n *Net) AddWiFi(name string) *dataplane.Switch {
 	return n.AddSwitch(dataplane.KindWiFi, name, 0)
 }
 
+// registerLink assigns a fresh chaos link id and registers l under it.
+func (n *Net) registerLink(l *link.Link) int {
+	n.nextLinkID++
+	n.Chaos.RegisterLink(n.nextLinkID, l)
+	return n.nextLinkID
+}
+
+// trackAccessLink remembers a node's access link and, under chaos,
+// (re)registers it with the injector — moves keep the node's link id so
+// a scheduled fault follows the node, not the old wire.
+func (n *Net) trackAccessLink(node link.Node, l *link.Link) {
+	n.accessLinks[node] = l
+	if n.Chaos == nil {
+		return
+	}
+	id, ok := n.linkIDs[node]
+	if !ok {
+		n.nextLinkID++
+		id = n.nextLinkID
+		n.linkIDs[node] = id
+	}
+	n.Chaos.RegisterLink(id, l)
+}
+
+// AccessLinkID returns the chaos link id of a node's access link
+// (0 when chaos is disabled or the node is unknown).
+func (n *Net) AccessLinkID(node link.Node) int { return n.linkIDs[node] }
+
+// UplinkLinkID returns the chaos link id of a switch's fabric uplink.
+func (n *Net) UplinkLinkID(sw *dataplane.Switch) int { return n.uplinkIDs[sw.DPID()] }
+
 // allocPort reserves the next access port on a switch.
 func (n *Net) allocPort(sw *dataplane.Switch) uint32 {
 	n.nextPort[sw.DPID()]++
@@ -192,7 +250,7 @@ func (n *Net) AddHost(sw *dataplane.Switch, name string, ip netpkt.IPv4Addr, p l
 	l := link.Connect(n.Eng, sw, port, h, 0, p)
 	sw.AttachPort(port, l)
 	h.Attach(l)
-	n.accessLinks[h] = l
+	n.trackAccessLink(h, l)
 	n.Hosts = append(n.Hosts, h)
 	return h
 }
@@ -209,7 +267,7 @@ func (n *Net) MoveHost(h *host.Host, to *dataplane.Switch, p link.Params) {
 	l := link.Connect(n.Eng, to, port, h, 0, p)
 	to.AttachPort(port, l)
 	h.Attach(l)
-	n.accessLinks[h] = l
+	n.trackAccessLink(h, l)
 }
 
 // AddWiredUser attaches a host over a 100 Mbps access link (§V.B.1).
@@ -255,7 +313,10 @@ func (n *Net) addElementWithMAC(sw *dataplane.Switch, insp service.Inspector, ni
 	l := link.Connect(n.Eng, sw, port, el, 0, link.Params{BitsPerSec: nicRate})
 	sw.AttachPort(port, l)
 	el.Attach(l)
-	n.accessLinks[el] = l
+	n.trackAccessLink(el, l)
+	if n.Chaos != nil {
+		n.Chaos.RegisterElement(id, el)
+	}
 	n.Elements = append(n.Elements, el)
 	return el
 }
@@ -274,7 +335,7 @@ func (n *Net) MoveElement(el *service.Element, to *dataplane.Switch, nicRate int
 	l := link.Connect(n.Eng, to, port, el, 0, link.Params{BitsPerSec: nicRate})
 	to.AttachPort(port, l)
 	el.Attach(l)
-	n.accessLinks[el] = l
+	n.trackAccessLink(el, l)
 }
 
 // Run advances virtual time by d.

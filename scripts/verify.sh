@@ -1,11 +1,14 @@
 #!/bin/sh
 # Tier-1 verification: everything a change must pass before merging.
 #
-#   build      -> the module compiles, including all commands/examples
-#   vet        -> static checks
-#   test -race -> full test suite (short mode) under the race detector
-#   bench 1x   -> every benchmark runs once, so perf harness rot is
-#                 caught even when no one is looking at the numbers
+#   build       -> the module compiles, including all commands/examples
+#   vet         -> static checks
+#   staticcheck -> deeper lint, when the tool is installed (CI installs
+#                  it; locally the step is skipped with a notice)
+#   test -race  -> full test suite (short mode) under the race detector
+#   bench 1x    -> every benchmark in every package runs once, so perf
+#                  harness rot is caught even when no one is looking at
+#                  the numbers
 #
 # Usage: scripts/verify.sh   (or: make verify)
 set -eu
@@ -18,10 +21,17 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
+if command -v staticcheck >/dev/null 2>&1; then
+	echo "==> staticcheck ./..."
+	staticcheck ./...
+else
+	echo "==> staticcheck not installed; skipping (CI installs and runs it)"
+fi
+
 echo "==> go test -race -short ./..."
 go test -race -short ./...
 
-echo "==> bench smoke (-bench=. -benchtime=1x)"
-go test -run=NONE -bench=. -benchtime=1x .
+echo "==> bench smoke (-bench=. -benchtime=1x ./...)"
+go test -run=NONE -bench=. -benchtime=1x ./...
 
 echo "verify: OK"
