@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet bench verify
+.PHONY: build test vet bench bench-compare verify
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,11 @@ test:
 # Full benchmark pass over every package (real measurements; slow).
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./...
+
+# Old-vs-new hot-loop comparison: retained reference implementations
+# against the current fast paths, via benchstat when installed.
+bench-compare:
+	sh scripts/bench_compare.sh
 
 # Tier-1 gate: build + vet + race tests + benchmark smoke run.
 verify:

@@ -5,10 +5,19 @@
 // Usage:
 //
 //	livesec-bench [-scale full|ci] [-experiment all|E1|…|E8] [-json file]
+//	              [-parallel N] [-stable]
 //
 // With -json, the headline metrics are additionally written to the given
 // file as a machine-readable report (used to snapshot before/after
 // numbers for performance work, e.g. BENCH_PR1.json).
+//
+// Experiments run on a pool of up to -parallel workers (default
+// GOMAXPROCS; 1 forces serial execution). Each experiment owns its
+// simulator, so parallelism changes only wall-clock time, never a
+// measured value; output is always printed in experiment order. With
+// -stable, wall-clock timings are omitted entirely, making both stdout
+// and the -json report byte-identical across runs and across -parallel
+// settings.
 package main
 
 import (
@@ -16,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -34,16 +44,16 @@ type jsonExperiment struct {
 	ID      string    `json:"id"`
 	Title   string    `json:"title"`
 	Claim   string    `json:"claim"`
-	Seconds float64   `json:"seconds"`
+	Seconds float64   `json:"seconds,omitempty"`
 	Rows    []jsonRow `json:"rows"`
 	Notes   []string  `json:"notes,omitempty"`
 }
 
 type jsonReport struct {
 	Scale        string           `json:"scale"`
-	GeneratedAt  string           `json:"generated_at"`
+	GeneratedAt  string           `json:"generated_at,omitempty"`
 	Experiments  []jsonExperiment `json:"experiments"`
-	TotalSeconds float64          `json:"total_seconds"`
+	TotalSeconds float64          `json:"total_seconds,omitempty"`
 }
 
 func main() {
@@ -58,6 +68,8 @@ func run(args []string) error {
 	scaleFlag := fs.String("scale", "full", "deployment scale: full (paper sizes) or ci (fast)")
 	expFlag := fs.String("experiment", "all", "experiment to run: all, E1…E8, or ablations A1…A4")
 	jsonFlag := fs.String("json", "", "also write headline metrics to this file as JSON")
+	parallelFlag := fs.Int("parallel", runtime.GOMAXPROCS(0), "run experiments on up to N workers (1 = serial)")
+	stableFlag := fs.Bool("stable", false, "omit wall-clock timings for byte-identical output across runs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,28 +109,49 @@ func run(args []string) error {
 
 	fmt.Printf("LiveSec evaluation reproduction (scale=%s)\n", *scaleFlag)
 	fmt.Println(strings.Repeat("=", 64))
-	report := jsonReport{
-		Scale:       strings.ToLower(*scaleFlag),
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	report := jsonReport{Scale: strings.ToLower(*scaleFlag)}
+	if !*stableFlag {
+		report.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	}
+
+	// Run on the worker pool, then print in experiment order. elapsed[i]
+	// is written only by the worker that runs job i.
+	elapsed := make([]float64, len(order))
+	jobs := make([]experiments.Job, len(order))
+	for i, id := range order {
+		i, run := i, runners[id]
+		jobs[i] = experiments.Job{ID: id, Run: func() experiments.Result {
+			t0 := time.Now()
+			res := run()
+			elapsed[i] = time.Since(t0).Seconds()
+			return res
+		}}
 	}
 	start := time.Now()
-	for _, id := range order {
-		t0 := time.Now()
-		res := runners[id]()
-		elapsed := time.Since(t0).Seconds()
+	results := experiments.RunOrdered(jobs, *parallelFlag)
+	for i, res := range results {
 		fmt.Print(res.String())
-		fmt.Printf("  [%s in %.1fs]\n\n", id, elapsed)
+		if *stableFlag {
+			fmt.Printf("  [%s]\n\n", order[i])
+		} else {
+			fmt.Printf("  [%s in %.1fs]\n\n", order[i], elapsed[i])
+		}
 		je := jsonExperiment{
 			ID: res.ID, Title: res.Title, Claim: res.Claim,
-			Seconds: elapsed, Notes: res.Notes,
+			Notes: res.Notes,
+		}
+		if !*stableFlag {
+			je.Seconds = elapsed[i]
 		}
 		for _, row := range res.Rows {
 			je.Rows = append(je.Rows, jsonRow(row))
 		}
 		report.Experiments = append(report.Experiments, je)
 	}
-	report.TotalSeconds = time.Since(start).Seconds()
-	fmt.Printf("total wall time: %.1fs\n", report.TotalSeconds)
+	if !*stableFlag {
+		report.TotalSeconds = time.Since(start).Seconds()
+		fmt.Printf("total wall time: %.1fs\n", report.TotalSeconds)
+	}
 
 	if *jsonFlag != "" {
 		data, err := json.MarshalIndent(report, "", "  ")

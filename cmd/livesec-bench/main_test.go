@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -36,6 +37,44 @@ func TestRunWritesJSONReport(t *testing.T) {
 	for _, r := range exp.Rows {
 		if r.Name == "" || r.Unit == "" {
 			t.Fatalf("incomplete row: %+v", r)
+		}
+	}
+}
+
+// TestParallelOutputByteIdentical proves the -parallel flag cannot
+// change results: serial and maximally parallel runs with -stable must
+// write byte-identical JSON reports. Short mode covers a three-
+// experiment subset; the full E1–E8 sweep runs in nightly CI.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	exps := []string{"E1", "E5", "E6"}
+	if !testing.Short() {
+		exps = []string{"all"}
+	}
+	for _, exp := range exps {
+		dir := t.TempDir()
+		serial := filepath.Join(dir, "serial.json")
+		parallel := filepath.Join(dir, "parallel.json")
+		base := []string{"-scale", "ci", "-experiment", exp, "-stable"}
+		if err := run(append(base, "-parallel", "1", "-json", serial)); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(append(base, "-parallel", "8", "-json", parallel)); err != nil {
+			t.Fatal(err)
+		}
+		s, err := os.ReadFile(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := os.ReadFile(parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(s, p) {
+			t.Fatalf("%s: serial and parallel -stable reports differ:\n--- serial ---\n%s\n--- parallel ---\n%s", exp, s, p)
+		}
+		// The stable report must not leak wall-clock fields.
+		if bytes.Contains(s, []byte("generated_at")) || bytes.Contains(s, []byte("seconds")) {
+			t.Fatalf("%s: -stable report contains wall-clock fields:\n%s", exp, s)
 		}
 	}
 }

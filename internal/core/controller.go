@@ -222,6 +222,9 @@ type Controller struct {
 	// portSamples/portLoads back the link-load monitoring (§IV.D).
 	portSamples map[[2]uint64]portSample
 	portLoads   map[[2]uint64]PortLoad
+	// tableStats holds the latest per-switch flow-table and
+	// microflow-cache counters from OFPST_TABLE polling.
+	tableStats map[uint64]TableStats
 	// usage accumulates per-user data-plane counters (§IV.C).
 	usage map[netpkt.MAC]*UserTraffic
 	// sessions tracks installed flows for live policy re-application.
@@ -419,8 +422,13 @@ func (c *Controller) handleMessage(st *switchState, m openflow.Message) {
 	case *openflow.PortStatus:
 		c.handlePortStatus(st, msg)
 	case *openflow.StatsReply:
-		if msg.Kind == openflow.StatsPort && c.portSamples != nil {
-			c.handlePortStats(st, msg)
+		switch msg.Kind {
+		case openflow.StatsPort:
+			if c.portSamples != nil {
+				c.handlePortStats(st, msg)
+			}
+		case openflow.StatsTable:
+			c.handleTableStats(st, msg)
 		}
 	case *openflow.BarrierReply:
 		c.handleBarrierReply(msg.XID)

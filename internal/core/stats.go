@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"livesec/internal/monitor"
@@ -26,8 +27,22 @@ type portSample struct {
 	at               time.Duration
 }
 
-// StartStatsPolling begins periodic port-stats collection. Call after
-// Start; stops with Shutdown.
+// TableStats is the per-switch flow-table and microflow-cache health
+// the WebUI shows next to link loads: how many entries are installed,
+// how often the pipeline consulted the table, and how effective the
+// exact-match microflow cache in front of it is.
+type TableStats struct {
+	DPID                   uint64 `json:"dpid"`
+	Active                 uint32 `json:"active"`
+	Lookups                uint64 `json:"lookups"`
+	Matched                uint64 `json:"matched"`
+	MicroflowHits          uint64 `json:"microflowHits"`
+	MicroflowMisses        uint64 `json:"microflowMisses"`
+	MicroflowInvalidations uint64 `json:"microflowInvalidations"`
+}
+
+// StartStatsPolling begins periodic port- and table-stats collection.
+// Call after Start; stops with Shutdown.
 func (c *Controller) StartStatsPolling(period time.Duration) {
 	if period <= 0 {
 		period = time.Second
@@ -36,13 +51,45 @@ func (c *Controller) StartStatsPolling(period time.Duration) {
 		c.portSamples = make(map[[2]uint64]portSample)
 		c.portLoads = make(map[[2]uint64]PortLoad)
 	}
+	if c.tableStats == nil {
+		c.tableStats = make(map[uint64]TableStats)
+	}
 	c.stops = append(c.stops, c.eng.Ticker(period, func() {
 		for _, st := range c.sortedSwitches() {
 			if st.ready {
 				st.conn.Send(&openflow.StatsRequest{XID: c.xid(), Kind: openflow.StatsPort})
+				st.conn.Send(&openflow.StatsRequest{XID: c.xid(), Kind: openflow.StatsTable})
 			}
 		}
 	}))
+}
+
+// handleTableStats folds a table-stats reply into the per-switch view.
+func (c *Controller) handleTableStats(st *switchState, reply *openflow.StatsReply) {
+	if c.tableStats == nil || len(reply.Tables) == 0 {
+		return
+	}
+	ts := reply.Tables[0]
+	c.tableStats[st.dpid] = TableStats{
+		DPID:                   st.dpid,
+		Active:                 ts.ActiveCount,
+		Lookups:                ts.LookupCount,
+		Matched:                ts.MatchedCount,
+		MicroflowHits:          ts.MicroHits,
+		MicroflowMisses:        ts.MicroMisses,
+		MicroflowInvalidations: ts.MicroInvalidations,
+	}
+}
+
+// TableLoads returns the latest per-switch table and microflow-cache
+// statistics, ordered by datapath ID.
+func (c *Controller) TableLoads() []TableStats {
+	out := make([]TableStats, 0, len(c.tableStats))
+	for _, ts := range c.tableStats {
+		out = append(out, ts)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DPID < out[j].DPID })
+	return out
 }
 
 // handlePortStats folds a port-stats reply into the load table.

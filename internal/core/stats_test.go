@@ -59,6 +59,52 @@ func TestPortStatsPollingDerivesRates(t *testing.T) {
 	}
 }
 
+func TestTableStatsPollingSurfacesMicroflow(t *testing.T) {
+	n, a, b := twoSwitchNet(t, testbed.Options{})
+	defer n.Shutdown()
+	n.Controller.StartStatsPolling(100 * time.Millisecond)
+
+	b.HandleUDP(9, func(*netpkt.Packet) {})
+	a.SendUDP(serverIP, 7, 9, []byte("warm"), 0)
+	if err := n.Run(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// A steady stream on the now-installed flow: each packet after the
+	// first is a microflow-cache hit on the ingress switch.
+	cancel := workload.UDPCBR(n.Eng, a, serverIP, 7, 9, 10_000_000)
+	if err := n.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+
+	tables := n.Controller.TableLoads()
+	if len(tables) != 2 {
+		t.Fatalf("TableLoads returned %d switches, want 2", len(tables))
+	}
+	var hits, lookups uint64
+	for i, ts := range tables {
+		if i > 0 && tables[i-1].DPID >= ts.DPID {
+			t.Fatalf("TableLoads not sorted by DPID: %+v", tables)
+		}
+		if ts.Active == 0 {
+			t.Fatalf("switch %d reports no active entries: %+v", ts.DPID, ts)
+		}
+		if ts.Matched > ts.Lookups {
+			t.Fatalf("switch %d matched > lookups: %+v", ts.DPID, ts)
+		}
+		hits += ts.MicroflowHits
+		lookups += ts.Lookups
+	}
+	if lookups == 0 || hits == 0 {
+		t.Fatalf("steady-state flow produced no microflow hits: %+v", tables)
+	}
+	// Table stats reach the WebUI through the topology snapshot.
+	snap := n.Controller.Topology()
+	if len(snap.Tables) != len(tables) {
+		t.Fatalf("topology snapshot carries %d table stats, want %d", len(snap.Tables), len(tables))
+	}
+}
+
 func TestPortStatsQuietWithoutPolling(t *testing.T) {
 	n, a, b := twoSwitchNet(t, testbed.Options{})
 	defer n.Shutdown()

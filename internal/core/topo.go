@@ -14,6 +14,9 @@ type TopologySnapshot struct {
 	Elements []ElementJSON `json:"elements"`
 	// Loads carries per-port utilization when stats polling is active.
 	Loads []PortLoad `json:"loads,omitempty"`
+	// Tables carries per-switch flow-table and microflow-cache counters
+	// when stats polling is active.
+	Tables []TableStats `json:"tables,omitempty"`
 }
 
 // SwitchInfo describes one AS switch.
@@ -73,6 +76,7 @@ func (c *Controller) Topology() TopologySnapshot {
 		})
 	}
 	sort.Slice(snap.Elements, func(i, j int) bool { return snap.Elements[i].ID < snap.Elements[j].ID })
+	snap.Tables = c.TableLoads()
 	snap.Loads = c.PortLoads()
 	sort.Slice(snap.Loads, func(i, j int) bool {
 		if snap.Loads[i].DPID != snap.Loads[j].DPID {

@@ -44,6 +44,11 @@ type Config struct {
 	// MaxEntries bounds the flow table (0 = unlimited). Hardware tables
 	// are finite; a full table rejects FLOW_MOD adds with an error.
 	MaxEntries int
+	// DisableMicroflow turns off the exact-match microflow cache in
+	// front of the flow table. Forwarding behavior is identical either
+	// way (the property tests assert it); the knob exists for A/B
+	// benchmarks and as an escape hatch.
+	DisableMicroflow bool
 }
 
 // PortStats counts per-port traffic.
@@ -67,9 +72,15 @@ type Switch struct {
 	cfg   Config
 	proc  time.Duration
 	table *FlowTable
+	micro *microflowCache // nil when Config.DisableMicroflow
 	ports map[uint32]*swPort
 	ctrl  openflow.Conn
 	mac   netpkt.MAC
+
+	// portOrder caches sortedPorts(); AttachPort invalidates it, so a
+	// flooded packet costs one cached-slice walk instead of a fresh
+	// allocation and sort per packet.
+	portOrder []uint32
 
 	buffers  map[uint32]bufferedPacket
 	nextBuf  uint32
@@ -79,6 +90,8 @@ type Switch struct {
 	// PacketInsSent counts controller round trips; the flow-setup ablation
 	// bench reads it.
 	PacketInsSent uint64
+	// Lookups counts pipeline flow-table consultations (hit or miss).
+	Lookups uint64
 	// TableMisses counts lookups that found no entry.
 	TableMisses uint64
 	// TableFullRejects counts FLOW_MOD adds refused on a full table.
@@ -104,7 +117,7 @@ func New(eng *sim.Engine, cfg Config) *Switch {
 			proc = ovsProcDelay
 		}
 	}
-	return &Switch{
+	s := &Switch{
 		eng:     eng,
 		cfg:     cfg,
 		proc:    proc,
@@ -113,6 +126,10 @@ func New(eng *sim.Engine, cfg Config) *Switch {
 		buffers: make(map[uint32]bufferedPacket),
 		mac:     netpkt.MACFromUint64(cfg.DPID | 1<<40),
 	}
+	if !cfg.DisableMicroflow {
+		s.micro = newMicroflowCache()
+	}
+	return s
 }
 
 // DPID returns the datapath ID.
@@ -127,6 +144,15 @@ func (s *Switch) Kind() Kind { return s.cfg.Kind }
 // Table exposes the flow table for tests and stats collection.
 func (s *Switch) Table() *FlowTable { return s.table }
 
+// MicroflowStats returns the microflow cache's hit/miss/invalidation
+// counters (zero when the cache is disabled).
+func (s *Switch) MicroflowStats() MicroflowStats {
+	if s.micro == nil {
+		return MicroflowStats{}
+	}
+	return s.micro.stats
+}
+
 // AttachPort registers local port no as the switch end of l. The link must
 // have been built with this switch as one of its nodes. Ports attached
 // after the controller handshake are announced with a PORT_STATUS
@@ -134,6 +160,7 @@ func (s *Switch) Table() *FlowTable { return s.table }
 func (s *Switch) AttachPort(no uint32, l *link.Link) {
 	_, existed := s.ports[no]
 	s.ports[no] = &swPort{no: no, ep: l.From(s)}
+	s.portOrder = nil // port set changed; rebuild the flood order lazily
 	if s.ctrl != nil && !existed {
 		s.ctrl.Send(&openflow.PortStatus{
 			XID:    s.xid(),
@@ -153,10 +180,14 @@ func (s *Switch) Ports() []uint32 {
 }
 
 // sortedPorts lists port numbers ascending (deterministic flooding).
+// The slice is cached across packets and rebuilt only after a port
+// change; callers must not modify or retain it.
 func (s *Switch) sortedPorts() []uint32 {
-	out := s.Ports()
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	if s.portOrder == nil && len(s.ports) > 0 {
+		s.portOrder = s.Ports()
+		sort.Slice(s.portOrder, func(i, j int) bool { return s.portOrder[i] < s.portOrder[j] })
+	}
+	return s.portOrder
 }
 
 // PortStats returns counters for one port.
@@ -206,7 +237,13 @@ func (s *Switch) Receive(portNo uint32, pkt *netpkt.Packet) {
 
 func (s *Switch) pipeline(inPort uint32, pkt *netpkt.Packet) {
 	key := flow.KeyOf(inPort, pkt)
-	e := s.table.Lookup(key)
+	s.Lookups++
+	var e *Entry
+	if s.micro != nil {
+		e = s.micro.lookup(s.table, key)
+	} else {
+		e = s.table.Lookup(key)
+	}
 	if e == nil {
 		s.TableMisses++
 		if s.OnMiss != nil {
@@ -222,22 +259,33 @@ func (s *Switch) pipeline(inPort uint32, pkt *netpkt.Packet) {
 }
 
 // apply executes an action list on a packet. Header-rewriting actions
-// clone the packet so shared references stay intact.
+// clone the packet so shared references stay intact, but consecutive
+// rewrites share one clone: a fresh copy is only taken when the current
+// packet is still shared — the caller's original, or a clone that has
+// already been emitted through an output action.
 func (s *Switch) apply(inPort uint32, pkt *netpkt.Packet, actions []openflow.Action) {
 	if len(actions) == 0 {
 		return // drop
 	}
 	cur := pkt
+	owned := false // whether cur is ours alone to mutate
 	for _, a := range actions {
 		switch act := a.(type) {
 		case openflow.ActionSetDLDst:
-			cur = cur.Clone()
+			if !owned {
+				cur = cur.Clone()
+				owned = true
+			}
 			cur.EthDst = act.MAC
 		case openflow.ActionSetDLSrc:
-			cur = cur.Clone()
+			if !owned {
+				cur = cur.Clone()
+				owned = true
+			}
 			cur.EthSrc = act.MAC
 		case openflow.ActionOutput:
 			s.output(inPort, cur, act)
+			owned = false // receivers hold references now
 		}
 	}
 }
@@ -385,6 +433,17 @@ func (s *Switch) handleStatsRequest(req *openflow.StatsRequest) {
 				})
 			}
 		}
+	case openflow.StatsTable:
+		ms := s.MicroflowStats()
+		reply.Tables = append(reply.Tables, openflow.TableStat{
+			TableID:            0,
+			ActiveCount:        uint32(s.table.Len()),
+			LookupCount:        s.Lookups,
+			MatchedCount:       s.Lookups - s.TableMisses,
+			MicroHits:          ms.Hits,
+			MicroMisses:        ms.Misses,
+			MicroInvalidations: ms.Invalidations,
+		})
 	case openflow.StatsPort:
 		for no, p := range s.ports {
 			reply.Ports = append(reply.Ports, openflow.PortStat{

@@ -61,7 +61,20 @@ type FlowTable struct {
 	order   []*maskBucket // sorted by maxPrio descending
 
 	nextSeq uint64
+
+	// gen counts mutations that can change a Lookup result: every
+	// install, replacement, deletion, and expiry bumps it. The
+	// microflow cache stamps its contents with the generation they
+	// were filled under and discards them wholesale when the table's
+	// generation moves on, so a stale cache hit is impossible. No-op
+	// calls (a shadowed exact add, a delete or expiry sweep that
+	// removes nothing) leave gen — and therefore the cache — intact.
+	gen uint64
 }
+
+// Gen returns the table's mutation generation. It changes whenever a
+// Lookup result may have changed.
+func (t *FlowTable) Gen() uint64 { return t.gen }
 
 // maskBucket holds all wildcard entries sharing one wildcard mask,
 // indexed by masked key. Each candidate list is sorted by (priority
@@ -106,6 +119,7 @@ func (t *FlowTable) Add(e *Entry, now time.Duration) {
 			t.nextSeq++
 		}
 		t.exact[e.Match.Key] = e
+		t.gen++
 		return
 	}
 	for i, old := range t.wildcards {
@@ -114,11 +128,13 @@ func (t *FlowTable) Add(e *Entry, now time.Duration) {
 			t.wildcards[i] = e
 			t.indexRemove(old)
 			t.indexAdd(e)
+			t.gen++
 			return
 		}
 	}
 	e.seq = t.nextSeq
 	t.nextSeq++
+	t.gen++
 	t.wildcards = append(t.wildcards, e)
 	sort.SliceStable(t.wildcards, func(i, j int) bool {
 		return t.wildcards[i].Priority > t.wildcards[j].Priority
@@ -284,6 +300,9 @@ func (t *FlowTable) Delete(m flow.Match, priority uint16, strict bool) []*Entry 
 		t.wildcards[i] = nil
 	}
 	t.wildcards = kept
+	if len(removed) > 0 {
+		t.gen++
+	}
 	sortBySeq(removed)
 	return removed
 }
@@ -321,6 +340,9 @@ func (t *FlowTable) Expire(now time.Duration) []ExpiredEntry {
 		t.wildcards[i] = nil
 	}
 	t.wildcards = kept
+	if len(expired) > 0 {
+		t.gen++
+	}
 	sort.Slice(expired, func(i, j int) bool { return expired[i].Entry.seq < expired[j].Entry.seq })
 	return expired
 }

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func stubJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := 0; i < n; i++ {
+		id := string(rune('A' + i))
+		jobs[i] = Job{ID: id, Run: func() Result { return Result{ID: id} }}
+	}
+	return jobs
+}
+
+func resultIDs(rs []Result) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.ID
+	}
+	return out
+}
+
+func TestRunOrderedPreservesInputOrder(t *testing.T) {
+	jobs := stubJobs(9)
+	want := resultIDs(RunOrdered(jobs, 1))
+	for _, workers := range []int{-1, 0, 2, 3, 9, 50} {
+		if got := resultIDs(RunOrdered(jobs, workers)); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: order %v, want %v", workers, got, want)
+		}
+	}
+}
+
+// TestRunOrderedBoundsConcurrency: with N workers, no more than N jobs
+// may be in flight at once.
+func TestRunOrderedBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak int64
+	var mu sync.Mutex
+	jobs := make([]Job, 20)
+	for i := range jobs {
+		jobs[i] = Job{ID: "x", Run: func() Result {
+			n := atomic.AddInt64(&inFlight, 1)
+			mu.Lock()
+			if n > peak {
+				peak = n
+			}
+			mu.Unlock()
+			defer atomic.AddInt64(&inFlight, -1)
+			return Result{}
+		}}
+	}
+	RunOrdered(jobs, workers)
+	if peak > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", peak, workers)
+	}
+}
+
+// TestRunOrderedParallelMatchesSerial runs real (CI-scale) experiments
+// both ways: the per-experiment results must be deeply equal, because
+// each experiment owns its simulator and shares nothing.
+func TestRunOrderedParallelMatchesSerial(t *testing.T) {
+	jobs := []Job{
+		{ID: "E1", Run: E1AccessThroughput},
+		{ID: "E5", Run: E5LatencyOverhead},
+		{ID: "E6", Run: E6EventPipeline},
+		{ID: "E4", Run: func() Result { return E4LoadDeviation(ScaleCI) }},
+	}
+	serial := RunOrdered(jobs, 1)
+	parallel := RunOrdered(jobs, len(jobs))
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel results differ from serial:\n%v\n%v", parallel, serial)
+	}
+}

@@ -1,0 +1,77 @@
+package netpkt
+
+import "testing"
+
+// Clone and Marshal run on the simulated data path (every header
+// rewrite clones; every packet-in and packet-out marshals), so their
+// allocation counts are part of the flow-setup and forwarding budget.
+// These tests pin the counts so a refactor cannot silently regress
+// them. Gated off under -race, whose instrumentation adds allocations.
+
+// TestCloneAllocBudget pins Clone to one allocation for the struct plus
+// one per non-nil header pointer plus one for the payload copy.
+func TestCloneAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts unreliable under -race")
+	}
+	cases := []struct {
+		name string
+		pkt  *Packet
+		want float64
+	}{
+		{
+			// struct + IP + TCP + payload
+			name: "tcp",
+			pkt: NewTCP(MACFromUint64(1), MACFromUint64(2),
+				IP(10, 0, 0, 1), IP(10, 0, 0, 2), 1234, 80, []byte("hello")),
+			want: 4,
+		},
+		{
+			// struct + IP + UDP + payload
+			name: "udp",
+			pkt: NewUDP(MACFromUint64(1), MACFromUint64(2),
+				IP(10, 0, 0, 1), IP(10, 0, 0, 2), 53, 53, []byte("q")),
+			want: 4,
+		},
+		{
+			// struct + ARP body, no payload
+			name: "arp",
+			pkt:  NewARPRequest(MACFromUint64(1), IP(10, 0, 0, 1), IP(10, 0, 0, 2)),
+			want: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sink *Packet
+			got := testing.AllocsPerRun(200, func() { sink = tc.pkt.Clone() })
+			if got != tc.want {
+				t.Fatalf("Clone allocs/op = %v, want %v", got, tc.want)
+			}
+			_ = sink
+		})
+	}
+}
+
+// TestMarshalAllocBudget pins Marshal to the single output-buffer
+// allocation: headerLen must size the buffer exactly so no append
+// regrows it.
+func TestMarshalAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts unreliable under -race")
+	}
+	pkts := map[string]*Packet{
+		"tcp": NewTCP(MACFromUint64(1), MACFromUint64(2),
+			IP(10, 0, 0, 1), IP(10, 0, 0, 2), 1234, 80, []byte("payload bytes")),
+		"arp": NewARPRequest(MACFromUint64(1), IP(10, 0, 0, 1), IP(10, 0, 0, 2)),
+	}
+	for name, pkt := range pkts {
+		t.Run(name, func(t *testing.T) {
+			var sink []byte
+			got := testing.AllocsPerRun(200, func() { sink = pkt.Marshal() })
+			if got != 1 {
+				t.Fatalf("Marshal allocs/op = %v, want 1", got)
+			}
+			_ = sink
+		})
+	}
+}

@@ -20,8 +20,9 @@ const (
 	headerLen   = 8
 	matchLen    = 40
 	portDescLen = 28
-	flowStatLen = matchLen + 2 + 8 + 8 + 8 + 6 // match, prio, cookie, pkts, bytes, pad
-	portStatLen = 4 + 6*8 + 4                  // port, six counters, pad
+	flowStatLen  = matchLen + 2 + 8 + 8 + 8 + 6 // match, prio, cookie, pkts, bytes, pad
+	portStatLen  = 4 + 6*8 + 4                  // port, six counters, pad
+	tableStatLen = 1 + 3 + 4 + 5*8              // id, pad, active, five 64-bit counters
 )
 
 // Encode serializes a message to its wire format:
@@ -65,7 +66,7 @@ func bodyLen(m Message) int {
 	case *StatsRequest:
 		return 4 + matchLen
 	case *StatsReply:
-		return 4 + len(v.Flows)*flowStatLen + len(v.Ports)*portStatLen
+		return 4 + len(v.Flows)*flowStatLen + len(v.Tables)*tableStatLen + len(v.Ports)*portStatLen
 	case *ErrorMsg:
 		return 4 + len(v.Data)
 	default:
@@ -143,6 +144,16 @@ func appendBody(b []byte, m Message) []byte {
 				b = binary.BigEndian.AppendUint64(b, fs.Packets)
 				b = binary.BigEndian.AppendUint64(b, fs.Bytes)
 				b = append(b, 0, 0, 0, 0, 0, 0)
+			}
+		case StatsTable:
+			for _, ts := range v.Tables {
+				b = append(b, ts.TableID, 0, 0, 0)
+				b = binary.BigEndian.AppendUint32(b, ts.ActiveCount)
+				b = binary.BigEndian.AppendUint64(b, ts.LookupCount)
+				b = binary.BigEndian.AppendUint64(b, ts.MatchedCount)
+				b = binary.BigEndian.AppendUint64(b, ts.MicroHits)
+				b = binary.BigEndian.AppendUint64(b, ts.MicroMisses)
+				b = binary.BigEndian.AppendUint64(b, ts.MicroInvalidations)
 			}
 		case StatsPort:
 			for _, ps := range v.Ports {
@@ -483,6 +494,20 @@ func decodeStatsReply(xid uint32, b []byte) (Message, error) {
 				Bytes:    binary.BigEndian.Uint64(body[18:26]),
 			})
 			rest = rest[flowStatLen:]
+		}
+	case StatsTable:
+		for len(rest) >= tableStatLen {
+			ts := TableStat{
+				TableID:            rest[0],
+				ActiveCount:        binary.BigEndian.Uint32(rest[4:8]),
+				LookupCount:        binary.BigEndian.Uint64(rest[8:16]),
+				MatchedCount:       binary.BigEndian.Uint64(rest[16:24]),
+				MicroHits:          binary.BigEndian.Uint64(rest[24:32]),
+				MicroMisses:        binary.BigEndian.Uint64(rest[32:40]),
+				MicroInvalidations: binary.BigEndian.Uint64(rest[40:48]),
+			}
+			m.Tables = append(m.Tables, ts)
+			rest = rest[tableStatLen:]
 		}
 	case StatsPort:
 		for len(rest) >= portStatLen {

@@ -66,6 +66,11 @@ func TestRoundTripAllTypes(t *testing.T) {
 		&StatsReply{XID: 15, Kind: StatsPort, Ports: []PortStat{
 			{PortNo: 1, RxPackets: 1, TxPackets: 2, RxBytes: 3, TxBytes: 4, RxDropped: 5, TxDropped: 6},
 		}},
+		&StatsRequest{XID: 19, Kind: StatsTable},
+		&StatsReply{XID: 20, Kind: StatsTable, Tables: []TableStat{
+			{TableID: 0, ActiveCount: 12, LookupCount: 1 << 40, MatchedCount: 99,
+				MicroHits: 80, MicroMisses: 19, MicroInvalidations: 3},
+		}},
 		&BarrierRequest{XID: 16},
 		&BarrierReply{XID: 17},
 		&ErrorMsg{XID: 18, Code: ErrBadMatch, Data: []byte("bad")},

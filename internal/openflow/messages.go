@@ -210,11 +210,12 @@ type StatsKind uint16
 
 // Statistics kinds.
 const (
-	StatsFlow StatsKind = 1
-	StatsPort StatsKind = 4
+	StatsFlow  StatsKind = 1
+	StatsTable StatsKind = 3
+	StatsPort  StatsKind = 4
 )
 
-// StatsRequest asks for flow or port statistics.
+// StatsRequest asks for flow, table, or port statistics.
 type StatsRequest struct {
 	XID   uint32
 	Kind  StatsKind
@@ -230,6 +231,22 @@ type FlowStat struct {
 	Bytes    uint64
 }
 
+// TableStat is one flow table's counters (OFPST_TABLE), extended with
+// the switch's microflow-cache counters (OpenFlow 1.0 has no notion of
+// a microflow cache; the extra fields extend the fixed-layout body the
+// way a vendor extension would).
+type TableStat struct {
+	TableID      uint8
+	ActiveCount  uint32
+	LookupCount  uint64
+	MatchedCount uint64
+
+	// Microflow cache effectiveness (hits/misses/invalidations).
+	MicroHits          uint64
+	MicroMisses        uint64
+	MicroInvalidations uint64
+}
+
 // PortStat is one port's counters.
 type PortStat struct {
 	PortNo    uint32
@@ -243,10 +260,11 @@ type PortStat struct {
 
 // StatsReply carries the requested statistics.
 type StatsReply struct {
-	XID   uint32
-	Kind  StatsKind
-	Flows []FlowStat
-	Ports []PortStat
+	XID    uint32
+	Kind   StatsKind
+	Flows  []FlowStat
+	Tables []TableStat
+	Ports  []PortStat
 }
 
 // BarrierRequest asks the switch to finish all preceding messages.

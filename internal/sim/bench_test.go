@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+	"time"
+)
+
+// BenchmarkEngineSchedule measures one steady-state Schedule+pop cycle
+// through the public API against a queue of background events — the
+// cost every simulated packet hop pays twice (transmission and
+// propagation timers).
+func BenchmarkEngineSchedule(b *testing.B) {
+	for _, depth := range []int{16, 256, 4096} {
+		b.Run(itoa(depth), func(b *testing.B) {
+			e := NewEngine(1)
+			fn := func() {}
+			for i := 0; i < depth; i++ {
+				e.Schedule(time.Duration(i%97)*time.Microsecond, fn)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := e.pop()
+				e.push(ev)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineScheduleContainerHeap is the pre-PR3 implementation —
+// container/heap over *event pointers — kept as the before-side of the
+// BENCH_PR3 comparison (the reference lives in heap_prop_test.go).
+func BenchmarkEngineScheduleContainerHeap(b *testing.B) {
+	for _, depth := range []int{16, 256, 4096} {
+		b.Run(itoa(depth), func(b *testing.B) {
+			q := refQueue{}
+			for i := 0; i < depth; i++ {
+				heap.Push(&q, &refEvent{at: time.Duration(i%97) * time.Microsecond, seq: uint64(i)})
+			}
+			seq := uint64(depth)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := heap.Pop(&q).(*refEvent)
+				seq++
+				heap.Push(&q, &refEvent{at: ev.at, seq: seq})
+			}
+		})
+	}
+}
+
+// BenchmarkEngineRunTimerWheel drains a self-refilling engine through
+// Run, exercising the full peek/pop/dispatch loop.
+func BenchmarkEngineRunTimerWheel(b *testing.B) {
+	e := NewEngine(1)
+	var fn func()
+	fn = func() { e.Schedule(10*time.Microsecond, fn) }
+	for i := 0; i < 64; i++ {
+		e.Schedule(time.Duration(i)*time.Microsecond, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(e.Now() + 10*time.Microsecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

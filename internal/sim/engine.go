@@ -7,7 +7,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"math/rand"
 	"time"
@@ -17,45 +16,46 @@ import (
 // explicitly before the requested horizon.
 var ErrStopped = errors.New("sim: engine stopped")
 
-// Event is a scheduled callback. The callback runs at the event's virtual
-// time; it may schedule further events.
+// MinTickerPeriod is the smallest period Ticker accepts. A zero or
+// negative period is clamped to this documented minimum instead of the
+// historic 1ns, which would detonate any event budget (a single
+// mis-sized Ticker used to enqueue a billion events per simulated
+// second).
+const MinTickerPeriod = time.Millisecond
+
+// event is a scheduled callback. The callback runs at the event's virtual
+// time; it may schedule further events. Events are stored by value inside
+// the engine's heap slice, so scheduling one does not allocate.
 type event struct {
 	at  time.Duration
 	seq uint64
 	fn  func()
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before reports whether a fires before b: (time, sequence) order, so
+// same-timestamp events fire in the order they were scheduled.
+func (a event) before(b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+	return a.seq < b.seq
 }
 
 // Engine is a discrete-event scheduler with a virtual clock.
 // It is not safe for concurrent use; all components of one simulation must
 // interact with it from event callbacks (or before Run is called).
+//
+// The pending-event queue is an index-free 4-ary min-heap laid out in a
+// single value slice. Compared to the previous container/heap of *event
+// pointers this removes one allocation per Schedule, the interface-call
+// indirection on every sift step, and (being 4-ary) halves the tree depth
+// so sift-down touches fewer cache lines. Popped slots are zeroed and the
+// slice's tail capacity is retained as the free list, so steady-state
+// Schedule/pop cycles allocate nothing.
 type Engine struct {
 	now     time.Duration
 	seq     uint64
-	queue   eventQueue
+	heap    []event
 	rng     *rand.Rand
 	stopped bool
 
@@ -92,7 +92,7 @@ func (e *Engine) At(at time.Duration, fn func()) {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+	e.push(event{at: at, seq: e.seq, fn: fn})
 }
 
 // Stop makes the current Run call return after the in-flight event
@@ -100,7 +100,7 @@ func (e *Engine) At(at time.Duration, fn func()) {
 func (e *Engine) Stop() { e.stopped = true }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // Run executes events until the queue is empty, the horizon is passed, or
 // Stop is called. Events scheduled exactly at the horizon still run;
@@ -108,15 +108,14 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // returns ErrStopped only when stopped explicitly.
 func (e *Engine) Run(horizon time.Duration) error {
 	e.stopped = false
-	for len(e.queue) > 0 {
+	for len(e.heap) > 0 {
 		if e.stopped {
 			return ErrStopped
 		}
-		next := e.queue[0]
-		if next.at > horizon {
+		if e.heap[0].at > horizon {
 			break
 		}
-		heap.Pop(&e.queue)
+		next := e.pop()
 		e.now = next.at
 		e.Processed++
 		next.fn()
@@ -133,14 +132,14 @@ func (e *Engine) Run(horizon time.Duration) error {
 func (e *Engine) RunAll(maxEvents uint64) error {
 	e.stopped = false
 	var n uint64
-	for len(e.queue) > 0 {
+	for len(e.heap) > 0 {
 		if e.stopped {
 			return ErrStopped
 		}
 		if n >= maxEvents {
 			return errors.New("sim: event budget exhausted")
 		}
-		next := heap.Pop(&e.queue).(*event)
+		next := e.pop()
 		e.now = next.at
 		e.Processed++
 		n++
@@ -151,10 +150,12 @@ func (e *Engine) RunAll(maxEvents uint64) error {
 
 // Ticker repeatedly invokes fn every period until the returned cancel
 // function is called or the engine drains. The first invocation happens
-// one period from now.
+// one period from now. A zero or negative period is clamped to
+// MinTickerPeriod; positive sub-millisecond periods are honored as
+// given.
 func (e *Engine) Ticker(period time.Duration, fn func()) (cancel func()) {
 	if period <= 0 {
-		period = time.Nanosecond
+		period = MinTickerPeriod
 	}
 	stopped := false
 	var tick func()
@@ -169,4 +170,70 @@ func (e *Engine) Ticker(period time.Duration, fn func()) (cancel func()) {
 	}
 	e.Schedule(period, tick)
 	return func() { stopped = true }
+}
+
+// 4-ary heap primitives. Children of node i live at 4i+1 … 4i+4, the
+// parent at (i-1)/4. Sift loops hold the moving event in a register and
+// shift displaced nodes instead of swapping, so each level costs one
+// copy.
+
+// push appends ev and restores the heap invariant by sifting it up.
+func (e *Engine) push(ev event) {
+	e.heap = append(e.heap, ev)
+	i := len(e.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !ev.before(e.heap[p]) {
+			break
+		}
+		e.heap[i] = e.heap[p]
+		i = p
+	}
+	e.heap[i] = ev
+}
+
+// pop removes and returns the minimum event. The vacated tail slot is
+// zeroed so the callback closure it held becomes collectable; the slot
+// itself stays in the slice's capacity as free-list space for the next
+// push.
+func (e *Engine) pop() event {
+	h := e.heap
+	min := h[0]
+	last := len(h) - 1
+	ev := h[last]
+	h[last] = event{}
+	e.heap = h[:last]
+	if last > 0 {
+		e.siftDown(ev)
+	}
+	return min
+}
+
+// siftDown places ev, logically at the root, into its final position.
+func (e *Engine) siftDown(ev event) {
+	h := e.heap
+	n := len(h)
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if h[j].before(h[m]) {
+				m = j
+			}
+		}
+		if !h[m].before(ev) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = ev
 }

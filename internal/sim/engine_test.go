@@ -126,6 +126,51 @@ func TestTicker(t *testing.T) {
 	}
 }
 
+// A zero or negative Ticker period is clamped to the documented
+// MinTickerPeriod (it used to clamp to 1ns, which detonated event
+// budgets: one stray zero-period ticker enqueued a billion events per
+// simulated second).
+func TestTickerZeroPeriodClampedToMinimum(t *testing.T) {
+	e := NewEngine(1)
+	ticks := 0
+	cancel := e.Ticker(0, func() { ticks++ })
+	defer cancel()
+	if err := e.Run(10 * MinTickerPeriod); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 10 {
+		t.Fatalf("zero-period ticks in 10×min = %d, want 10", ticks)
+	}
+}
+
+func TestTickerNegativePeriodClampedToMinimum(t *testing.T) {
+	e := NewEngine(1)
+	ticks := 0
+	cancel := e.Ticker(-time.Second, func() { ticks++ })
+	defer cancel()
+	if err := e.Run(3 * MinTickerPeriod); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 3 {
+		t.Fatalf("negative-period ticks in 3×min = %d, want 3", ticks)
+	}
+}
+
+// Positive sub-millisecond periods are a supported use (packet-rate
+// tickers) and must not be clamped.
+func TestTickerSubMillisecondPeriodHonored(t *testing.T) {
+	e := NewEngine(1)
+	ticks := 0
+	cancel := e.Ticker(100*time.Microsecond, func() { ticks++ })
+	defer cancel()
+	if err := e.Run(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 10 {
+		t.Fatalf("100µs ticks in 1ms = %d, want 10", ticks)
+	}
+}
+
 func TestDeterminismAcrossRuns(t *testing.T) {
 	run := func(seed int64) []int64 {
 		e := NewEngine(seed)

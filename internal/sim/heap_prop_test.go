@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// refEvent / refQueue reimplement the engine's original event queue — a
+// container/heap over *event pointers — verbatim. It is the ordering
+// specification the 4-ary value-slice heap must agree with: events pop
+// in (time, sequence) order, ties FIFO.
+type refEvent struct {
+	at  time.Duration
+	seq uint64
+	id  int
+}
+
+type refQueue []*refEvent
+
+func (q refQueue) Len() int { return len(q) }
+
+func (q refQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q refQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *refQueue) Push(x any) { *q = append(*q, x.(*refEvent)) }
+
+func (q *refQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// TestPropertyHeapMatchesContainerHeap drives the engine's 4-ary heap
+// and the container/heap reference with identical interleaved
+// push/pop sequences and requires identical pop order. Timestamps are
+// drawn from a small range so same-time ties (decided by sequence
+// number) are frequent.
+func TestPropertyHeapMatchesContainerHeap(t *testing.T) {
+	f := func(ops []uint8, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine(1)
+		ref := refQueue{}
+		var seq uint64
+		nextID := 0
+		var gotNew, gotRef []int
+		for _, op := range ops {
+			// ~2/3 pushes, ~1/3 pops: queues grow, then drain below.
+			if op%3 != 0 || len(e.heap) == 0 {
+				at := time.Duration(rng.Intn(16)) * time.Millisecond
+				seq++
+				id := nextID
+				nextID++
+				e.push(event{at: at, seq: seq, fn: func() { gotNew = append(gotNew, id) }})
+				heap.Push(&ref, &refEvent{at: at, seq: seq, id: id})
+				continue
+			}
+			ev := e.pop()
+			ev.fn()
+			gotRef = append(gotRef, heap.Pop(&ref).(*refEvent).id)
+		}
+		for len(e.heap) > 0 {
+			ev := e.pop()
+			ev.fn()
+			gotRef = append(gotRef, heap.Pop(&ref).(*refEvent).id)
+		}
+		if len(ref) != 0 {
+			return false
+		}
+		if len(gotNew) != len(gotRef) {
+			return false
+		}
+		for i := range gotNew {
+			if gotNew[i] != gotRef[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeapInvariantAfterRandomOps checks the structural invariant
+// directly: every node fires no earlier than its parent.
+func TestHeapInvariantAfterRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	e := NewEngine(1)
+	for step := 0; step < 5000; step++ {
+		if rng.Intn(3) != 0 || len(e.heap) == 0 {
+			e.At(time.Duration(rng.Intn(64))*time.Millisecond, func() {})
+		} else {
+			e.pop()
+		}
+		for i := 1; i < len(e.heap); i++ {
+			p := (i - 1) / 4
+			if e.heap[i].before(e.heap[p]) {
+				t.Fatalf("step %d: heap invariant violated at node %d", step, i)
+			}
+		}
+	}
+}

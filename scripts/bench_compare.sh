@@ -1,0 +1,53 @@
+#!/bin/sh
+# Old-vs-new performance comparison for the packet-path hot loops.
+#
+# The repo retains the pre-optimization reference implementations next
+# to the fast paths (the container/heap event queue benchmark, the
+# uncached lookup and pipeline variants), so "before" and "after" can be
+# measured from a single tree on the same hardware in one run:
+#
+#   old: BenchmarkEngineScheduleContainerHeap, MicroflowLookup/nocache,
+#        PipelineSteadyState/nocache
+#   new: BenchmarkEngineSchedule, MicroflowLookup/hit,
+#        PipelineSteadyState/microflow
+#
+# The output is split into old/new files under matching benchmark names
+# and handed to benchstat when installed (CI installs it; locally the
+# final step is skipped with a notice and the raw files are kept).
+#
+# Usage: scripts/bench_compare.sh   (or: make bench-compare)
+#   BENCH_COUNT   repetitions per benchmark for benchstat statistics
+#                 (default 5)
+#   BENCH_OUT     output directory (default bench-compare/)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+count="${BENCH_COUNT:-5}"
+out="${BENCH_OUT:-bench-compare}"
+mkdir -p "$out"
+
+echo "==> running hot-loop benchmarks (count=$count)"
+go test -run=NONE -count="$count" \
+	-bench 'BenchmarkEngineSchedule|BenchmarkMicroflowLookup|BenchmarkPipelineSteadyState' \
+	-benchmem ./internal/sim/ ./internal/dataplane/ | tee "$out/raw.txt"
+
+# Split into old/new under matching names so benchstat lines them up.
+grep -E '^(goos|goarch|pkg|cpu):' "$out/raw.txt" >"$out/old.txt" || true
+cp "$out/old.txt" "$out/new.txt"
+
+grep -E '^BenchmarkEngineScheduleContainerHeap/|^BenchmarkMicroflowLookup/nocache/|^BenchmarkPipelineSteadyState/nocache' "$out/raw.txt" |
+	sed -e 's|^BenchmarkEngineScheduleContainerHeap/|BenchmarkEngineSchedule/|' \
+		-e 's|^BenchmarkMicroflowLookup/nocache/|BenchmarkMicroflowLookup/|' \
+		-e 's|^BenchmarkPipelineSteadyState/nocache|BenchmarkPipelineSteadyState|' >>"$out/old.txt"
+
+grep -E '^BenchmarkEngineSchedule/|^BenchmarkMicroflowLookup/hit/|^BenchmarkPipelineSteadyState/microflow' "$out/raw.txt" |
+	sed -e 's|^BenchmarkMicroflowLookup/hit/|BenchmarkMicroflowLookup/|' \
+		-e 's|^BenchmarkPipelineSteadyState/microflow|BenchmarkPipelineSteadyState|' >>"$out/new.txt"
+
+if command -v benchstat >/dev/null 2>&1; then
+	echo "==> benchstat old vs new"
+	benchstat "$out/old.txt" "$out/new.txt" | tee "$out/benchstat.txt"
+else
+	echo "==> benchstat not installed; raw results left in $out/ (CI installs and runs it)"
+fi
