@@ -131,6 +131,17 @@ func BenchmarkE8ChaosRecovery(b *testing.B) {
 	}
 }
 
+// BenchmarkE9PacketInStorm — robustness extension: packet-in storm from
+// a compromised host, overload protection off vs on.
+func BenchmarkE9PacketInStorm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.E9PacketInStorm(scale(b))
+		if i == b.N-1 {
+			reportRows(b, r)
+		}
+	}
+}
+
 // --- Micro-benchmarks for the hot paths ---
 
 func benchPacket() *netpkt.Packet {

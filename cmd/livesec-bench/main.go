@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	livesec-bench [-scale full|ci] [-experiment all|E1|…|E8] [-json file]
+//	livesec-bench [-scale full|ci] [-experiment all|E1|…|E9] [-json file]
 //	              [-parallel N] [-stable]
 //
 // With -json, the headline metrics are additionally written to the given
@@ -66,7 +66,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("livesec-bench", flag.ContinueOnError)
 	scaleFlag := fs.String("scale", "full", "deployment scale: full (paper sizes) or ci (fast)")
-	expFlag := fs.String("experiment", "all", "experiment to run: all, E1…E8, or ablations A1…A4")
+	expFlag := fs.String("experiment", "all", "experiment to run: all, E1…E9, or ablations A1…A4")
 	jsonFlag := fs.String("json", "", "also write headline metrics to this file as JSON")
 	parallelFlag := fs.Int("parallel", runtime.GOMAXPROCS(0), "run experiments on up to N workers (1 = serial)")
 	stableFlag := fs.Bool("stable", false, "omit wall-clock timings for byte-identical output across runs")
@@ -96,13 +96,14 @@ func run(args []string) error {
 		"E6": experiments.E6EventPipeline,
 		"E7": func() experiments.Result { return experiments.E7BaselineComparison(scale) },
 		"E8": func() experiments.Result { return experiments.E8ChaosRecovery(scale) },
+		"E9": func() experiments.Result { return experiments.E9PacketInStorm(scale) },
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "A1", "A2", "A3", "A4"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "A1", "A2", "A3", "A4"}
 
 	want := strings.ToUpper(*expFlag)
 	if want != "ALL" {
 		if _, ok := runners[want]; !ok {
-			return fmt.Errorf("unknown experiment %q (want E1…E8, A1…A4, or all)", *expFlag)
+			return fmt.Errorf("unknown experiment %q (want E1…E9, A1…A4, or all)", *expFlag)
 		}
 		order = []string{want}
 	}

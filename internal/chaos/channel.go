@@ -18,7 +18,12 @@ type ChannelStats struct {
 // no allocation — so an idle Channel is invisible to the run.
 //
 // The drop/duplication filters are counter-based per direction, never
-// randomized, keeping chaos runs deterministic.
+// randomized, keeping chaos runs deterministic. Each filter can be
+// scoped to one OpenFlow message type (SetDropType/SetDupType): a
+// scoped filter counts only matching messages, so "drop every 3rd
+// packet-in" leaves echo traffic untouched. With both scopes at the
+// zero value ("any type") the original shared-counter behavior is
+// preserved exactly.
 type Channel struct {
 	inner   openflow.Conn
 	handler func(openflow.Message)
@@ -26,10 +31,21 @@ type Channel struct {
 	down      bool
 	dropEvery int
 	dupEvery  int
+	dropType  openflow.MsgType
+	dupType   openflow.MsgType
 
-	txCount uint64
-	rxCount uint64
-	stats   ChannelStats
+	tx    dirCounters
+	rx    dirCounters
+	stats ChannelStats
+}
+
+// dirCounters hold one direction's filter positions: count backs the
+// unscoped shared filter, dropCount/dupCount count only messages
+// matching the respective type scope.
+type dirCounters struct {
+	count     uint64
+	dropCount uint64
+	dupCount  uint64
 }
 
 var (
@@ -61,6 +77,14 @@ func (ch *Channel) SetDropEvery(n int) { ch.dropEvery = n }
 // disables.
 func (ch *Channel) SetDupEvery(n int) { ch.dupEvery = n }
 
+// SetDropType scopes the drop filter to one message type; 0 (the
+// default) applies it to every message. Hello shares wire type 0 and
+// cannot be targeted alone.
+func (ch *Channel) SetDropType(t openflow.MsgType) { ch.dropType = t }
+
+// SetDupType scopes the duplication filter the same way.
+func (ch *Channel) SetDupType(t openflow.MsgType) { ch.dupType = t }
+
 // Stats returns the inflicted-fault counters.
 func (ch *Channel) Stats() ChannelStats { return ch.stats }
 
@@ -69,20 +93,43 @@ func (ch *Channel) faulty() bool { return ch.down || ch.dropEvery > 0 || ch.dupE
 
 // admit applies the active faults to one message, appending the copies
 // that survive (0 on drop, 2 on duplication) to out.
-func (ch *Channel) admit(m openflow.Message, count, dropped, duped *uint64, out []openflow.Message) []openflow.Message {
+func (ch *Channel) admit(m openflow.Message, d *dirCounters, dropped, duped *uint64, out []openflow.Message) []openflow.Message {
 	if ch.down {
 		*dropped++
 		return out
 	}
-	*count++
-	if ch.dropEvery > 0 && *count%uint64(ch.dropEvery) == 0 {
-		*dropped++
+	if ch.dropType == 0 && ch.dupType == 0 {
+		// Unscoped: one shared counter per direction (the original
+		// behavior, preserved exactly).
+		d.count++
+		if ch.dropEvery > 0 && d.count%uint64(ch.dropEvery) == 0 {
+			*dropped++
+			return out
+		}
+		out = append(out, m)
+		if ch.dupEvery > 0 && d.count%uint64(ch.dupEvery) == 0 {
+			*duped++
+			out = append(out, m)
+		}
 		return out
 	}
+	// Type-scoped: each filter advances only on messages it applies to,
+	// so "every Nth" means every Nth message of that type.
+	t := m.Type()
+	if ch.dropEvery > 0 && (ch.dropType == 0 || t == ch.dropType) {
+		d.dropCount++
+		if d.dropCount%uint64(ch.dropEvery) == 0 {
+			*dropped++
+			return out
+		}
+	}
 	out = append(out, m)
-	if ch.dupEvery > 0 && *count%uint64(ch.dupEvery) == 0 {
-		*duped++
-		out = append(out, m)
+	if ch.dupEvery > 0 && (ch.dupType == 0 || t == ch.dupType) {
+		d.dupCount++
+		if d.dupCount%uint64(ch.dupEvery) == 0 {
+			*duped++
+			out = append(out, m)
+		}
 	}
 	return out
 }
@@ -93,7 +140,7 @@ func (ch *Channel) Send(m openflow.Message) {
 		ch.inner.Send(m)
 		return
 	}
-	out := ch.admit(m, &ch.txCount, &ch.stats.TxDropped, &ch.stats.TxDuplicated, nil)
+	out := ch.admit(m, &ch.tx, &ch.stats.TxDropped, &ch.stats.TxDuplicated, nil)
 	for _, mm := range out {
 		ch.inner.Send(mm)
 	}
@@ -108,7 +155,7 @@ func (ch *Channel) SendBatch(ms []openflow.Message) {
 	}
 	out := make([]openflow.Message, 0, len(ms)+1)
 	for _, m := range ms {
-		out = ch.admit(m, &ch.txCount, &ch.stats.TxDropped, &ch.stats.TxDuplicated, out)
+		out = ch.admit(m, &ch.tx, &ch.stats.TxDropped, &ch.stats.TxDuplicated, out)
 	}
 	openflow.SendAll(ch.inner, out...)
 }
@@ -129,7 +176,7 @@ func (ch *Channel) deliver(m openflow.Message) {
 		ch.handler(m)
 		return
 	}
-	out := ch.admit(m, &ch.rxCount, &ch.stats.RxDropped, &ch.stats.RxDuplicated, nil)
+	out := ch.admit(m, &ch.rx, &ch.stats.RxDropped, &ch.stats.RxDuplicated, nil)
 	for _, mm := range out {
 		ch.handler(mm)
 	}

@@ -25,6 +25,7 @@ import (
 	"sort"
 	"time"
 
+	"livesec/internal/openflow"
 	"livesec/internal/sim"
 )
 
@@ -58,9 +59,17 @@ const (
 	SEUnwedge
 	// CtrlDrop drops every Nth message on a switch's control channel
 	// (both directions, independent counters); N=0 disables. CtrlDup
-	// duplicates every Nth message the same way.
+	// duplicates every Nth message the same way. Both can be scoped to
+	// one OpenFlow message type via Event.MsgType (CtrlDropType /
+	// CtrlDupType), e.g. dropping packet-ins without perturbing echo
+	// traffic.
 	CtrlDrop
 	CtrlDup
+	// FloodStart makes a registered flooder host generate novel-flow
+	// packets at N packets/second (a packet-in storm at its ingress
+	// switch); FloodStop ends it.
+	FloodStart
+	FloodStop
 )
 
 // String names the kind.
@@ -94,6 +103,10 @@ func (k Kind) String() string {
 		return "ctrl-drop"
 	case CtrlDup:
 		return "ctrl-dup"
+	case FloodStart:
+		return "flood-start"
+	case FloodStop:
+		return "flood-stop"
 	default:
 		return "unknown"
 	}
@@ -101,16 +114,22 @@ func (k Kind) String() string {
 
 // Event is one scheduled fault. Only the fields relevant to the Kind are
 // read: DPID for switch/control-channel faults, LinkID for link faults,
-// SEID for element faults, N for drop/duplication periods, Factor for
-// degradations and slow-downs.
+// SEID for element faults, HostID for flood faults, N for
+// drop/duplication periods and flood rates, Factor for degradations and
+// slow-downs, MsgType to scope drop/duplication to one message type.
 type Event struct {
 	At     time.Duration
 	Kind   Kind
 	DPID   uint64
 	SEID   uint64
 	LinkID int
+	HostID int
 	N      int
 	Factor float64
+	// MsgType scopes CtrlDrop/CtrlDup to one OpenFlow message type
+	// (openflow.MsgType); 0 applies to every message. (Hello shares
+	// wire type 0 and therefore cannot be targeted alone.)
+	MsgType openflow.MsgType
 }
 
 // Plan is an ordered fault script. The zero value is the empty plan.
@@ -211,6 +230,30 @@ func (p *Plan) CtrlDup(at time.Duration, dpid uint64, n int) *Plan {
 	return p.Add(Event{At: at, Kind: CtrlDup, DPID: dpid, N: n})
 }
 
+// CtrlDropType schedules dropping every nth message of one OpenFlow
+// message type on the switch's control channel, leaving other types
+// untouched (e.g. shedding packet-ins without perturbing echoes).
+func (p *Plan) CtrlDropType(at time.Duration, dpid uint64, n int, t openflow.MsgType) *Plan {
+	return p.Add(Event{At: at, Kind: CtrlDrop, DPID: dpid, N: n, MsgType: t})
+}
+
+// CtrlDupType schedules duplicating every nth message of one OpenFlow
+// message type the same way.
+func (p *Plan) CtrlDupType(at time.Duration, dpid uint64, n int, t openflow.MsgType) *Plan {
+	return p.Add(Event{At: at, Kind: CtrlDup, DPID: dpid, N: n, MsgType: t})
+}
+
+// FloodStart schedules the registered flooder host to begin a
+// novel-flow storm at pps packets/second.
+func (p *Plan) FloodStart(at time.Duration, hostID int, pps int) *Plan {
+	return p.Add(Event{At: at, Kind: FloodStart, HostID: hostID, N: pps})
+}
+
+// FloodStop schedules the storm's end.
+func (p *Plan) FloodStop(at time.Duration, hostID int) *Plan {
+	return p.Add(Event{At: at, Kind: FloodStop, HostID: hostID})
+}
+
 // LinkController is the administrative surface the injector drives on a
 // link (satisfied by *link.Link).
 type LinkController interface {
@@ -227,6 +270,13 @@ type ElementController interface {
 	SetWedged(wedged bool)
 }
 
+// Flooder is the administrative surface the injector drives on a host
+// that can generate novel-flow storms (satisfied by *host.Host).
+type Flooder interface {
+	StartFlood(pps int)
+	StopFlood()
+}
+
 // Applied is one executed fault, stamped with its execution time.
 type Applied struct {
 	At time.Duration
@@ -239,6 +289,7 @@ type Injector struct {
 	channels map[uint64]*Channel
 	links    map[int]LinkController
 	elements map[uint64]ElementController
+	flooders map[int]Flooder
 	applied  []Applied
 }
 
@@ -249,6 +300,7 @@ func NewInjector(eng *sim.Engine) *Injector {
 		channels: make(map[uint64]*Channel),
 		links:    make(map[int]LinkController),
 		elements: make(map[uint64]ElementController),
+		flooders: make(map[int]Flooder),
 	}
 }
 
@@ -262,6 +314,10 @@ func (in *Injector) RegisterElement(id uint64, el ElementController) { in.elemen
 
 // RegisterChannel records an already-wrapped channel under its dpid.
 func (in *Injector) RegisterChannel(dpid uint64, ch *Channel) { in.channels[dpid] = ch }
+
+// RegisterFlooder registers a storm-capable host under an id of the
+// caller's choosing.
+func (in *Injector) RegisterFlooder(id int, f Flooder) { in.flooders[id] = f }
 
 // Channel returns the fault channel registered for dpid (nil if none).
 func (in *Injector) Channel(dpid uint64) *Channel { return in.channels[dpid] }
@@ -302,8 +358,10 @@ func (in *Injector) Apply(ev Event) {
 			ch.SetDown(false)
 		case CtrlDrop:
 			ch.SetDropEvery(ev.N)
+			ch.SetDropType(ev.MsgType)
 		case CtrlDup:
 			ch.SetDupEvery(ev.N)
+			ch.SetDupType(ev.MsgType)
 		}
 	case LinkDown, LinkUp, LinkDegrade, LinkRestore:
 		l := in.links[ev.LinkID]
@@ -338,6 +396,16 @@ func (in *Injector) Apply(ev Event) {
 			el.SetWedged(true)
 		case SEUnwedge:
 			el.SetWedged(false)
+		}
+	case FloodStart, FloodStop:
+		f := in.flooders[ev.HostID]
+		if f == nil {
+			return
+		}
+		if ev.Kind == FloodStart {
+			f.StartFlood(ev.N)
+		} else {
+			f.StopFlood()
 		}
 	}
 }

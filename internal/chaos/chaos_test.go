@@ -203,3 +203,92 @@ func TestPlanBuilders(t *testing.T) {
 		t.Fatalf("builder parameters lost: %+v", evs)
 	}
 }
+
+func TestChannelTypeScopedDrop(t *testing.T) {
+	_, ch, fc, received := newWrapped(t)
+	ch.SetDropEvery(2)
+	ch.SetDropType(openflow.TypePacketIn)
+	// Interleave echoes with packet-ins switch→controller: the scope must
+	// count only packet-ins, leaving echo traffic completely untouched.
+	for i := 0; i < 6; i++ {
+		fc.handler(&openflow.PacketIn{XID: uint32(i)})
+		fc.handler(echo(uint32(100 + i)))
+	}
+	var echoes, pis int
+	for _, m := range *received {
+		switch m.(type) {
+		case *openflow.EchoRequest:
+			echoes++
+		case *openflow.PacketIn:
+			pis++
+		}
+	}
+	if echoes != 6 {
+		t.Fatalf("type-scoped drop perturbed echo traffic: %d/6 delivered", echoes)
+	}
+	if pis != 3 {
+		t.Fatalf("drop every 2nd packet-in: %d/6 delivered, want 3", pis)
+	}
+	if s := ch.Stats(); s.RxDropped != 3 {
+		t.Fatalf("RxDropped=%d, want 3", s.RxDropped)
+	}
+}
+
+func TestChannelTypeScopedDup(t *testing.T) {
+	_, ch, fc, _ := newWrapped(t)
+	ch.SetDupEvery(2)
+	ch.SetDupType(openflow.TypeEchoRequest)
+	ch.SendBatch([]openflow.Message{
+		echo(1), &openflow.PacketIn{XID: 10}, echo(2),
+		&openflow.PacketIn{XID: 11}, echo(3), echo(4),
+	})
+	// Echoes 2 and 4 (the 2nd and 4th echo) duplicate; packet-ins never.
+	if len(fc.sent) != 8 {
+		t.Fatalf("sent %d messages, want 8", len(fc.sent))
+	}
+	if s := ch.Stats(); s.TxDuplicated != 2 || s.TxDropped != 0 {
+		t.Fatalf("dup counters wrong: %+v", s)
+	}
+}
+
+// fakeFlooder records flood control calls.
+type fakeFlooder struct{ log []int }
+
+func (f *fakeFlooder) StartFlood(pps int) { f.log = append(f.log, pps) }
+func (f *fakeFlooder) StopFlood()         { f.log = append(f.log, 0) }
+
+func TestInjectorFlood(t *testing.T) {
+	eng := sim.NewEngine(1)
+	in := NewInjector(eng)
+	f := &fakeFlooder{}
+	in.RegisterFlooder(3, f)
+	in.Schedule(NewPlan().
+		FloodStart(10*time.Millisecond, 3, 500).
+		FloodStop(20*time.Millisecond, 3).
+		FloodStart(30*time.Millisecond, 99, 1)) // unregistered: logged, ignored
+	if err := eng.Run(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.log) != 2 || f.log[0] != 500 || f.log[1] != 0 {
+		t.Fatalf("flooder calls: %v", f.log)
+	}
+	if got := len(in.Applied()); got != 3 {
+		t.Fatalf("applied %d events, want 3", got)
+	}
+}
+
+func TestPlanTypeScopedBuilders(t *testing.T) {
+	p := NewPlan().
+		CtrlDropType(time.Second, 3, 2, openflow.TypePacketIn).
+		CtrlDupType(2*time.Second, 3, 4, openflow.TypeEchoReply)
+	evs := p.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Kind != CtrlDrop || evs[0].MsgType != openflow.TypePacketIn || evs[0].N != 2 {
+		t.Fatalf("CtrlDropType event: %+v", evs[0])
+	}
+	if evs[1].Kind != CtrlDup || evs[1].MsgType != openflow.TypeEchoReply || evs[1].N != 4 {
+		t.Fatalf("CtrlDupType event: %+v", evs[1])
+	}
+}

@@ -97,6 +97,63 @@ type Config struct {
 	// ResyncMaxAttempts bounds barrier-confirmed resync retries before
 	// the switch is declared down again (default 5).
 	ResyncMaxAttempts int
+
+	// PacketInCost models the controller's serialized per-packet-in
+	// processing cost (overload.go): each packet-in occupies the
+	// single-threaded controller for this much virtual time, so storms
+	// build real backlogs. Zero (the default) dispatches inline as
+	// before.
+	PacketInCost time.Duration
+	// OverloadProtection enables the defended ingress pipeline
+	// (overload.go): a priority lane for non-packet-in messages,
+	// per-switch and per-source-MAC admission token buckets, a bounded
+	// per-switch packet-in queue, and dataplane suppression entries for
+	// shedding sources. Off by default so existing runs reproduce
+	// bit-for-bit.
+	OverloadProtection bool
+	// IngressQueueCap bounds queued packet-ins per switch (default 256).
+	IngressQueueCap int
+	// PacketInRate/PacketInBurst is the per-switch packet-in token
+	// bucket (defaults 2000/s, burst 200).
+	PacketInRate  float64
+	PacketInBurst float64
+	// SourceRate/SourceBurst is the per-source-MAC token bucket
+	// (defaults 50/s, burst 50).
+	SourceRate  float64
+	SourceBurst float64
+	// SuppressHold is the hard timeout of suppression entries (default
+	// 1s; rounded up to whole seconds on the wire).
+	SuppressHold time.Duration
+	// SuppressOpen forwards shed sources fail-open into the fabric
+	// instead of dropping them (availability over inspection; the hold
+	// window is accounted as policy-violation time).
+	SuppressOpen bool
+
+	// Breakers enables per-service-element circuit breakers around SE
+	// dispatch (breaker.go): a slow or wedged element trips open after
+	// BreakerTripAfter consecutive bad load reports, is excluded from
+	// steering while open, and recovers through a half-open probe. Off
+	// by default.
+	Breakers bool
+	// BreakerTripAfter is the consecutive-bad-report trip threshold
+	// (default 2).
+	BreakerTripAfter int
+	// BreakerMaxQueue is the reported queue depth (bytes) above which a
+	// load report counts as bad (default 256 KiB — half the element's
+	// ingress queue cap).
+	BreakerMaxQueue uint32
+	// BreakerOpenBase and BreakerOpenCap bound the exponential open
+	// timeout: base, 2·base, … per consecutive trip, capped (defaults
+	// 2s and 30s).
+	BreakerOpenBase time.Duration
+	BreakerOpenCap  time.Duration
+
+	// SessionTTL expires session records that outlive it (sessions.go):
+	// FLOW_REMOVED notifications can be lost under storms or chaos
+	// faults, and an unexpirable record map is unbounded state. Zero
+	// (the default) keeps records until their ingress entry reports
+	// removal, as before.
+	SessionTTL time.Duration
 }
 
 // switchState is one registered AS switch.
@@ -159,6 +216,17 @@ type seState struct {
 	// report; it keeps minimum-load dispatch balanced between heartbeats
 	// instead of herding every new flow onto the same element.
 	pendingAssign uint64
+
+	// Circuit-breaker state (breaker.go, gated on Config.Breakers).
+	// prevPackets is the processed-packet counter from the previous load
+	// report, so a stagnant counter with work assigned exposes a wedged
+	// element that still heartbeats.
+	brState     breakerState
+	brFails     int
+	brTrips     int
+	brOpenUntil time.Duration
+	brProbing   bool
+	prevPackets uint64
 }
 
 // Stats counts controller activity.
@@ -191,6 +259,19 @@ type Stats struct {
 	ResyncFailures   uint64
 	SessionsDrained  uint64
 	FlowsFailedOpen  uint64
+
+	// Overload-protection counters (see overload.go).
+	PacketInsShed     uint64
+	ShedSourceBudget  uint64
+	ShedSwitchBudget  uint64
+	ShedQueueOverflow uint64
+	SuppressRules     uint64
+	SessionsExpired   uint64
+
+	// Circuit-breaker counters (see breaker.go).
+	BreakerTrips  uint64
+	BreakerCloses uint64
+	BreakerSkips  uint64
 }
 
 // Controller is the LiveSec controller.
@@ -247,6 +328,10 @@ type Controller struct {
 	cache *decisionCache
 	emit  emitter
 
+	// ov is the ingress pipeline (overload.go), non-nil only when
+	// PacketInCost or OverloadProtection is configured.
+	ov *overloadState
+
 	stats Stats
 }
 
@@ -299,6 +384,44 @@ func New(cfg Config) *Controller {
 			cfg.ResyncMaxAttempts = defaultResyncMaxAttempts
 		}
 	}
+	if cfg.OverloadProtection {
+		if cfg.IngressQueueCap == 0 {
+			cfg.IngressQueueCap = defaultIngressQueueCap
+		}
+		if cfg.PacketInRate == 0 {
+			cfg.PacketInRate = defaultPacketInRate
+		}
+		if cfg.PacketInBurst == 0 {
+			cfg.PacketInBurst = defaultPacketInBurst
+		}
+		if cfg.SourceRate == 0 {
+			cfg.SourceRate = defaultSourceRate
+		}
+		if cfg.SourceBurst == 0 {
+			cfg.SourceBurst = defaultSourceBurst
+		}
+		if cfg.SuppressHold == 0 {
+			cfg.SuppressHold = defaultSuppressHold
+		}
+	}
+	if cfg.Breakers {
+		if cfg.BreakerTripAfter == 0 {
+			cfg.BreakerTripAfter = defaultBreakerTripAfter
+		}
+		if cfg.BreakerMaxQueue == 0 {
+			cfg.BreakerMaxQueue = defaultBreakerMaxQueue
+		}
+		if cfg.BreakerOpenBase == 0 {
+			cfg.BreakerOpenBase = defaultBreakerOpenBase
+		}
+		if cfg.BreakerOpenCap == 0 {
+			cfg.BreakerOpenCap = defaultBreakerOpenCap
+		}
+	}
+	var ov *overloadState
+	if cfg.OverloadProtection || cfg.PacketInCost > 0 {
+		ov = newOverloadState()
+	}
 	return &Controller{
 		cfg:          cfg,
 		eng:          cfg.Engine,
@@ -314,6 +437,7 @@ func New(cfg Config) *Controller {
 		blockedUsers: make(map[netpkt.MAC]bool),
 		leases:       make(map[netpkt.MAC]netpkt.IPv4Addr),
 		cache:        newDecisionCache(),
+		ov:           ov,
 	}
 }
 
@@ -407,7 +531,19 @@ func (c *Controller) Shutdown() {
 	c.stops = nil
 }
 
+// handleMessage receives every control-channel message. With the
+// ingress pipeline active (overload.go) messages queue through its
+// lanes; otherwise they dispatch inline, exactly as before.
 func (c *Controller) handleMessage(st *switchState, m openflow.Message) {
+	if c.ov != nil {
+		c.ingressAccept(st, m)
+		return
+	}
+	c.dispatch(st, m)
+}
+
+// dispatch routes one message to its handler.
+func (c *Controller) dispatch(st *switchState, m openflow.Message) {
 	switch msg := m.(type) {
 	case *openflow.Hello:
 		// Handshake: nothing further here; features request already sent.
@@ -556,6 +692,8 @@ func (c *Controller) housekeep() {
 			c.drainElement(id)
 		}
 	}
+	c.expireSessions(now)
+	c.overloadHousekeep(now)
 }
 
 // RemoveSwitch unregisters a departed AS switch (its secure channel

@@ -418,6 +418,11 @@ func (c *Controller) pickElement(bal *loadbalance.Balancer, svc seproto.ServiceT
 			// steering entries could not be installed there.
 			continue
 		}
+		if !c.breakerAllows(se) {
+			// Circuit open (breaker.go): the element is slow or wedged;
+			// re-steer rather than queue behind it.
+			continue
+		}
 		cands = append(cands, loadbalance.Candidate{
 			ID: se.id,
 			// Estimate ~10 packets per not-yet-reported flow so freshly
@@ -433,6 +438,7 @@ func (c *Controller) pickElement(bal *loadbalance.Balancer, svc seproto.ServiceT
 		return hop{}, 0, false
 	}
 	se := c.elements[id]
+	c.markBreakerProbe(se)
 	se.pendingAssign++
 	return hop{st: c.switches[se.dpid], port: se.port, mac: se.mac}, id, true
 }

@@ -41,8 +41,13 @@ func (c *Controller) handleSEOnline(st *switchState, inPort uint32, pkt *netpkt.
 	}
 	se, known := c.elements[m.SEID]
 	if !known {
-		se = &seState{id: m.SEID}
+		se = &seState{id: m.SEID, prevPackets: m.Load.Packets}
 		c.elements[m.SEID] = se
+	} else {
+		// Fold the report into the circuit breaker before pendingAssign
+		// and load are overwritten below: the wedge check needs the work
+		// assigned since the previous report (breaker.go).
+		c.breakerObserve(se, m.Load)
 	}
 	se.mac = pkt.EthSrc
 	se.ip = pkt.IP.Src

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"livesec/internal/flow"
@@ -32,6 +33,10 @@ type sessionRecord struct {
 	// policy-violation window closed by forgetSession.
 	failOpen      bool
 	failOpenSince time.Duration
+	// installedAt stamps the record for Config.SessionTTL expiry: the
+	// FLOW_REMOVED that normally retires a record can be lost under
+	// storms or chaos faults, and records must not accumulate forever.
+	installedAt time.Duration
 }
 
 // rememberSession records an installed flow for later re-evaluation.
@@ -47,11 +52,39 @@ func (c *Controller) rememberSession(key flow.Key, dpid uint64, rule string, seI
 		c.violationAccum += c.eng.Now() - old.failOpenSince
 	}
 	c.sessionSeq++
-	rec := sessionRecord{key: key, dpid: dpid, rule: rule, seq: c.sessionSeq, seIDs: seIDs, failOpen: failOpen}
+	rec := sessionRecord{key: key, dpid: dpid, rule: rule, seq: c.sessionSeq,
+		seIDs: seIDs, failOpen: failOpen, installedAt: c.eng.Now()}
 	if failOpen {
 		rec.failOpenSince = c.eng.Now()
 	}
 	c.sessions[key] = rec
+}
+
+// expireSessions retires records older than Config.SessionTTL (no-op at
+// the zero default). Only the controller's bookkeeping is dropped — the
+// dataplane entries have their own idle timeouts — but fail-open
+// violation windows close through forgetSession as usual. Victims are
+// processed in install order so runs reproduce bit-for-bit.
+func (c *Controller) expireSessions(now time.Duration) {
+	ttl := c.cfg.SessionTTL
+	if ttl <= 0 || len(c.sessions) == 0 {
+		return
+	}
+	type item struct {
+		key flow.Key
+		seq uint64
+	}
+	var victims []item
+	for key, rec := range c.sessions {
+		if now-rec.installedAt > ttl {
+			victims = append(victims, item{key: key, seq: rec.seq})
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].seq < victims[j].seq })
+	for _, v := range victims {
+		c.forgetSession(v.key)
+		c.stats.SessionsExpired++
+	}
 }
 
 // forgetSession drops the record when the ingress entry expires,

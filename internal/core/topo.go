@@ -17,6 +17,21 @@ type TopologySnapshot struct {
 	// Tables carries per-switch flow-table and microflow-cache counters
 	// when stats polling is active.
 	Tables []TableStats `json:"tables,omitempty"`
+	// Overload carries ingress-pipeline and circuit-breaker state when
+	// overload protection or breakers are enabled (nil otherwise, so
+	// default snapshots are unchanged).
+	Overload *OverloadInfo `json:"overload,omitempty"`
+}
+
+// OverloadInfo is the overload-protection view of the snapshot: current
+// ingress backlog, cumulative shed/suppression counters, and per-element
+// breaker states.
+type OverloadInfo struct {
+	CtrlBacklog     int           `json:"ctrlBacklog"`
+	PacketInBacklog int           `json:"packetInBacklog"`
+	PacketInsShed   uint64        `json:"packetInsShed"`
+	SuppressRules   uint64        `json:"suppressRules"`
+	Breakers        []BreakerInfo `json:"breakers,omitempty"`
 }
 
 // SwitchInfo describes one AS switch.
@@ -76,6 +91,16 @@ func (c *Controller) Topology() TopologySnapshot {
 		})
 	}
 	sort.Slice(snap.Elements, func(i, j int) bool { return snap.Elements[i].ID < snap.Elements[j].ID })
+	if c.ov != nil || c.cfg.Breakers {
+		ctrl, pis := c.IngressDepths()
+		snap.Overload = &OverloadInfo{
+			CtrlBacklog:     ctrl,
+			PacketInBacklog: pis,
+			PacketInsShed:   c.stats.PacketInsShed,
+			SuppressRules:   c.stats.SuppressRules,
+			Breakers:        c.BreakerStates(),
+		}
+	}
 	snap.Tables = c.TableLoads()
 	snap.Loads = c.PortLoads()
 	sort.Slice(snap.Loads, func(i, j int) bool {

@@ -26,7 +26,7 @@ type Row struct {
 
 // Result is one experiment's outcome.
 type Result struct {
-	// ID is the experiment identifier from DESIGN.md (E1…E8).
+	// ID is the experiment identifier from DESIGN.md (E1…E9).
 	ID string
 	// Title describes the experiment.
 	Title string
@@ -81,6 +81,7 @@ func All(scale Scale) []Result {
 		E6EventPipeline(),
 		E7BaselineComparison(scale),
 		E8ChaosRecovery(scale),
+		E9PacketInStorm(scale),
 	}
 }
 

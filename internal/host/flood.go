@@ -1,0 +1,76 @@
+package host
+
+import (
+	"time"
+
+	"livesec/internal/netpkt"
+)
+
+// Flood generation: a compromised host hammering the control plane with
+// novel flows. Every datagram carries a 5-tuple the controller has never
+// seen, so each one is a table miss and a packet-in — the packet-in
+// storm that E9 and the overload-protection tests drive.
+//
+// The target must be resolvable without ARP (pre-Learn its MAC): a
+// suppressed attacker cannot complete ARP exchanges, and the flood
+// should keep hitting the suppression rule rather than stall in the
+// resolver queue.
+
+// floodState tracks an active flood.
+type floodState struct {
+	target netpkt.IPv4Addr
+	pps    int
+	seq    uint64
+	epoch  uint64 // invalidates stale ticks after StopFlood/StartFlood
+}
+
+// SetFloodTarget sets the destination for generated flood traffic.
+func (h *Host) SetFloodTarget(ip netpkt.IPv4Addr) {
+	if h.flood == nil {
+		h.flood = &floodState{}
+	}
+	h.flood.target = ip
+}
+
+// StartFlood begins (or retargets the rate of) a novel-flow flood at pps
+// packets per second toward the flood target. pps <= 0 stops the flood.
+func (h *Host) StartFlood(pps int) {
+	if pps <= 0 {
+		h.StopFlood()
+		return
+	}
+	if h.flood == nil || h.flood.target.IsZero() {
+		return
+	}
+	active := h.flood.pps > 0
+	h.flood.pps = pps
+	if !active {
+		h.flood.epoch++
+		h.floodTick(h.flood.epoch)
+	}
+}
+
+// StopFlood halts the flood; the in-flight tick sees the stale epoch and
+// dies.
+func (h *Host) StopFlood() {
+	if h.flood == nil {
+		return
+	}
+	h.flood.pps = 0
+	h.flood.epoch++
+}
+
+// floodTick emits one flood packet and re-arms itself at the current
+// rate. Each packet rotates source and destination ports so every one is
+// a distinct 5-tuple (a fresh microflow, hence a fresh packet-in).
+func (h *Host) floodTick(epoch uint64) {
+	f := h.flood
+	if f == nil || f.epoch != epoch || f.pps <= 0 {
+		return
+	}
+	srcPort := uint16(1024 + f.seq%60000)
+	dstPort := uint16(7000 + f.seq%1000)
+	f.seq++
+	h.SendUDP(f.target, srcPort, dstPort, []byte("flood"), 0)
+	h.eng.Schedule(time.Second/time.Duration(f.pps), func() { h.floodTick(epoch) })
+}

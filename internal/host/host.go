@@ -47,6 +47,10 @@ type Host struct {
 	// processing). Monitoring and tests hook this.
 	OnPacket func(*netpkt.Packet)
 
+	// flood is the novel-flow flood generator (flood.go); nil until a
+	// flood target is set.
+	flood *floodState
+
 	stats Stats
 }
 

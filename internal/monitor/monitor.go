@@ -43,6 +43,9 @@ const (
 	EventSwitchResync  EventType = "switch-resync"
 	EventSEDrain       EventType = "se-drain"
 	EventFailOpen      EventType = "fail-open"
+	EventSuppress      EventType = "suppress"
+	EventBreakerOpen   EventType = "breaker-open"
+	EventBreakerClose  EventType = "breaker-close"
 )
 
 // Event is one record in the global log.

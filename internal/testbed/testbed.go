@@ -64,6 +64,28 @@ type Options struct {
 	// events. With an empty plan the wrapped run is byte-identical to
 	// an unwrapped one.
 	Chaos bool
+	// PacketInCost is the controller's virtual per-packet-in processing
+	// time (core.Config.PacketInCost); 0 keeps the controller infinitely
+	// fast.
+	PacketInCost time.Duration
+	// OverloadProtection enables the controller's ingress priority lanes,
+	// admission control, and suppression rules (core/overload.go).
+	OverloadProtection bool
+	// Breakers enables per-service-element circuit breakers
+	// (core/breaker.go).
+	Breakers bool
+	// SessionTTL bounds session-record lifetime (core/sessions.go).
+	SessionTTL time.Duration
+	// SuppressOpen makes suppression rules forward via the uplink
+	// (fail-open) instead of dropping.
+	SuppressOpen bool
+	// PacketInRate/PacketInBurst override the per-switch packet-in
+	// admission budget; zero keeps the overload-protection defaults.
+	PacketInRate  float64
+	PacketInBurst float64
+	// SourceRate/SourceBurst override the per-source-MAC budget.
+	SourceRate  float64
+	SourceBurst float64
 }
 
 // Net is an assembled deployment.
@@ -91,6 +113,7 @@ type Net struct {
 	linkIDs     map[link.Node]int // node → chaos link id (stable across moves)
 	uplinkIDs   map[uint64]int    // dpid → chaos link id of the uplink
 	nextLinkID  int
+	nextFlooder int
 }
 
 // New creates an empty deployment.
@@ -131,6 +154,16 @@ func New(opts Options) *Net {
 		UseBarriers:      opts.UseBarriers,
 		Keepalive:        opts.Keepalive,
 		Seed:             opts.Seed,
+
+		PacketInCost:       opts.PacketInCost,
+		OverloadProtection: opts.OverloadProtection,
+		Breakers:           opts.Breakers,
+		SessionTTL:         opts.SessionTTL,
+		SuppressOpen:       opts.SuppressOpen,
+		PacketInRate:       opts.PacketInRate,
+		PacketInBurst:      opts.PacketInBurst,
+		SourceRate:         opts.SourceRate,
+		SourceBurst:        opts.SourceBurst,
 	})
 	n := &Net{
 		Eng:         eng,
@@ -226,6 +259,18 @@ func (n *Net) trackAccessLink(node link.Node, l *link.Link) {
 		n.linkIDs[node] = id
 	}
 	n.Chaos.RegisterLink(id, l)
+}
+
+// RegisterFlooder registers h as a chaos flood generator and returns the
+// flooder id to use in FloodStart/FloodStop plan events (0 when chaos is
+// disabled).
+func (n *Net) RegisterFlooder(h *host.Host) int {
+	if n.Chaos == nil {
+		return 0
+	}
+	n.nextFlooder++
+	n.Chaos.RegisterFlooder(n.nextFlooder, h)
+	return n.nextFlooder
 }
 
 // AccessLinkID returns the chaos link id of a node's access link

@@ -9,6 +9,9 @@
 #   bench 1x    -> every benchmark in every package runs once, so perf
 #                  harness rot is caught even when no one is looking at
 #                  the numbers
+#   determinism -> the full experiment suite (E1…E9 + ablations) at ci
+#                  scale is byte-identical between a serial and a
+#                  parallel -stable run
 #
 # Usage: scripts/verify.sh   (or: make verify)
 set -eu
@@ -33,5 +36,12 @@ go test -race -short ./...
 
 echo "==> bench smoke (-bench=. -benchtime=1x ./...)"
 go test -run=NONE -bench=. -benchtime=1x ./...
+
+echo "==> experiment determinism (ci scale, serial vs parallel, byte-identical)"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go run ./cmd/livesec-bench -scale ci -stable -parallel 1 -json "$tmpdir/serial.json" >/dev/null
+go run ./cmd/livesec-bench -scale ci -stable -json "$tmpdir/parallel.json" >/dev/null
+cmp "$tmpdir/serial.json" "$tmpdir/parallel.json"
 
 echo "verify: OK"
