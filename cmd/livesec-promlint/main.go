@@ -1,0 +1,73 @@
+// Command livesec-promlint validates Prometheus text exposition format
+// (v0.0.4) as produced by the livesecd /metrics endpoint, using the same
+// linter the test suite applies to the obs registry. It exists so CI can
+// check a live daemon's exposition without requiring promtool.
+//
+// Usage:
+//
+//	livesec-promlint [-url http://host:port/metrics] [-dump] [file]
+//
+// With -url, the exposition is fetched over HTTP; otherwise it is read
+// from the named file, or stdin when no file is given. Exit status 0
+// means the exposition parses and satisfies the format's structural
+// rules (TYPE-once, sorted-within-family not required, cumulative
+// histogram buckets ending at _count). -dump echoes the validated text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"livesec/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "livesec-promlint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("livesec-promlint", flag.ContinueOnError)
+	urlFlag := fs.String("url", "", "fetch the exposition from this URL instead of a file/stdin")
+	dumpFlag := fs.Bool("dump", false, "echo the validated exposition to stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var text []byte
+	var err error
+	switch {
+	case *urlFlag != "":
+		var resp *http.Response
+		resp, err = http.Get(*urlFlag)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: %s", *urlFlag, resp.Status)
+		}
+		text, err = io.ReadAll(resp.Body)
+	case fs.NArg() > 0:
+		text, err = os.ReadFile(fs.Arg(0))
+	default:
+		text, err = io.ReadAll(stdin)
+	}
+	if err != nil {
+		return err
+	}
+
+	if err := obs.LintText(string(text)); err != nil {
+		return err
+	}
+	if *dumpFlag {
+		_, _ = stdout.Write(text)
+	}
+	fmt.Fprintf(stdout, "livesec-promlint: OK (%d bytes)\n", len(text))
+	return nil
+}

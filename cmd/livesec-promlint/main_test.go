@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const goodText = `# HELP livesec_x_total X.
+# TYPE livesec_x_total counter
+livesec_x_total 3
+`
+
+func TestLintStdin(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(goodText), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "OK") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+func TestLintFileAndDump(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.txt")
+	if err := os.WriteFile(path, []byte(goodText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-dump", path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "livesec_x_total 3") {
+		t.Fatalf("dump missing sample: %q", out.String())
+	}
+}
+
+func TestLintURL(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(goodText))
+	}))
+	defer srv.Close()
+	var out bytes.Buffer
+	if err := run([]string{"-url", srv.URL}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLintRejectsMalformed(t *testing.T) {
+	bad := "livesec_x_total not-a-number\n"
+	if err := run(nil, strings.NewReader(bad), &bytes.Buffer{}); err == nil {
+		t.Fatal("malformed exposition passed lint")
+	}
+}

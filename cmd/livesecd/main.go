@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	livesecd [-listen :6633] [-http :8080] [-demo]
+//	livesecd [-listen :6633] [-http :8080] [-obs] [-demo]
+//
+// With -obs, the controller records flow-setup trace spans and runtime
+// metrics; the monitoring API then serves them on GET /metrics
+// (Prometheus text exposition) and GET /traces (JSON spans).
 //
 // With -demo, livesecd spawns two in-process OpenFlow switches that
 // connect over TCP loopback, complete the handshake, exchange LLDP via
@@ -26,6 +30,7 @@ import (
 
 	"livesec/internal/core"
 	"livesec/internal/monitor"
+	"livesec/internal/obs"
 	"livesec/internal/openflow"
 	"livesec/internal/policy"
 	"livesec/internal/sim"
@@ -41,18 +46,24 @@ func main() {
 func run() error {
 	listenAddr := flag.String("listen", "127.0.0.1:6633", "OpenFlow listen address")
 	httpAddr := flag.String("http", "127.0.0.1:8080", "monitoring HTTP address ('' disables)")
+	obsFlag := flag.Bool("obs", false, "record flow-setup traces and metrics, served on /metrics and /traces")
 	demo := flag.Bool("demo", false, "spawn two loopback demo switches and exercise the control path")
 	demoTimeout := flag.Duration("demo-timeout", 3*time.Second, "how long the demo runs before exiting")
 	flag.Parse()
 
 	loop := newEventLoop()
 	store := monitor.NewStore(0)
+	var fo *obs.FlowObs
+	if *obsFlag {
+		fo = obs.NewFlowObs(0)
+	}
 	var ctrl *core.Controller
 	loop.do(func() {
 		ctrl = core.New(core.Config{
 			Engine:   loop.eng,
 			Store:    store,
 			Policies: policy.NewTable(policy.Allow),
+			Obs:      fo,
 		})
 		ctrl.Start()
 	})
@@ -65,16 +76,21 @@ func run() error {
 	fmt.Printf("livesecd: OpenFlow on %s\n", ln.Addr())
 
 	if *httpAddr != "" {
-		var topo monitor.TopologyFunc = func() any {
-			var snap core.TopologySnapshot
-			loop.do(func() { snap = ctrl.Topology() })
-			return snap
+		// The handler serializes Topology and obs snapshots through Sync,
+		// so Topology must return directly rather than nest loop.do.
+		mux := monitor.NewAPIHandler(monitor.HandlerConfig{
+			Store:    store,
+			Topology: func() any { return ctrl.Topology() },
+			Obs:      fo,
+			Sync:     loop.do,
+		})
+		httpLn, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return err
 		}
-		mux := monitor.NewHandler(store, topo)
-		go func() {
-			fmt.Printf("livesecd: monitoring API on http://%s\n", *httpAddr)
-			_ = http.ListenAndServe(*httpAddr, mux)
-		}()
+		defer httpLn.Close()
+		fmt.Printf("livesecd: monitoring API on http://%s\n", httpLn.Addr())
+		go func() { _ = http.Serve(httpLn, mux) }()
 	}
 
 	store.Subscribe(func(ev monitor.Event) {

@@ -2,7 +2,9 @@ package core
 
 import (
 	"sort"
+	"time"
 
+	"livesec/internal/obs"
 	"livesec/internal/openflow"
 )
 
@@ -20,16 +22,21 @@ type pendingRelease struct {
 	st      *switchState
 	po      *openflow.PacketOut
 	waiting map[uint32]bool // outstanding barrier xids
+	// span is the flow-setup trace parked across the barrier round trip
+	// (nil when observability is off); sentAt anchors its barrier stage.
+	span   *obs.Span
+	sentAt time.Duration
 }
 
 // barrierRelease wires one release: barriers are queued on the emitter
 // (riding each switch's flow-mod batch, in ascending dpid order for
 // determinism); the packet-out fires when the last reply lands.
-func (c *Controller) barrierRelease(em *emitter, st *switchState, po *openflow.PacketOut, dpids map[uint64]bool) {
+func (c *Controller) barrierRelease(em *emitter, st *switchState, po *openflow.PacketOut, dpids map[uint64]bool, span *obs.Span) {
 	if c.pendingReleases == nil {
 		c.pendingReleases = make(map[uint32]*pendingRelease)
 	}
-	rel := &pendingRelease{st: st, po: po, waiting: make(map[uint32]bool, len(dpids))}
+	rel := &pendingRelease{st: st, po: po, waiting: make(map[uint32]bool, len(dpids)),
+		span: span, sentAt: c.eng.Now()}
 	ids := make([]uint64, 0, len(dpids))
 	for dpid := range dpids {
 		ids = append(ids, dpid)
@@ -48,6 +55,7 @@ func (c *Controller) barrierRelease(em *emitter, st *switchState, po *openflow.P
 	}
 	if len(rel.waiting) == 0 {
 		c.sendPacketOut(st, po)
+		c.obsBarrierDone(rel)
 	}
 }
 
@@ -68,5 +76,6 @@ func (c *Controller) handleBarrierReply(xid uint32) {
 	delete(rel.waiting, xid)
 	if len(rel.waiting) == 0 {
 		c.sendPacketOut(rel.st, rel.po)
+		c.obsBarrierDone(rel)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"livesec/internal/loadbalance"
 	"livesec/internal/monitor"
 	"livesec/internal/netpkt"
+	"livesec/internal/obs"
 	"livesec/internal/openflow"
 	"livesec/internal/policy"
 	"livesec/internal/seproto"
@@ -147,6 +148,13 @@ type Config struct {
 	// 2s and 30s).
 	BreakerOpenBase time.Duration
 	BreakerOpenCap  time.Duration
+
+	// Obs enables the observability subsystem (internal/obs): sampled
+	// controller/engine metrics and per-flow setup trace spans, exported
+	// through the monitor HTTP API and livesec-bench. Nil (the default)
+	// disables every hook, so instrumented paths cost a pointer test and
+	// `-stable` runs reproduce bit-for-bit.
+	Obs *obs.FlowObs
 
 	// SessionTTL expires session records that outlive it (sessions.go):
 	// FLOW_REMOVED notifications can be lost under storms or chaos
@@ -332,6 +340,15 @@ type Controller struct {
 	// PacketInCost or OverloadProtection is configured.
 	ov *overloadState
 
+	// Observability (obs_hooks.go, gated on Config.Obs). obsAcceptedAt is
+	// when the packet-in being dispatched entered the ingress pipeline;
+	// curSpan is the flow-setup span open between routeFlow and
+	// finishSetup (the controller is single-threaded, so at most one
+	// setup is in flight outside barrier waits).
+	obs           *obs.FlowObs
+	obsAcceptedAt time.Duration
+	curSpan       *obs.Span
+
 	stats Stats
 }
 
@@ -422,7 +439,7 @@ func New(cfg Config) *Controller {
 	if cfg.OverloadProtection || cfg.PacketInCost > 0 {
 		ov = newOverloadState()
 	}
-	return &Controller{
+	c := &Controller{
 		cfg:          cfg,
 		eng:          cfg.Engine,
 		store:        cfg.Store,
@@ -438,7 +455,12 @@ func New(cfg Config) *Controller {
 		leases:       make(map[netpkt.MAC]netpkt.IPv4Addr),
 		cache:        newDecisionCache(),
 		ov:           ov,
+		obs:          cfg.Obs,
 	}
+	if c.obs != nil {
+		c.obsRegister()
+	}
+	return c
 }
 
 // sortedSwitches returns registered switches in ascending dpid order so
@@ -538,6 +560,9 @@ func (c *Controller) handleMessage(st *switchState, m openflow.Message) {
 	if c.ov != nil {
 		c.ingressAccept(st, m)
 		return
+	}
+	if c.obs != nil {
+		c.obsAcceptedAt = c.eng.Now()
 	}
 	c.dispatch(st, m)
 }

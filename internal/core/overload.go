@@ -91,10 +91,12 @@ func (b *tokenBucket) take(now time.Duration, rate, burst float64) bool {
 	return true
 }
 
-// ingressItem is one queued control-channel message.
+// ingressItem is one queued control-channel message. at is the arrival
+// time, anchoring the queue-wait stage of flow-setup traces.
 type ingressItem struct {
 	st *switchState
 	m  openflow.Message
+	at time.Duration
 }
 
 // suppressKey identifies an installed suppression entry.
@@ -145,22 +147,23 @@ func (c *Controller) IngressDepths() (ctrl, packetIns int) {
 // kick the server if idle.
 func (c *Controller) ingressAccept(st *switchState, m openflow.Message) {
 	ov := c.ov
+	now := c.eng.Now()
 	pi, isPacketIn := m.(*openflow.PacketIn)
 	switch {
 	case !c.cfg.OverloadProtection:
 		// Naive single-FIFO controller: everything shares one queue in
 		// arrival order; only the PacketInCost model below applies.
-		ov.data = append(ov.data, ingressItem{st, m})
+		ov.data = append(ov.data, ingressItem{st, m, now})
 	case !isPacketIn:
 		// Priority lane: liveness and correctness traffic never waits
 		// behind a storm.
-		ov.ctrl = append(ov.ctrl, ingressItem{st, m})
+		ov.ctrl = append(ov.ctrl, ingressItem{st, m, now})
 	default:
 		if !c.admitPacketIn(st, pi) {
 			return
 		}
 		ov.perSwitch[st.dpid]++
-		ov.data = append(ov.data, ingressItem{st, m})
+		ov.data = append(ov.data, ingressItem{st, m, now})
 	}
 	if !ov.busy {
 		c.ingressServe()
@@ -183,6 +186,7 @@ func (c *Controller) admitPacketIn(st *switchState, pi *openflow.PacketIn) bool 
 		if !b.take(now, c.cfg.SourceRate, c.cfg.SourceBurst) {
 			c.stats.PacketInsShed++
 			c.stats.ShedSourceBudget++
+			c.obsShed(st, src, haveSrc)
 			c.suppressSource(st, src)
 			return false
 		}
@@ -197,11 +201,13 @@ func (c *Controller) admitPacketIn(st *switchState, pi *openflow.PacketIn) bool 
 		// a suppression on.
 		c.stats.PacketInsShed++
 		c.stats.ShedSwitchBudget++
+		c.obsShed(st, src, haveSrc)
 		return false
 	}
 	if ov.perSwitch[st.dpid] >= c.cfg.IngressQueueCap {
 		c.stats.PacketInsShed++
 		c.stats.ShedQueueOverflow++
+		c.obsShed(st, src, haveSrc)
 		if haveSrc {
 			c.suppressSource(st, src)
 		}
@@ -309,11 +315,17 @@ func (c *Controller) ingressServe() {
 			return
 		}
 		if !isPacketIn || c.cfg.PacketInCost <= 0 {
+			if c.obs != nil {
+				c.obsAcceptedAt = it.at
+			}
 			c.dispatch(it.st, it.m)
 			continue
 		}
 		ov.busy = true
 		c.eng.Schedule(c.cfg.PacketInCost, func() {
+			if c.obs != nil {
+				c.obsAcceptedAt = it.at
+			}
 			c.dispatch(it.st, it.m)
 			c.ingressServe()
 		})

@@ -32,6 +32,7 @@ import (
 
 	"livesec/internal/flow"
 	"livesec/internal/monitor"
+	"livesec/internal/obs"
 	"livesec/internal/openflow"
 )
 
@@ -369,6 +370,7 @@ func (c *Controller) installFailOpen(st *switchState, pi *openflow.PacketIn, key
 			}
 		}
 	}
+	c.curSpan.SetOutcome(obs.OutcomeFailOpen)
 	c.finishSetup(em, st, pi, first, programmed)
 	c.stats.FlowsRouted++
 	c.stats.FlowsFailedOpen++

@@ -7,6 +7,7 @@ import (
 	"livesec/internal/loadbalance"
 	"livesec/internal/monitor"
 	"livesec/internal/netpkt"
+	"livesec/internal/obs"
 	"livesec/internal/openflow"
 	"livesec/internal/policy"
 	"livesec/internal/seproto"
@@ -170,9 +171,13 @@ type hop struct {
 // exists (see cache.go).
 func (c *Controller) routeFlow(st *switchState, pi *openflow.PacketIn, pkt *netpkt.Packet) {
 	key := flow.KeyOf(pi.InPort, pkt)
+	if c.obs != nil {
+		c.obsSpanStart(st, key)
+	}
 	if c.blockedUsers[key.EthSrc] {
 		// A blocked user's packets can race the drop-rule installation
 		// (e.g. right after roaming); never route them.
+		c.obsCurSpanEnd(obs.OutcomeBlocked)
 		return
 	}
 	sel := selectorOf(st.dpid, key)
@@ -185,17 +190,22 @@ func (c *Controller) routeFlow(st *switchState, pi *openflow.PacketIn, pkt *netp
 		dec = c.policies.Lookup(key)
 		c.cache.putDecision(sel, version, dec)
 	}
+	c.curSpan.MarkDecision(hit)
 	switch dec.Action {
 	case policy.Deny:
 		c.installDrop(st, exactDropMatch(key), key, "policy "+dec.Rule)
 		c.stats.FlowsBlocked++
+		c.obsCurSpanEnd(obs.OutcomeDenied)
 		return
 	case policy.Chain:
 		c.installChain(st, pi, pkt, key, sel, dec)
-		return
 	default:
 		c.installDirect(st, pi, pkt, key, sel, dec.Rule)
 	}
+	// Completed setups detach their span in finishSetup; one still open
+	// here was abandoned mid-install (unknown destination, unusable
+	// switch on the path).
+	c.obsCurSpanEnd(obs.OutcomeIncomplete)
 }
 
 func exactDropMatch(key flow.Key) flow.Match { return flow.ExactMatch(key) }
@@ -245,6 +255,7 @@ func (c *Controller) installDirect(st *switchState, pi *openflow.PacketIn, pkt *
 	pk := planKey{sel: sel}
 	if plan := c.cache.plan(pk); plan != nil {
 		c.stats.PlanCacheHits++
+		c.curSpan.MarkPlan(true)
 		em := &c.emit
 		em.reset(nil)
 		c.replayPlan(em, plan, key)
@@ -301,10 +312,13 @@ func (c *Controller) installChain(st *switchState, pi *openflow.PacketIn, pkt *n
 		return
 	}
 	bal := c.balancer(dec.Algorithm, dec.Grain)
+	skipsBefore := c.stats.BreakerSkips
 	var hops []hop
 	var seIDs []uint64
 	for _, svc := range dec.Services {
 		se, id, ok := c.pickElement(bal, svc, key)
+		c.curSpan.AddBreakerSkips(uint32(c.stats.BreakerSkips - skipsBefore))
+		skipsBefore = c.stats.BreakerSkips
 		if !ok {
 			// No reachable element provides the required service. The
 			// rule's FailOpen knob decides the window's semantics: forward
@@ -319,10 +333,12 @@ func (c *Controller) installChain(st *switchState, pi *openflow.PacketIn, pkt *n
 			c.installDropTimed(st, exactDropMatch(key), key,
 				"no element for "+svc.String(), failClosedHoldSecs)
 			c.stats.FlowsBlocked++
+			c.obsCurSpanEnd(obs.OutcomeDenied)
 			return
 		}
 		hops = append(hops, se)
 		seIDs = append(seIDs, id)
+		c.curSpan.AddElement(id)
 	}
 	// The balancer pick above is live for every flow; the plan cache is
 	// keyed by the picked elements, so a hit replays a path that steers
@@ -331,6 +347,8 @@ func (c *Controller) installChain(st *switchState, pi *openflow.PacketIn, pkt *n
 	if cacheable {
 		if plan := c.cache.plan(pk); plan != nil {
 			c.stats.PlanCacheHits++
+			c.curSpan.MarkPlan(true)
+			c.curSpan.SetOutcome(obs.OutcomeChained)
 			em := &c.emit
 			em.reset(nil)
 			c.replayPlan(em, plan, key)
@@ -377,6 +395,7 @@ func (c *Controller) installChain(st *switchState, pi *openflow.PacketIn, pkt *n
 			complete = revOK
 		}
 	}
+	c.curSpan.SetOutcome(obs.OutcomeChained)
 	c.finishSetup(em, st, pi, first, programmed)
 	via := uitoaList(seIDs)
 	if complete && cacheable {
@@ -592,8 +611,9 @@ func (c *Controller) finishSetup(em *emitter, st *switchState, pi *openflow.Pack
 	if pi.BufferID == openflow.NoBuffer {
 		po.Data = pi.Data
 	}
+	sp := c.obsTakeSetupSpan()
 	if c.cfg.UseBarriers {
-		c.barrierRelease(em, st, po, programmed)
+		c.barrierRelease(em, st, po, programmed, sp)
 		em.flush()
 		return
 	}
@@ -605,6 +625,7 @@ func (c *Controller) finishSetup(em *emitter, st *switchState, pi *openflow.Pack
 	b.msgs = append(b.msgs, po)
 	c.stats.PacketOuts++
 	em.flush()
+	c.obs.FinishSpan(sp, c.eng.Now())
 }
 
 // BlockUser installs a drop rule for every flow a user originates, at

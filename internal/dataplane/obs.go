@@ -1,0 +1,36 @@
+package dataplane
+
+import "livesec/internal/obs"
+
+// RegisterObs exports the switch's dataplane counters as sampled series
+// on the shared registry, labeled by switch name. Sampling happens at
+// exposition time (serialized with the event loop by the monitor
+// handler), so the packet pipeline itself carries no instrumentation
+// cost.
+func (s *Switch) RegisterObs(reg *obs.Registry) {
+	sw := obs.L("switch", s.cfg.Name)
+	reg.CounterFunc("livesec_switch_lookups_total",
+		"Pipeline flow-table consultations (hit or miss).",
+		func() float64 { return float64(s.Lookups) }, sw)
+	reg.CounterFunc("livesec_switch_table_misses_total",
+		"Pipeline lookups that found no entry.",
+		func() float64 { return float64(s.TableMisses) }, sw)
+	reg.CounterFunc("livesec_switch_packet_ins_total",
+		"Packet-ins sent to the controller.",
+		func() float64 { return float64(s.PacketInsSent) }, sw)
+	reg.CounterFunc("livesec_switch_table_full_rejects_total",
+		"FlowMod adds refused on a full table.",
+		func() float64 { return float64(s.TableFullRejects) }, sw)
+	reg.GaugeFunc("livesec_switch_flow_entries",
+		"Installed flow-table entries.",
+		func() float64 { return float64(s.table.Len()) }, sw)
+	reg.CounterFunc("livesec_switch_microflow_total",
+		"Microflow-cache lookups by result.",
+		func() float64 { return float64(s.MicroflowStats().Hits) }, sw, obs.L("result", "hit"))
+	reg.CounterFunc("livesec_switch_microflow_total",
+		"Microflow-cache lookups by result.",
+		func() float64 { return float64(s.MicroflowStats().Misses) }, sw, obs.L("result", "miss"))
+	reg.CounterFunc("livesec_switch_microflow_invalidations_total",
+		"Microflow-cache entries invalidated by table churn.",
+		func() float64 { return float64(s.MicroflowStats().Invalidations) }, sw)
+}

@@ -6,6 +6,7 @@ import (
 	"livesec/internal/dataplane"
 	"livesec/internal/host"
 	"livesec/internal/netpkt"
+	"livesec/internal/obs"
 	"livesec/internal/testbed"
 	"livesec/internal/workload"
 )
@@ -16,8 +17,8 @@ import (
 // A user offers 200 Mbps of UDP through its access switch to a server
 // on another switch; the delivered rate is pinned by the access link.
 func E1AccessThroughput() Result {
-	measure := func(kind dataplane.Kind) float64 {
-		n := testbed.New(testbed.Options{Seed: 7})
+	measure := func(kind dataplane.Kind, fo *obs.FlowObs) float64 {
+		n := testbed.New(testbed.Options{Seed: 7, Obs: fo})
 		access := n.AddSwitch(kind, "access", 0)
 		core := n.AddOvS("egress")
 		var user *host.Host
@@ -47,8 +48,10 @@ func E1AccessThroughput() Result {
 		return meter.Mbps()
 	}
 
-	wired := measure(dataplane.KindOvS)
-	wireless := measure(dataplane.KindWiFi)
+	// The wired run is the representative one instrumented under -obs.
+	fo := newFlowObs()
+	wired := measure(dataplane.KindOvS, fo)
+	wireless := measure(dataplane.KindWiFi, nil)
 	return Result{
 		ID:    "E1",
 		Title: "Access throughput (UDP flows)",
@@ -58,5 +61,6 @@ func E1AccessThroughput() Result {
 			{Name: "OF Wi-Fi (Pantou) access", Value: wireless, Unit: "Mbps", Paper: "43 Mbps"},
 		},
 		Notes: []string{"offered load 200 Mbps; delivery pinned by the access line rate"},
+		Setup: setupSnapshot(fo),
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"livesec/internal/baseline"
 	"livesec/internal/link"
 	"livesec/internal/netpkt"
+	"livesec/internal/obs"
 	"livesec/internal/testbed"
 )
 
@@ -22,7 +23,8 @@ const e5WANDelay = time.Millisecond
 // trip and per-hop software forwarding are both represented.
 func E5LatencyOverhead() Result {
 	base := e5Baseline()
-	lsec := e5LiveSec()
+	fo := newFlowObs()
+	lsec := e5LiveSec(fo)
 	overhead := (lsec/base - 1) * 100
 	return Result{
 		ID:    "E5",
@@ -37,6 +39,7 @@ func E5LatencyOverhead() Result {
 			"50-ping train; the first LiveSec ping pays the controller flow-setup round trip",
 			"steady-state overhead comes from the OF Wi-Fi AP and OvS software forwarding on every hop",
 		},
+		Setup: setupSnapshot(fo),
 	}
 }
 
@@ -54,8 +57,8 @@ func e5Baseline() float64 {
 
 // e5LiveSec measures the same train through the Access-Switching layer:
 // user behind an OF Wi-Fi AP, server behind the gateway OvS.
-func e5LiveSec() float64 {
-	n := testbed.New(testbed.Options{Seed: 19})
+func e5LiveSec(fo *obs.FlowObs) float64 {
+	n := testbed.New(testbed.Options{Seed: 19, Obs: fo})
 	ap := n.AddWiFi("ap1")
 	gw := n.AddOvS("gateway")
 	u := n.AddWirelessUser(ap, "u1", netpkt.IP(10, 0, 0, 1))

@@ -8,6 +8,7 @@ import (
 	"livesec/internal/chaos"
 	"livesec/internal/monitor"
 	"livesec/internal/netpkt"
+	"livesec/internal/obs"
 	"livesec/internal/testbed"
 )
 
@@ -49,8 +50,11 @@ func E9PacketInStorm(scale Scale) Result {
 		Claim: "per-flow setup (§III.C) must survive a compromised host flooding novel flows; protection bounds legit latency and keeps keepalive honest",
 	}
 
-	off := e9Run(p, false)
-	on := e9Run(p, true)
+	off := e9Run(p, false, nil)
+	// The protected run is the representative one instrumented under -obs.
+	fo := newFlowObs()
+	on := e9Run(p, true, fo)
+	res.Setup = setupSnapshot(fo)
 	if off == nil || on == nil {
 		res.Notes = append(res.Notes, "deployment failed to build")
 		return res
@@ -116,12 +120,13 @@ var e9Server = netpkt.IP(166, 111, 9, 1)
 // e9Run executes one storm with or without overload protection and
 // returns the measurements (nil if the deployment failed to build).
 // Everything except the protection knob is identical between runs.
-func e9Run(p e9Params, protection bool) *e9Metrics {
+func e9Run(p e9Params, protection bool, fo *obs.FlowObs) *e9Metrics {
 	n := testbed.New(testbed.Options{
 		Seed: 7, Monitor: true, Keepalive: true, Chaos: true,
 		FlowIdle:           time.Minute,
 		PacketInCost:       500 * time.Microsecond,
 		OverloadProtection: protection,
+		Obs:                fo,
 	})
 	s1 := n.AddOvS("edge")
 	s2 := n.AddOvS("server-sw")

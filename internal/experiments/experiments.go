@@ -10,6 +10,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"livesec/internal/obs"
 )
 
 // Row is one measured data point with its paper reference.
@@ -35,6 +37,10 @@ type Result struct {
 	Rows  []Row
 	// Notes records caveats or derived observations.
 	Notes []string
+	// Setup is the per-stage flow-setup latency breakdown for the
+	// experiment's representative run, populated only when observability
+	// is enabled (SetObs) so default output is unchanged.
+	Setup *obs.SetupSnapshot
 }
 
 // String renders the result as an aligned table.
@@ -53,6 +59,9 @@ func (r Result) String() string {
 	}
 	for _, n := range r.Notes {
 		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	if r.Setup != nil {
+		b.WriteString(setupString(r.Setup))
 	}
 	return b.String()
 }

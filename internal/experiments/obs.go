@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"livesec/internal/obs"
+)
+
+// obsEnabled gates flow-setup instrumentation inside experiments. Off by
+// default so -stable output stays byte-identical; cmd/livesec-bench -obs
+// flips it for the whole run.
+var obsEnabled bool
+
+// SetObs enables or disables flow-setup observability for subsequent
+// experiment runs.
+func SetObs(on bool) { obsEnabled = on }
+
+// newFlowObs returns a fresh per-run FlowObs, or nil when observability
+// is off. Each instrumented run gets its own registry so label sets
+// never collide across runs.
+func newFlowObs() *obs.FlowObs {
+	if !obsEnabled {
+		return nil
+	}
+	return obs.NewFlowObs(0)
+}
+
+// setupSnapshot converts a run's FlowObs into the Result attachment;
+// nil in, nil out, so disabled runs add nothing to the JSON shape.
+func setupSnapshot(fo *obs.FlowObs) *obs.SetupSnapshot {
+	if fo == nil {
+		return nil
+	}
+	snap := fo.SetupSnapshot()
+	return &snap
+}
+
+// setupString renders the per-stage latency block appended to
+// Result.String when a run was instrumented.
+func setupString(s *obs.SetupSnapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  flow setup (%d completed):\n", s.CompletedSetups)
+	rows := append(append([]obs.StageSnapshot{}, s.Stages...), s.Total)
+	for _, st := range rows {
+		mean := 0.0
+		if st.Count > 0 {
+			mean = st.SumSeconds / float64(st.Count) * 1000
+		}
+		fmt.Fprintf(&b, "    %-10s n=%-6d mean=%.3fms\n", st.Stage, st.Count, mean)
+	}
+	return b.String()
+}

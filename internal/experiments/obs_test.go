@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// With observability off (the default) results must carry no Setup
+// block, keeping -stable JSON unchanged.
+func TestObsOffLeavesSetupNil(t *testing.T) {
+	res := E1AccessThroughput()
+	if res.Setup != nil {
+		t.Fatalf("Setup attached with obs disabled: %+v", res.Setup)
+	}
+}
+
+// With observability on, the representative run's stage histograms all
+// count exactly the completed setups.
+func TestObsSetupSnapshotInvariant(t *testing.T) {
+	SetObs(true)
+	defer SetObs(false)
+	res := E1AccessThroughput()
+	if res.Setup == nil {
+		t.Fatal("no Setup block with obs enabled")
+	}
+	s := res.Setup
+	if s.CompletedSetups == 0 {
+		t.Fatal("no completed setups recorded")
+	}
+	for _, st := range s.Stages {
+		if st.Count != s.CompletedSetups {
+			t.Fatalf("stage %s count = %d, want %d", st.Stage, st.Count, s.CompletedSetups)
+		}
+	}
+	if s.Total.Count != s.CompletedSetups {
+		t.Fatalf("total count = %d, want %d", s.Total.Count, s.CompletedSetups)
+	}
+	// The rendered table gains the stage block.
+	if got := res.String(); !strings.Contains(got, "flow setup (") {
+		t.Fatalf("String() missing setup block:\n%s", got)
+	}
+}

@@ -2,16 +2,53 @@ package monitor
 
 import (
 	"encoding/json"
+	"math"
 	"net/http"
+	"sort"
 	"strconv"
+	"strings"
 	"time"
+
+	"livesec/internal/obs"
 )
 
 // TopologyFunc supplies the current logical topology for /topology; the
-// controller provides it. It must be safe to call from HTTP goroutines.
+// controller provides it. It must be safe to call from HTTP goroutines
+// (or be serialized by HandlerConfig.Sync).
 type TopologyFunc func() any
 
-// NewHandler builds the WebUI's HTTP JSON API plus the embedded
+// HandlerConfig configures the monitoring HTTP API.
+type HandlerConfig struct {
+	// Store is the event store backing /events, /replay, /stats, /apps.
+	// Required.
+	Store *Store
+	// Topology backs /topology; nil serves an empty object.
+	Topology TopologyFunc
+	// Obs exposes the observability subsystem on /metrics and /traces;
+	// nil serves store-level metrics only and empty traces.
+	Obs *obs.FlowObs
+	// Sync serializes a snapshot with the goroutine owning Obs and the
+	// Topology state (the simulation event loop): the handler calls
+	// Sync(fn) and fn must run while that owner is quiescent. Nil calls
+	// fn directly — correct when no event loop runs concurrently (tests,
+	// post-run exports). The Store needs no Sync; it locks internally.
+	Sync func(func())
+}
+
+// TracesResponse is the JSON shape of GET /traces.
+type TracesResponse struct {
+	Recorded        uint64         `json:"recorded"`
+	CompletedSetups uint64         `json:"completed_setups"`
+	Spans           []obs.SpanView `json:"spans"`
+}
+
+// NewHandler builds the monitoring API with default wiring (no obs, no
+// sync); existing callers keep working. See NewAPIHandler.
+func NewHandler(store *Store, topo TopologyFunc) http.Handler {
+	return NewAPIHandler(HandlerConfig{Store: store, Topology: topo})
+}
+
+// NewAPIHandler builds the WebUI's HTTP JSON API plus the embedded
 // dashboard page:
 //
 //	GET /                                   — live HTML dashboard (webpage.go)
@@ -20,13 +57,25 @@ type TopologyFunc func() any
 //	GET /stats                              — per-type counters
 //	GET /apps                               — per-user application usage
 //	GET /topology                           — logical topology snapshot
-func NewHandler(store *Store, topo TopologyFunc) http.Handler {
+//	GET /metrics                            — Prometheus text exposition v0.0.4
+//	GET /traces?limit=&slowest=             — recent flow-setup trace spans
+//
+// Malformed query parameters (non-numeric, negative, overflowing) are
+// uniformly rejected with status 400 and body "bad <param>".
+func NewAPIHandler(cfg HandlerConfig) http.Handler {
+	store, sync := cfg.Store, cfg.Sync
+	if sync == nil {
+		sync = func(fn func()) { fn() }
+	}
 	mux := http.NewServeMux()
 	writeJSON := func(w http.ResponseWriter, v any) {
+		buf, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			http.Error(w, "encode: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(v)
+		w.Write(append(buf, '\n'))
 	}
 	mux.HandleFunc("GET /events", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()
@@ -34,22 +83,16 @@ func NewHandler(store *Store, topo TopologyFunc) http.Handler {
 			Type: EventType(q.Get("type")),
 			User: q.Get("user"),
 		}
-		if v := q.Get("since"); v != "" {
-			n, err := strconv.ParseUint(v, 10, 64)
-			if err != nil {
-				http.Error(w, "bad since", http.StatusBadRequest)
-				return
-			}
-			f.Since = n
+		since, ok := queryUint(w, q.Get("since"), "since", math.MaxUint64)
+		if !ok {
+			return
 		}
-		if v := q.Get("limit"); v != "" {
-			n, err := strconv.Atoi(v)
-			if err != nil {
-				http.Error(w, "bad limit", http.StatusBadRequest)
-				return
-			}
-			f.Limit = n
+		f.Since = since
+		limit, ok := queryUint(w, q.Get("limit"), "limit", math.MaxInt)
+		if !ok {
+			return
 		}
+		f.Limit = int(limit)
 		events := store.Events(f)
 		if events == nil {
 			events = []Event{}
@@ -58,23 +101,20 @@ func NewHandler(store *Store, topo TopologyFunc) http.Handler {
 	})
 	mux.HandleFunc("GET /replay", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()
-		parseMS := func(name string) (time.Duration, bool) {
-			v := q.Get(name)
-			if v == "" {
-				return 0, true
-			}
-			n, err := strconv.ParseInt(v, 10, 64)
-			if err != nil {
-				return 0, false
-			}
-			return time.Duration(n) * time.Millisecond, true
-		}
-		from, ok1 := parseMS("from_ms")
-		to, ok2 := parseMS("to_ms")
-		if !ok1 || !ok2 {
-			http.Error(w, "bad window", http.StatusBadRequest)
+		// Bound the window so the millisecond conversion cannot overflow.
+		const maxMS = uint64(math.MaxInt64 / time.Millisecond)
+		fromMS, ok := queryUint(w, q.Get("from_ms"), "from_ms", maxMS)
+		if !ok {
 			return
 		}
+		toMS, ok := queryUint(w, q.Get("to_ms"), "to_ms", maxMS)
+		if !ok {
+			return
+		}
+		from := time.Duration(fromMS) * time.Millisecond
+		// to 0 (absent or explicit) keeps the window open-ended, matching
+		// Filter semantics.
+		to := time.Duration(toMS) * time.Millisecond
 		out := []Event{}
 		store.Replay(from, to, func(ev Event) bool {
 			out = append(out, ev)
@@ -89,12 +129,98 @@ func NewHandler(store *Store, topo TopologyFunc) http.Handler {
 		writeJSON(w, store.UserApps())
 	})
 	mux.HandleFunc("GET /topology", func(w http.ResponseWriter, r *http.Request) {
-		if topo == nil {
+		if cfg.Topology == nil {
 			writeJSON(w, map[string]any{})
 			return
 		}
-		writeJSON(w, topo())
+		var v any
+		sync(func() { v = cfg.Topology() })
+		writeJSON(w, v)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Store-level families render first from a transient registry
+		// (the store locks internally); the obs registry snapshot is
+		// serialized with its owning loop.
+		text := storeMetrics(store)
+		if cfg.Obs != nil {
+			sync(func() { text += cfg.Obs.Registry.Text() })
+		}
+		w.Header().Set("Content-Type", obs.ContentType)
+		w.Write([]byte(text))
+	})
+	mux.HandleFunc("GET /traces", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		limit, ok := queryUint(w, q.Get("limit"), "limit", math.MaxInt)
+		if !ok {
+			return
+		}
+		var slowest bool
+		switch q.Get("slowest") {
+		case "", "0", "false":
+		case "1", "true":
+			slowest = true
+		default:
+			http.Error(w, "bad slowest", http.StatusBadRequest)
+			return
+		}
+		resp := TracesResponse{Spans: []obs.SpanView{}}
+		if cfg.Obs != nil {
+			sync(func() {
+				resp.Recorded = cfg.Obs.Recorded()
+				resp.CompletedSetups = cfg.Obs.CompletedSetups()
+				for _, sp := range cfg.Obs.Spans(int(limit), slowest) {
+					resp.Spans = append(resp.Spans, sp.View())
+				}
+			})
+		}
+		writeJSON(w, resp)
 	})
 	registerIndex(mux)
 	return mux
+}
+
+// queryUint parses an optional non-negative integer query parameter.
+// Empty means 0. Any malformed, negative, or out-of-range value writes
+// the uniform "bad <param>" 400 response and returns ok=false.
+func queryUint(w http.ResponseWriter, v, name string, max uint64) (uint64, bool) {
+	if v == "" {
+		return 0, true
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil || n > max {
+		http.Error(w, "bad "+name, http.StatusBadRequest)
+		return 0, false
+	}
+	return n, true
+}
+
+// storeMetrics renders the event store's counters as Prometheus text:
+// per-type recorded events plus ring occupancy.
+func storeMetrics(s *Store) string {
+	r := obs.NewRegistry()
+	counts := s.Counts()
+	types := make([]EventType, 0, len(counts))
+	for t := range counts {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	for _, t := range types {
+		r.Counter("livesec_events_total", "Monitoring events recorded, by type.",
+			obs.L("type", sanitizeLabel(string(t)))).Add(counts[t])
+	}
+	r.Counter("livesec_events_recorded_total",
+		"Monitoring events ever recorded (ring may have evicted some).").Add(s.TotalRecorded())
+	r.Gauge("livesec_events_retained", "Events currently held in the ring.").
+		Set(float64(s.Len()))
+	return r.Text()
+}
+
+// sanitizeLabel keeps label values printable single-line strings.
+func sanitizeLabel(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r < ' ' || r > '~' {
+			return '_'
+		}
+		return r
+	}, s)
 }

@@ -1,0 +1,102 @@
+package obs
+
+import "time"
+
+// DefaultLatencyBuckets is the fixed bucket layout for flow-setup stage
+// latencies: 100µs to 5s in a coarse log scale, in seconds. The layout
+// spans both simulated setups (sub-millisecond virtual latencies) and
+// livesecd wall-clock setups (milliseconds once the event loop's 5ms
+// pump granularity shows up).
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// Histogram is a fixed-bucket distribution. Buckets are defined by
+// ascending upper bounds (seconds); samples above the last bound land in
+// the implicit +Inf bucket. Observing is a bounded linear scan over a
+// preallocated count array — no allocation, no branching on sample
+// history — which beats a binary search at the 16-bucket sizes used
+// here.
+type Histogram struct {
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    float64
+	total  uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample (in seconds). Safe on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// ObserveDuration records a virtual-time sample.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.Observe(d.Seconds())
+}
+
+// Count returns the number of samples observed (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total
+}
+
+// Sum returns the sum of all samples in seconds (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// BucketCount is one cumulative histogram bucket in a snapshot. LE is
+// the upper bound in seconds rendered as a string ("+Inf" for the
+// overflow bucket) so the JSON shape matches Prometheus conventions
+// without resorting to unencodable infinities.
+type BucketCount struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// Buckets returns the cumulative bucket counts, ending with the +Inf
+// bucket whose count equals Count().
+func (h *Histogram) Buckets() []BucketCount {
+	if h == nil {
+		return nil
+	}
+	out := make([]BucketCount, len(h.counts))
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		out[i] = BucketCount{LE: le, Count: cum}
+	}
+	return out
+}

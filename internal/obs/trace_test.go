@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"livesec/internal/flow"
+)
+
+func finishOne(fo *FlowObs, start, total time.Duration, o Outcome) *Span {
+	sp := fo.StartSpan(start)
+	sp.SetStage(StageQueueWait, total/2)
+	sp.SetStage(StageInstall, total/2)
+	sp.SetOutcome(o)
+	fo.FinishSpan(sp, start+total)
+	return sp
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	fo := NewFlowObs(8)
+	sp := fo.StartSpan(10 * time.Millisecond)
+	if sp == nil || sp.ID != 1 {
+		t.Fatalf("first span = %+v", sp)
+	}
+	sp.Switch = 7
+	sp.Key = flow.Key{EthType: 0x0800}
+	sp.SetStage(StageQueueWait, time.Millisecond)
+	sp.SetStage(StageBarrier, 2*time.Millisecond)
+	sp.MarkDecision(true)
+	sp.MarkPlan(false)
+	sp.AddElement(3)
+	sp.AddBreakerSkips(2)
+	sp.SetOutcome(OutcomeChained)
+	fo.FinishSpan(sp, 14*time.Millisecond)
+
+	if fo.Recorded() != 1 || fo.CompletedSetups() != 1 {
+		t.Fatalf("recorded=%d completed=%d, want 1/1", fo.Recorded(), fo.CompletedSetups())
+	}
+	spans := fo.Spans(0, false)
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	got := spans[0]
+	if got.Switch != 7 || !got.DecisionHit || got.PlanHit || got.BreakerSkips != 2 ||
+		got.NumElements != 1 || got.Elements[0] != 3 || got.Outcome != OutcomeChained {
+		t.Fatalf("ring copy lost fields: %+v", got)
+	}
+	if got.Total() != 4*time.Millisecond {
+		t.Fatalf("total = %v, want 4ms", got.Total())
+	}
+	if got.Stage(StageBarrier) != 2*time.Millisecond {
+		t.Fatalf("barrier stage = %v", got.Stage(StageBarrier))
+	}
+}
+
+func TestNilFlowObsAndSpanNoOps(t *testing.T) {
+	var fo *FlowObs
+	if fo.Enabled() {
+		t.Fatalf("nil FlowObs enabled")
+	}
+	sp := fo.StartSpan(0)
+	if sp != nil {
+		t.Fatalf("nil FlowObs returned a span")
+	}
+	// All setters must tolerate the nil span.
+	sp.SetStage(StageDecision, time.Second)
+	sp.SetOutcome(OutcomeRouted)
+	sp.MarkDecision(true)
+	sp.MarkPlan(true)
+	sp.AddElement(1)
+	sp.AddBreakerSkips(1)
+	if sp.Total() != 0 || sp.Stage(StageDecision) != 0 {
+		t.Fatalf("nil span getters nonzero")
+	}
+	fo.FinishSpan(sp, time.Second)
+	if fo.Recorded() != 0 || fo.CompletedSetups() != 0 {
+		t.Fatalf("nil FlowObs counted")
+	}
+	if fo.Spans(10, true) != nil {
+		t.Fatalf("nil FlowObs returned spans")
+	}
+	if snap := fo.SetupSnapshot(); snap.CompletedSetups != 0 || snap.Stages != nil {
+		t.Fatalf("nil snapshot nonzero: %+v", snap)
+	}
+}
+
+func TestStageCountsMatchCompleted(t *testing.T) {
+	fo := NewFlowObs(16)
+	// 3 completed (one of each completed outcome), 3 not.
+	finishOne(fo, 0, time.Millisecond, OutcomeRouted)
+	finishOne(fo, time.Millisecond, 2*time.Millisecond, OutcomeChained)
+	finishOne(fo, 2*time.Millisecond, time.Millisecond, OutcomeFailOpen)
+	finishOne(fo, 3*time.Millisecond, 0, OutcomeDenied)
+	finishOne(fo, 3*time.Millisecond, 0, OutcomeShed)
+	finishOne(fo, 4*time.Millisecond, 0, OutcomeIncomplete)
+
+	if fo.Recorded() != 6 {
+		t.Fatalf("recorded = %d, want 6", fo.Recorded())
+	}
+	if fo.CompletedSetups() != 3 {
+		t.Fatalf("completed = %d, want 3", fo.CompletedSetups())
+	}
+	snap := fo.SetupSnapshot()
+	if snap.CompletedSetups != 3 {
+		t.Fatalf("snapshot completed = %d", snap.CompletedSetups)
+	}
+	if len(snap.Stages) != NumStages {
+		t.Fatalf("snapshot has %d stages, want %d", len(snap.Stages), NumStages)
+	}
+	// The invariant: every stage histogram observes exactly once per
+	// completed setup, so each +Inf bucket equals CompletedSetups.
+	for _, st := range snap.Stages {
+		if st.Count != snap.CompletedSetups {
+			t.Fatalf("stage %s count = %d, want %d", st.Stage, st.Count, snap.CompletedSetups)
+		}
+		last := st.Buckets[len(st.Buckets)-1]
+		if last.LE != "+Inf" || last.Count != snap.CompletedSetups {
+			t.Fatalf("stage %s +Inf bucket = %+v", st.Stage, last)
+		}
+	}
+	if snap.Total.Count != snap.CompletedSetups {
+		t.Fatalf("total count = %d", snap.Total.Count)
+	}
+}
+
+func TestRingBounded(t *testing.T) {
+	fo := NewFlowObs(4)
+	for i := 0; i < 10; i++ {
+		finishOne(fo, time.Duration(i)*time.Millisecond, time.Millisecond, OutcomeRouted)
+	}
+	if fo.Recorded() != 10 {
+		t.Fatalf("recorded = %d", fo.Recorded())
+	}
+	spans := fo.Spans(0, false)
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	// Newest first: IDs 10, 9, 8, 7.
+	for i, want := range []uint64{10, 9, 8, 7} {
+		if spans[i].ID != want {
+			t.Fatalf("spans[%d].ID = %d, want %d", i, spans[i].ID, want)
+		}
+	}
+	if got := fo.Spans(2, false); len(got) != 2 || got[0].ID != 10 {
+		t.Fatalf("limit=2 gave %+v", got)
+	}
+}
+
+func TestSpansSlowest(t *testing.T) {
+	fo := NewFlowObs(8)
+	finishOne(fo, 0, 2*time.Millisecond, OutcomeRouted)        // ID 1
+	finishOne(fo, 0, 5*time.Millisecond, OutcomeRouted)        // ID 2
+	finishOne(fo, 0, time.Millisecond, OutcomeRouted)          // ID 3
+	finishOne(fo, 0, 5*time.Millisecond, OutcomeChained)       // ID 4 (tie with 2)
+	spans := fo.Spans(0, true)
+	wantIDs := []uint64{2, 4, 1, 3} // by total desc, ties by ID asc
+	for i, want := range wantIDs {
+		if spans[i].ID != want {
+			t.Fatalf("slowest[%d].ID = %d, want %d (order %v)", i, spans[i].ID, want, wantIDs)
+		}
+	}
+}
+
+func TestSpanPoolReuse(t *testing.T) {
+	fo := NewFlowObs(8)
+	sp1 := fo.StartSpan(0)
+	sp1.SetOutcome(OutcomeRouted)
+	sp1.AddElement(99)
+	fo.FinishSpan(sp1, time.Millisecond)
+	sp2 := fo.StartSpan(time.Millisecond)
+	if sp2 != sp1 {
+		t.Fatalf("pool did not reuse the span")
+	}
+	// Reused span must be zeroed apart from ID/Start.
+	if sp2.ID != 2 || sp2.NumElements != 0 || sp2.Outcome != OutcomeRouted || sp2.End != 0 {
+		t.Fatalf("reused span not reset: %+v", sp2)
+	}
+}
+
+func TestSpanView(t *testing.T) {
+	fo := NewFlowObs(8)
+	sp := fo.StartSpan(10 * time.Millisecond)
+	sp.Switch = 3
+	sp.SetStage(StageQueueWait, time.Millisecond)
+	sp.MarkDecision(true)
+	sp.AddElement(5)
+	sp.AddBreakerSkips(1)
+	sp.SetOutcome(OutcomeChained)
+	fo.FinishSpan(sp, 12*time.Millisecond)
+
+	v := fo.Spans(1, false)[0].View()
+	if v.ID != 1 || v.Switch != 3 || v.Outcome != "chained" ||
+		v.StartMS != 10 || v.TotalMS != 2 || !v.DecisionCacheHit ||
+		v.BreakerExclusions != 1 || len(v.Elements) != 1 || v.Elements[0] != 5 {
+		t.Fatalf("view = %+v", v)
+	}
+	if len(v.Stages) != NumStages || v.Stages[0].Stage != "queue_wait" || v.Stages[0].MS != 1 {
+		t.Fatalf("view stages = %+v", v.Stages)
+	}
+}
+
+func TestFlowObsMetricsLint(t *testing.T) {
+	fo := NewFlowObs(8)
+	finishOne(fo, 0, time.Millisecond, OutcomeRouted)
+	finishOne(fo, 0, 0, OutcomeShed)
+	text := fo.Registry.Text()
+	if err := LintText(text); err != nil {
+		t.Fatalf("FlowObs registry text fails lint: %v\n%s", err, text)
+	}
+}
+
+func TestStageOutcomeStrings(t *testing.T) {
+	if StageQueueWait.String() != "queue_wait" || StageBarrier.String() != "barrier" {
+		t.Fatalf("stage names wrong")
+	}
+	if Stage(200).String() != "unknown" || Outcome(200).String() != "unknown" {
+		t.Fatalf("out-of-range names not unknown")
+	}
+	if !OutcomeFailOpen.Completed() || OutcomeShed.Completed() {
+		t.Fatalf("Completed() classification wrong")
+	}
+}

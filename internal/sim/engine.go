@@ -58,6 +58,9 @@ type Engine struct {
 	heap    []event
 	rng     *rand.Rand
 	stopped bool
+	// maxDepth is the heap-occupancy high-watermark, an observability
+	// signal for backlog growth (exported via MaxDepth).
+	maxDepth int
 
 	// Processed counts events executed so far; useful for run-away guards
 	// in tests.
@@ -101,6 +104,9 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int { return len(e.heap) }
+
+// MaxDepth reports the largest number of events ever queued at once.
+func (e *Engine) MaxDepth() int { return e.maxDepth }
 
 // Run executes events until the queue is empty, the horizon is passed, or
 // Stop is called. Events scheduled exactly at the horizon still run;
@@ -180,6 +186,9 @@ func (e *Engine) Ticker(period time.Duration, fn func()) (cancel func()) {
 // push appends ev and restores the heap invariant by sifting it up.
 func (e *Engine) push(ev event) {
 	e.heap = append(e.heap, ev)
+	if len(e.heap) > e.maxDepth {
+		e.maxDepth = len(e.heap)
+	}
 	i := len(e.heap) - 1
 	for i > 0 {
 		p := (i - 1) / 4

@@ -217,3 +217,23 @@ func TestPropertyEventsFireInOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMaxDepthHighWatermark(t *testing.T) {
+	e := NewEngine(1)
+	if e.MaxDepth() != 0 {
+		t.Fatalf("fresh engine max depth = %d", e.MaxDepth())
+	}
+	for i := 0; i < 5; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	if e.MaxDepth() != 5 {
+		t.Fatalf("max depth = %d, want 5", e.MaxDepth())
+	}
+	if err := e.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Draining the queue must not lower the high-watermark.
+	if e.Pending() != 0 || e.MaxDepth() != 5 {
+		t.Fatalf("after run: pending=%d maxDepth=%d, want 0/5", e.Pending(), e.MaxDepth())
+	}
+}

@@ -1,0 +1,131 @@
+package testbed
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"livesec/internal/netpkt"
+	"livesec/internal/obs"
+)
+
+// obsNet builds a two-switch, two-user deployment with the given
+// options, runs a short ping workload, and returns the net.
+func obsNet(t *testing.T, opts Options) *Net {
+	t.Helper()
+	if opts.Seed == 0 {
+		opts.Seed = 42
+	}
+	n := New(opts)
+	s1 := n.AddOvS("s1")
+	s2 := n.AddOvS("s2")
+	a := n.AddWiredUser(s1, "a", netpkt.IP(10, 0, 0, 1))
+	b := n.AddWiredUser(s2, "b", netpkt.IP(10, 0, 0, 2))
+	if err := n.Discover(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Shutdown)
+	for i := 0; i < 3; i++ {
+		a.Ping(b.IP, 1, uint16(i+1), func(time.Duration) {})
+		if err := n.Run(20 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+func TestObsSpansAndMetrics(t *testing.T) {
+	fo := obs.NewFlowObs(0)
+	n := obsNet(t, Options{Obs: fo})
+
+	if fo.Recorded() == 0 {
+		t.Fatal("no spans recorded")
+	}
+	completed := fo.CompletedSetups()
+	if completed == 0 {
+		t.Fatal("no completed setups")
+	}
+	// The core invariant: every stage histogram observed exactly once per
+	// completed setup.
+	snap := fo.SetupSnapshot()
+	for _, st := range snap.Stages {
+		if st.Count != completed {
+			t.Fatalf("stage %s count = %d, want %d", st.Stage, st.Count, completed)
+		}
+	}
+	// Completed setups match the controller's own accounting.
+	stats := n.Controller.Stats()
+	wantCompleted := stats.FlowsRouted + stats.FlowsChained
+	if completed != wantCompleted {
+		t.Fatalf("completed setups = %d, controller routed+chained = %d", completed, wantCompleted)
+	}
+
+	text := fo.Registry.Text()
+	if err := obs.LintText(text); err != nil {
+		t.Fatalf("registry exposition fails lint: %v", err)
+	}
+	for _, want := range []string{
+		"livesec_packet_ins_total",
+		"livesec_flow_setup_stage_seconds_bucket",
+		`livesec_switch_lookups_total{switch="s1"}`,
+		`livesec_switch_lookups_total{switch="s2"}`,
+		"livesec_sim_events_processed_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// Spans carry the ingress switch and flow identity.
+	spans := fo.Spans(0, false)
+	found := false
+	for _, sp := range spans {
+		if sp.Outcome.Completed() && sp.Switch != 0 && sp.Key.EthSrc != (netpkt.MAC{}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no completed span with switch+flow identity among %d spans", len(spans))
+	}
+}
+
+// Observability must not perturb the simulation: the same deployment
+// with and without obs produces identical controller stats.
+func TestObsDoesNotPerturbRun(t *testing.T) {
+	off := obsNet(t, Options{}).Controller.Stats()
+	on := obsNet(t, Options{Obs: obs.NewFlowObs(0)}).Controller.Stats()
+	if off != on {
+		t.Fatalf("stats diverge with obs on:\noff: %+v\non:  %+v", off, on)
+	}
+}
+
+func TestObsBarrierStage(t *testing.T) {
+	fo := obs.NewFlowObs(0)
+	obsNet(t, Options{Obs: fo, UseBarriers: true})
+	var sawBarrier bool
+	for _, sp := range fo.Spans(0, false) {
+		if sp.Outcome.Completed() && sp.Stage(obs.StageBarrier) > 0 {
+			sawBarrier = true
+		}
+	}
+	if !sawBarrier {
+		t.Fatal("no completed span with a nonzero barrier stage under UseBarriers")
+	}
+}
+
+func TestObsQueueWaitStage(t *testing.T) {
+	fo := obs.NewFlowObs(0)
+	// With a modeled packet-in cost every dispatch waits at least that
+	// long behind the serialized controller.
+	cost := 200 * time.Microsecond
+	obsNet(t, Options{Obs: fo, PacketInCost: cost})
+	var sawWait bool
+	for _, sp := range fo.Spans(0, false) {
+		if sp.Outcome.Completed() && sp.Stage(obs.StageQueueWait) >= cost {
+			sawWait = true
+		}
+	}
+	if !sawWait {
+		t.Fatal("no completed span waited the modeled packet-in cost")
+	}
+}

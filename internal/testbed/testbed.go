@@ -19,6 +19,7 @@ import (
 	"livesec/internal/link"
 	"livesec/internal/monitor"
 	"livesec/internal/netpkt"
+	"livesec/internal/obs"
 	"livesec/internal/openflow"
 	"livesec/internal/policy"
 	"livesec/internal/service"
@@ -86,6 +87,10 @@ type Options struct {
 	// SourceRate/SourceBurst override the per-source-MAC budget.
 	SourceRate  float64
 	SourceBurst float64
+	// Obs wires the observability subsystem through the controller and
+	// every switch added later (core.Config.Obs + dataplane RegisterObs).
+	// Nil keeps all hooks off.
+	Obs *obs.FlowObs
 }
 
 // Net is an assembled deployment.
@@ -164,6 +169,7 @@ func New(opts Options) *Net {
 		PacketInBurst:      opts.PacketInBurst,
 		SourceRate:         opts.SourceRate,
 		SourceBurst:        opts.SourceBurst,
+		Obs:                opts.Obs,
 	})
 	n := &Net{
 		Eng:         eng,
@@ -211,6 +217,9 @@ func (n *Net) AddSwitchFull(kind dataplane.Kind, name string, fabricIdx int, upl
 		name = fmt.Sprintf("%s%d", prefix, dpid)
 	}
 	sw := dataplane.New(n.Eng, dataplane.Config{DPID: dpid, Name: name, Kind: kind})
+	if n.opts.Obs != nil {
+		sw.RegisterObs(n.opts.Obs.Registry)
+	}
 	up := n.Fabric.Attach(fabricIdx, sw, uplinkPort, link.Params{BitsPerSec: uplinkBps})
 	sw.AttachPort(uplinkPort, up)
 	ctrlSide, swSide := openflow.SimPipe(n.Eng, ctrlLatency)

@@ -1,0 +1,60 @@
+#!/bin/sh
+# Exposition check: start a short-lived livesecd with observability on,
+# fetch /metrics, and validate the Prometheus text format. promtool is
+# used when installed; the repo's own linter (livesec-promlint, backed by
+# obs.LintText) always runs, so the check needs no external tooling.
+#
+# Usage: scripts/check_metrics.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmpdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+	[ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+	rm -rf "$tmpdir"
+}
+trap cleanup EXIT
+
+echo "==> build livesecd + livesec-promlint"
+go build -o "$tmpdir/livesecd" ./cmd/livesecd
+go build -o "$tmpdir/livesec-promlint" ./cmd/livesec-promlint
+
+echo "==> start livesecd -obs on ephemeral ports"
+"$tmpdir/livesecd" -obs -listen 127.0.0.1:0 -http 127.0.0.1:0 >"$tmpdir/livesecd.log" 2>&1 &
+daemon_pid=$!
+
+# The daemon prints "livesecd: monitoring API on http://<addr>" once the
+# HTTP listener is up; wait for it (max ~5s).
+addr=""
+i=0
+while [ $i -lt 50 ]; do
+	addr=$(sed -n 's|^livesecd: monitoring API on http://||p' "$tmpdir/livesecd.log" | head -n1)
+	[ -n "$addr" ] && break
+	kill -0 "$daemon_pid" 2>/dev/null || { cat "$tmpdir/livesecd.log"; echo "livesecd exited early"; exit 1; }
+	sleep 0.1
+	i=$((i + 1))
+done
+[ -n "$addr" ] || { cat "$tmpdir/livesecd.log"; echo "livesecd never published its HTTP address"; exit 1; }
+echo "    monitoring API at $addr"
+
+echo "==> fetch /metrics"
+curl -fsS "http://$addr/metrics" >"$tmpdir/metrics.txt"
+wc -c <"$tmpdir/metrics.txt" | xargs echo "    bytes:"
+
+echo "==> lint exposition (livesec-promlint)"
+"$tmpdir/livesec-promlint" "$tmpdir/metrics.txt"
+
+if command -v promtool >/dev/null 2>&1; then
+	echo "==> promtool check metrics"
+	promtool check metrics <"$tmpdir/metrics.txt"
+else
+	echo "==> promtool not installed; skipped"
+fi
+
+echo "==> fetch /traces"
+curl -fsS "http://$addr/traces?limit=5" >"$tmpdir/traces.json"
+grep -q '"recorded"' "$tmpdir/traces.json" || { echo "traces response malformed"; cat "$tmpdir/traces.json"; exit 1; }
+
+echo "check_metrics: OK"

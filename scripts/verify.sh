@@ -11,7 +11,10 @@
 #                  the numbers
 #   determinism -> the full experiment suite (E1…E9 + ablations) at ci
 #                  scale is byte-identical between a serial and a
-#                  parallel -stable run
+#                  parallel -stable run, with observability both off
+#                  and on
+#   metrics     -> a short livesecd -obs run serves /metrics that passes
+#                  the exposition linter (scripts/check_metrics.sh)
 #
 # Usage: scripts/verify.sh   (or: make verify)
 set -eu
@@ -43,5 +46,13 @@ trap 'rm -rf "$tmpdir"' EXIT
 go run ./cmd/livesec-bench -scale ci -stable -parallel 1 -json "$tmpdir/serial.json" >/dev/null
 go run ./cmd/livesec-bench -scale ci -stable -json "$tmpdir/parallel.json" >/dev/null
 cmp "$tmpdir/serial.json" "$tmpdir/parallel.json"
+
+echo "==> experiment determinism with observability on (-obs)"
+go run ./cmd/livesec-bench -scale ci -stable -obs -parallel 1 -json "$tmpdir/serial-obs.json" >/dev/null
+go run ./cmd/livesec-bench -scale ci -stable -obs -json "$tmpdir/parallel-obs.json" >/dev/null
+cmp "$tmpdir/serial-obs.json" "$tmpdir/parallel-obs.json"
+
+echo "==> /metrics exposition check (livesecd -obs)"
+scripts/check_metrics.sh
 
 echo "verify: OK"
