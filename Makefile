@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet bench bench-compare verify
+.PHONY: build test vet bench bench-compare calibrate verify
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,11 @@ bench:
 # against the current fast paths, via benchstat when installed.
 bench-compare:
 	sh scripts/bench_compare.sh
+
+# Engine calibration: simulated events/sec per core (ESCALE run),
+# written to CALIBRATION.json next to the BENCH_*.json snapshots.
+calibrate:
+	sh scripts/calibrate.sh
 
 # Tier-1 gate: build + vet + race tests + benchmark smoke run.
 verify:

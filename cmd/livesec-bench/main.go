@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	livesec-bench [-scale full|ci] [-experiment all|E1|…|E9] [-json file]
-//	              [-parallel N] [-stable] [-obs]
+//	livesec-bench [-scale full|ci] [-experiment all|E1|…|E9|ESCALE] [-json file]
+//	              [-parallel N] [-simworkers N] [-stable] [-obs]
 //
 // With -json, the headline metrics are additionally written to the given
 // file as a machine-readable report (used to snapshot before/after
@@ -23,6 +23,14 @@
 // trace spans; the printed table and the -json report gain a per-stage
 // latency histogram block ("flow_setup"). Off by default so -stable
 // output is unchanged.
+//
+// With -simworkers N (N > 1), every experiment's simulation runs on the
+// conservative parallel engine with N workers. Results are byte-identical
+// to the default serial engine — the setting trades wall-clock time only —
+// and both the banner and the -json report record the effective count so
+// snapshots are self-describing. The ESCALE experiment (engine scaling,
+// not part of "all" because its rows are wall-clock rates) measures the
+// engine itself across worker counts.
 package main
 
 import (
@@ -57,8 +65,11 @@ type jsonExperiment struct {
 }
 
 type jsonReport struct {
-	Scale        string           `json:"scale"`
-	GeneratedAt  string           `json:"generated_at,omitempty"`
+	Scale       string `json:"scale"`
+	GeneratedAt string `json:"generated_at,omitempty"`
+	// SimWorkers is the parallel-simulation worker count; omitted when 1
+	// (the serial engine), so pre-existing snapshots compare equal.
+	SimWorkers   int              `json:"sim_workers,omitempty"`
 	Experiments  []jsonExperiment `json:"experiments"`
 	TotalSeconds float64          `json:"total_seconds,omitempty"`
 }
@@ -78,10 +89,13 @@ func run(args []string) error {
 	parallelFlag := fs.Int("parallel", runtime.GOMAXPROCS(0), "run experiments on up to N workers (1 = serial)")
 	stableFlag := fs.Bool("stable", false, "omit wall-clock timings for byte-identical output across runs")
 	obsFlag := fs.Bool("obs", false, "record flow-setup traces; adds per-stage latency histograms to output")
+	simWorkersFlag := fs.Int("simworkers", 1, "parallel-simulation workers per experiment (1 = serial engine; results identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	experiments.SetObs(*obsFlag)
+	experiments.SetSimWorkers(*simWorkersFlag)
+	simWorkers := experiments.SimWorkers()
 	var scale experiments.Scale
 	switch strings.ToLower(*scaleFlag) {
 	case "full":
@@ -106,20 +120,27 @@ func run(args []string) error {
 		"E7": func() experiments.Result { return experiments.E7BaselineComparison(scale) },
 		"E8": func() experiments.Result { return experiments.E8ChaosRecovery(scale) },
 		"E9": func() experiments.Result { return experiments.E9PacketInStorm(scale) },
+		// ESCALE benches the engine itself (wall-clock rates) and is
+		// therefore not part of "all": its rows vary across machines and
+		// would break -stable snapshots.
+		"ESCALE": func() experiments.Result { return experiments.EngineScaling(scale) },
 	}
 	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "A1", "A2", "A3", "A4"}
 
 	want := strings.ToUpper(*expFlag)
 	if want != "ALL" {
 		if _, ok := runners[want]; !ok {
-			return fmt.Errorf("unknown experiment %q (want E1…E9, A1…A4, or all)", *expFlag)
+			return fmt.Errorf("unknown experiment %q (want E1…E9, A1…A4, ESCALE, or all)", *expFlag)
 		}
 		order = []string{want}
 	}
 
-	fmt.Printf("LiveSec evaluation reproduction (scale=%s)\n", *scaleFlag)
+	fmt.Printf("LiveSec evaluation reproduction (scale=%s, simworkers=%d)\n", *scaleFlag, simWorkers)
 	fmt.Println(strings.Repeat("=", 64))
 	report := jsonReport{Scale: strings.ToLower(*scaleFlag)}
+	if simWorkers > 1 {
+		report.SimWorkers = simWorkers
+	}
 	if !*stableFlag {
 		report.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	}

@@ -30,7 +30,7 @@ func AblationGrain() Result {
 			Action: policy.Chain, Services: []seproto.ServiceType{seproto.ServiceIDS},
 			Grain: grain,
 		})
-		n := testbed.New(testbed.Options{Seed: 37, Policies: pt, SteerForwardOnly: true})
+		n := newNet(testbed.Options{Seed: 37, Policies: pt, SteerForwardOnly: true})
 		userSw := n.AddOvS("users")
 		seSw := n.AddOvS("sehost")
 		sinkSw := n.AddOvS("sink")
@@ -106,7 +106,7 @@ func AblationFlowSetup() Result {
 		Match:  policy.Match{Proto: netpkt.ProtoTCP, DstPort: 80},
 		Action: policy.Chain, Services: []seproto.ServiceType{seproto.ServiceIDS},
 	})
-	n := testbed.New(testbed.Options{Seed: 41, Policies: pt})
+	n := newNet(testbed.Options{Seed: 41, Policies: pt})
 	s1 := n.AddOvS("ovs1")
 	s2 := n.AddOvS("ovs2")
 	s3 := n.AddOvS("ovs3")
@@ -172,7 +172,7 @@ func AblationFlowSetup() Result {
 // in the traditional network.
 func AblationDirectoryProxy() Result {
 	// LiveSec: resolve a known host; the proxy answers unicast.
-	n := testbed.New(testbed.Options{Seed: 43})
+	n := newNet(testbed.Options{Seed: 43})
 	s1 := n.AddOvS("ovs1")
 	s2 := n.AddOvS("ovs2")
 	const bystanders = 8
@@ -254,7 +254,7 @@ func AblationReverseSteering() Result {
 			Match:  policy.Match{Proto: netpkt.ProtoTCP, DstPort: 80},
 			Action: policy.Chain, Services: []seproto.ServiceType{seproto.ServiceIDS},
 		})
-		n := testbed.New(testbed.Options{Seed: 47, Policies: pt, SteerForwardOnly: forwardOnly})
+		n := newNet(testbed.Options{Seed: 47, Policies: pt, SteerForwardOnly: forwardOnly})
 		s1 := n.AddOvS("ovs1")
 		s2 := n.AddOvS("ovs2")
 		s3 := n.AddOvS("ovs3")

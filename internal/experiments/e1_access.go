@@ -18,7 +18,7 @@ import (
 // on another switch; the delivered rate is pinned by the access link.
 func E1AccessThroughput() Result {
 	measure := func(kind dataplane.Kind, fo *obs.FlowObs) float64 {
-		n := testbed.New(testbed.Options{Seed: 7, Obs: fo})
+		n := newNet(testbed.Options{Seed: 7, Obs: fo})
 		access := n.AddSwitch(kind, "access", 0)
 		core := n.AddOvS("egress")
 		var user *host.Host

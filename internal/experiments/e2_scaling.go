@@ -68,7 +68,7 @@ func e2Run(k int) float64 {
 		Match:  policy.Match{Proto: netpkt.ProtoTCP, DstPort: 80},
 		Action: policy.Chain, Services: []seproto.ServiceType{seproto.ServiceIDS},
 	})
-	n := testbed.New(testbed.Options{Seed: 11, Policies: pt})
+	n := newNet(testbed.Options{Seed: 11, Policies: pt})
 	// Client and server switches get 10G uplinks so the only shared
 	// bottleneck is the element host's GbE NIC (the sehost uplink).
 	clientSw := n.AddSwitchUplink(dataplane.KindOvS, "clients", 0, link.Rate10G)

@@ -70,7 +70,7 @@ func e3Run(svc seproto.ServiceType, seHosts, vmsPerHost, sources, flowsPerSource
 		Match:  policy.Match{Proto: netpkt.ProtoTCP, DstPort: 80},
 		Action: policy.Chain, Services: []seproto.ServiceType{svc},
 	})
-	n := testbed.New(testbed.Options{Seed: 13, Policies: pt, SteerForwardOnly: true})
+	n := newNet(testbed.Options{Seed: 13, Policies: pt, SteerForwardOnly: true})
 
 	seSwitches := make([]*dataplane.Switch, seHosts)
 	for i := range seSwitches {

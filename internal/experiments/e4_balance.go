@@ -67,7 +67,7 @@ func e4Run(algo loadbalance.Algorithm, elements, users, flowsPerUser int) float6
 		Services:  []seproto.ServiceType{seproto.ServiceIDS},
 		Algorithm: algo,
 	})
-	n := testbed.New(testbed.Options{Seed: 17, Policies: pt, SteerForwardOnly: true})
+	n := newNet(testbed.Options{Seed: 17, Policies: pt, SteerForwardOnly: true})
 	userSw := n.AddOvS("users")
 	seSw := n.AddOvS("sehost")
 	sinkSw := n.AddOvS("sink")

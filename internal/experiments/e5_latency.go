@@ -58,7 +58,7 @@ func e5Baseline() float64 {
 // e5LiveSec measures the same train through the Access-Switching layer:
 // user behind an OF Wi-Fi AP, server behind the gateway OvS.
 func e5LiveSec(fo *obs.FlowObs) float64 {
-	n := testbed.New(testbed.Options{Seed: 19, Obs: fo})
+	n := newNet(testbed.Options{Seed: 19, Obs: fo})
 	ap := n.AddWiFi("ap1")
 	gw := n.AddOvS("gateway")
 	u := n.AddWirelessUser(ap, "u1", netpkt.IP(10, 0, 0, 1))

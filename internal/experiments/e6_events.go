@@ -45,7 +45,7 @@ func e6Scenario() (Result, []monitor.Event) {
 			seproto.ServiceL7, seproto.ServiceIDS,
 		},
 	})
-	n := testbed.New(testbed.Options{Seed: 23, Policies: pt, Monitor: true,
+	n := newNet(testbed.Options{Seed: 23, Policies: pt, Monitor: true,
 		HostTTL: 2 * time.Second})
 	ovs1 := n.AddOvS("ovs1")
 	ovs2 := n.AddOvS("ovs2")

@@ -103,7 +103,7 @@ func e7LiveSecThroughput(k int) float64 {
 		Match:  policy.Match{Proto: netpkt.ProtoTCP, DstPort: 80},
 		Action: policy.Chain, Services: []seproto.ServiceType{seproto.ServiceIDS},
 	})
-	n := testbed.New(testbed.Options{Seed: 29, Policies: pt, SteerForwardOnly: true})
+	n := newNet(testbed.Options{Seed: 29, Policies: pt, SteerForwardOnly: true})
 	for i := 0; i < k; i++ {
 		sw := n.AddSwitchUplink(dataplane.KindOvS, fmt.Sprintf("sehost%d", i), 0, link.Rate1G)
 		for v := 0; v < 4; v++ {
@@ -190,7 +190,7 @@ func e7Coverage() (baselinePct, livesecPct float64) {
 		Match:  policy.Match{Proto: netpkt.ProtoTCP},
 		Action: policy.Chain, Services: []seproto.ServiceType{seproto.ServiceIDS},
 	})
-	n := testbed.New(testbed.Options{Seed: 31, Policies: pt, Monitor: true})
+	n := newNet(testbed.Options{Seed: 31, Policies: pt, Monitor: true})
 	s1 := n.AddOvS("ovs1")
 	s2 := n.AddOvS("ovs2")
 	a := n.AddWiredUser(s1, "a", netpkt.IP(10, 0, 0, 1))

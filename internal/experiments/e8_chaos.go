@@ -189,7 +189,7 @@ func e8Net(withChaos bool, nProbes int) (*testbed.Net, *host.Host, *host.Host, [
 	}); err != nil {
 		return nil, nil, nil, nil
 	}
-	n := testbed.New(testbed.Options{
+	n := newNet(testbed.Options{
 		Seed: 42, Policies: pt, Monitor: true,
 		Keepalive: true, Chaos: withChaos,
 		FlowIdle: time.Minute,

@@ -121,7 +121,7 @@ var e9Server = netpkt.IP(166, 111, 9, 1)
 // returns the measurements (nil if the deployment failed to build).
 // Everything except the protection knob is identical between runs.
 func e9Run(p e9Params, protection bool, fo *obs.FlowObs) *e9Metrics {
-	n := testbed.New(testbed.Options{
+	n := newNet(testbed.Options{
 		Seed: 7, Monitor: true, Keepalive: true, Chaos: true,
 		FlowIdle:           time.Minute,
 		PacketInCost:       500 * time.Microsecond,

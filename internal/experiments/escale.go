@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"livesec/internal/dataplane"
+	"livesec/internal/netpkt"
+	"livesec/internal/policy"
+	"livesec/internal/seproto"
+	"livesec/internal/service"
+	"livesec/internal/testbed"
+)
+
+// EngineScaling measures the simulation engine itself: the same
+// island-partitioned deployment — K switch+client+server+IDS islands
+// with island-local HTTP traffic, connected to the core and the
+// controller only through positive-latency links — is executed serially
+// and under the conservative parallel engine at increasing worker
+// counts. Each row reports simulated events per wall-clock second; the
+// speedup rows divide by the serial rate. The workload draws no runtime
+// randomness, and the run asserts that every configuration delivers
+// byte-identical traffic totals and event counts before reporting any
+// throughput, so the numbers always describe equivalent executions.
+//
+// Wall-clock rates depend on the machine, so EngineScaling is excluded
+// from All(): bench it explicitly with `livesec-bench -experiment
+// escale` (scripts/calibrate.sh records it next to the BENCH snapshots).
+func EngineScaling(scale Scale) Result {
+	islands := 12
+	window := 400 * time.Millisecond
+	workerCounts := []int{1, 2, 4, 8}
+	if scale == ScaleCI {
+		islands = 6
+		window = 150 * time.Millisecond
+		workerCounts = []int{1, 2, 4}
+	}
+	res := Result{
+		ID:    "ESCALE",
+		Title: "Parallel engine scaling (island topology)",
+		Claim: "n/a (engine perf: conservative PDES, byte-identical at any worker count)",
+	}
+
+	type meas struct {
+		workers int
+		rx      uint64
+		events  uint64
+		wall    time.Duration
+	}
+	var runs []meas
+	for _, w := range workerCounts {
+		rx, events, wall, err := escaleRun(islands, w, window)
+		if err != nil {
+			res.Notes = append(res.Notes, fmt.Sprintf("workers=%d failed: %v", w, err))
+			return res
+		}
+		runs = append(runs, meas{workers: w, rx: rx, events: events, wall: wall})
+	}
+	// Identity gate: every configuration must have simulated the exact
+	// same run before its wall-clock rate means anything.
+	base := runs[0]
+	for _, m := range runs[1:] {
+		if m.rx != base.rx || m.events != base.events {
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"DETERMINISM VIOLATION: workers=%d rx=%d events=%d vs serial rx=%d events=%d",
+				m.workers, m.rx, m.events, base.rx, base.events))
+			return res
+		}
+	}
+	serialRate := float64(base.events) / base.wall.Seconds()
+	for _, m := range runs {
+		rate := float64(m.events) / m.wall.Seconds()
+		res.Rows = append(res.Rows, Row{
+			Name:  fmt.Sprintf("%d worker(s)", m.workers),
+			Value: rate / 1e6,
+			Unit:  "Mev/s",
+			Paper: "n/a",
+		})
+		if m.workers > 1 {
+			res.Rows = append(res.Rows, Row{
+				Name:  fmt.Sprintf("speedup @%d workers", m.workers),
+				Value: rate / serialRate,
+				Unit:  "x",
+				Paper: "n/a",
+			})
+		}
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("%d islands, %v measured window, %d simulated events per run", islands, window, base.events),
+		fmt.Sprintf("all worker counts byte-identical: rx=%d bytes, events=%d", base.rx, base.events),
+		fmt.Sprintf("host has %d CPU core(s) visible to the runtime; speedup is bounded by physical cores, not workers", runtime.NumCPU()),
+	)
+	return res
+}
+
+// escaleRun executes the island deployment once and returns the traffic
+// fingerprint (client rx bytes), total simulated events, and the
+// wall-clock time of the measured window.
+func escaleRun(islands, workers int, window time.Duration) (rx, events uint64, wall time.Duration, err error) {
+	pt := policy.NewTable(policy.Allow)
+	if err := pt.Add(&policy.Rule{
+		Name: "inspect-web", Priority: 10,
+		Match:  policy.Match{Proto: netpkt.ProtoTCP, DstPort: 80},
+		Action: policy.Chain, Services: []seproto.ServiceType{seproto.ServiceIDS},
+	}); err != nil {
+		return 0, 0, 0, err
+	}
+	n := testbed.New(testbed.Options{Seed: 53, Policies: pt, SimWorkers: workers})
+	const uplinkDelay = 200 * time.Microsecond
+	const escaleWarmup = 520 * time.Millisecond
+
+	type island struct {
+		sw     *dataplane.Switch
+		client *clientState
+	}
+	isls := make([]island, islands)
+	for i := range isls {
+		id := n.NewIsland()
+		sw := n.AddSwitchIsland(dataplane.KindOvS, fmt.Sprintf("isl%d", i), 0, id, uplinkDelay)
+		serverIP := netpkt.IP(166, 111, byte(i), 1)
+		server := n.AddServer(sw, fmt.Sprintf("web%d", i), serverIP)
+		client := n.AddServer(sw, fmt.Sprintf("cli%d", i), netpkt.IP(10, 0, byte(i), 1))
+		insp, err := service.NewIDS(e2Rules)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		n.AddElement(sw, insp, 0)
+		isls[i] = island{sw: sw, client: &clientState{h: client}}
+
+		// Island-local HTTP: the server answers each request with a paced
+		// 64 KB object; the client opens a fresh flow every 2 ms. All
+		// periods are fixed, so the run is RNG-free and the event stream is
+		// identical under any engine.
+		eng := n.EngFor(sw)
+		const respBytes = 64 << 10
+		const chunkGap = 8 * time.Microsecond
+		server.HandleTCP(80, func(req *netpkt.Packet) {
+			dst, sp := req.IP.Src, req.TCP.SrcPort
+			remaining := respBytes
+			delay := time.Duration(0)
+			for remaining > 0 {
+				chunk := 1446
+				if chunk > remaining {
+					chunk = remaining
+				}
+				sz := chunk
+				eng.Schedule(delay, func() {
+					server.SendTCP(dst, 80, sp, []byte("HTTP/1.1 200 OK\r\n\r\n"), sz)
+				})
+				remaining -= chunk
+				delay += chunkGap
+			}
+		})
+		c := isls[i].client
+		next := uint16(20000)
+		// Clients start after the SE-registration warm-up (the second
+		// heartbeat at 500 ms is what registers the IDS elements), phased
+		// per island.
+		eng.At(escaleWarmup+time.Duration(i)*100*time.Microsecond, func() {
+			eng.Ticker(2*time.Millisecond, func() {
+				sp := next
+				next++
+				c.h.HandleTCP(sp, func(resp *netpkt.Packet) {
+					c.rxBytes += uint64(resp.PayloadLen())
+				})
+				c.h.SendTCP(serverIP, sp, 80, []byte("GET /obj HTTP/1.1\r\n\r\n"), 0)
+			})
+		})
+	}
+	if err := n.Discover(); err != nil {
+		return 0, 0, 0, err
+	}
+	defer n.Shutdown()
+	// Warm-up: the 500 ms heartbeat registers every IDS, then the first
+	// client waves complete their flow setups and fill the caches.
+	if err := n.Run(escaleWarmup + 20*time.Millisecond); err != nil {
+		return 0, 0, 0, err
+	}
+	startEvents := n.Processed()
+	start := time.Now()
+	if err := n.Run(window); err != nil {
+		return 0, 0, 0, err
+	}
+	wall = time.Since(start)
+	events = n.Processed() - startEvents
+	for _, is := range isls {
+		rx += is.client.rxBytes
+	}
+	return rx, events, wall, nil
+}

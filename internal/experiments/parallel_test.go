@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests pin the PR's headline property end to end: a partitioned
+// parallel run of a full experiment — controller on its own logical
+// process, chaos plans firing across two partitions — renders byte for
+// byte the same result as the serial engine, at every worker count. They
+// complement the randomized-topology property test in internal/sim by
+// exercising the real controller, switches, chaos channels and stores.
+
+// runAtWorkers renders one experiment serially and at the given worker
+// counts, asserting byte identity.
+func runAtWorkers(t *testing.T, name string, run func() Result, workers ...int) {
+	t.Helper()
+	defer SetSimWorkers(0)
+	SetSimWorkers(0)
+	want := run().String()
+	for _, w := range workers {
+		SetSimWorkers(w)
+		if got := run().String(); got != want {
+			t.Fatalf("%s: simworkers=%d diverged from serial\n--- serial ---\n%s\n--- parallel ---\n%s",
+				name, w, want, got)
+		}
+	}
+}
+
+// TestE8ChaosByteIdenticalAcrossSimWorkers runs the chaos-recovery
+// experiment — secure-channel disconnects, link flaps, SE crashes,
+// ctrl-drop/dup filters — at 2 and 4 workers. Channel faults execute on
+// the controller partition, everything else on the data partition, and
+// the merged applied log plus every measured row must match the serial
+// run exactly.
+func TestE8ChaosByteIdenticalAcrossSimWorkers(t *testing.T) {
+	runAtWorkers(t, "E8", func() Result { return E8ChaosRecovery(ScaleCI) }, 2, 4)
+}
+
+// TestE6EventsByteIdenticalAcrossSimWorkers covers the monitor pipeline:
+// every event-store record is produced on the controller partition and
+// read back at quiescence.
+func TestE6EventsByteIdenticalAcrossSimWorkers(t *testing.T) {
+	runAtWorkers(t, "E6", E6EventPipeline, 2, 4)
+}
+
+// TestE1AccessByteIdenticalAcrossSimWorkers covers the plain
+// access-throughput path (no chaos, no monitor) as the baseline case.
+func TestE1AccessByteIdenticalAcrossSimWorkers(t *testing.T) {
+	runAtWorkers(t, "E1", E1AccessThroughput, 2, 4)
+}
+
+// TestEngineScalingDeterminism runs the island-partitioned scaling
+// experiment at CI scale; EngineScaling aborts with a "DETERMINISM
+// VIOLATION" note (and no speedup rows) if any worker count diverges
+// from the serial execution, so a populated result IS the identity
+// assertion. Wall-clock rates are not asserted — only equivalence.
+func TestEngineScalingDeterminism(t *testing.T) {
+	res := EngineScaling(ScaleCI)
+	for _, note := range res.Notes {
+		if strings.Contains(note, "VIOLATION") || strings.Contains(note, "failed") {
+			t.Fatal(note)
+		}
+	}
+	if len(res.Rows) == 0 {
+		t.Fatalf("no rows: %v", res.Notes)
+	}
+	if v, ok := res.Find("1 worker(s)"); !ok || v <= 0 {
+		t.Fatalf("missing serial rate row (v=%v ok=%v)", v, ok)
+	}
+}

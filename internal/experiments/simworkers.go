@@ -1,0 +1,32 @@
+package experiments
+
+import "livesec/internal/testbed"
+
+// simWorkers is the parallel-simulation worker count injected into every
+// experiment deployment. 0/1 keeps the serial engine, which is the
+// default: the conservative parallel engine is byte-identical to the
+// serial one by construction (and by the tests in parallel_test.go), so
+// -stable snapshots are unaffected by the setting.
+var simWorkers int
+
+// SetSimWorkers sets the parallel-simulation worker count for subsequent
+// experiment runs; cmd/livesec-bench wires -simworkers through here.
+func SetSimWorkers(n int) { simWorkers = n }
+
+// SimWorkers returns the effective worker count (minimum 1).
+func SimWorkers() int {
+	if simWorkers < 2 {
+		return 1
+	}
+	return simWorkers
+}
+
+// newNet builds an experiment deployment, injecting the configured
+// parallel worker count. Every experiment constructs its testbed through
+// this helper so -simworkers reaches E1–E9 and the ablations uniformly.
+func newNet(opts testbed.Options) *testbed.Net {
+	if opts.SimWorkers == 0 {
+		opts.SimWorkers = SimWorkers()
+	}
+	return testbed.New(opts)
+}

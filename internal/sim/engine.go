@@ -98,8 +98,27 @@ func (e *Engine) At(at time.Duration, fn func()) {
 	e.push(event{at: at, seq: e.seq, fn: fn})
 }
 
-// Stop makes the current Run call return after the in-flight event
-// completes.
+// Stop makes the current Run or RunAll call return ErrStopped after the
+// in-flight event completes.
+//
+// Semantics, identical across all Run variants (Run, RunAll, and a
+// ParallelEngine window):
+//
+//   - The event whose callback called Stop always finishes; an event that
+//     was already popped runs to completion even when it shares its
+//     timestamp with the stopping event.
+//   - No further events are popped, including events at the same virtual
+//     time as the stopping event and events exactly at the horizon: they
+//     stay queued for a later Run call.
+//   - Now() is left at the stopping event's time; it is NOT advanced to
+//     the horizon.
+//   - The Run variant returns ErrStopped even when the stopping event was
+//     the last queued event or the next event lies beyond the horizon
+//     (historically those paths returned nil).
+//
+// Stop only affects the Run variant currently executing: each variant
+// clears the flag on entry, so a Stop issued while the engine is idle is
+// a no-op.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Pending reports the number of queued events.
@@ -115,9 +134,6 @@ func (e *Engine) MaxDepth() int { return e.maxDepth }
 func (e *Engine) Run(horizon time.Duration) error {
 	e.stopped = false
 	for len(e.heap) > 0 {
-		if e.stopped {
-			return ErrStopped
-		}
 		if e.heap[0].at > horizon {
 			break
 		}
@@ -125,6 +141,12 @@ func (e *Engine) Run(horizon time.Duration) error {
 		e.now = next.at
 		e.Processed++
 		next.fn()
+		// Checked after the callback (not before the next pop) so the
+		// horizon-boundary and queue-drained paths return ErrStopped too;
+		// see Stop for the full contract.
+		if e.stopped {
+			return ErrStopped
+		}
 	}
 	if e.now < horizon {
 		e.now = horizon
@@ -139,9 +161,6 @@ func (e *Engine) RunAll(maxEvents uint64) error {
 	e.stopped = false
 	var n uint64
 	for len(e.heap) > 0 {
-		if e.stopped {
-			return ErrStopped
-		}
 		if n >= maxEvents {
 			return errors.New("sim: event budget exhausted")
 		}
@@ -150,6 +169,11 @@ func (e *Engine) RunAll(maxEvents uint64) error {
 		e.Processed++
 		n++
 		next.fn()
+		// Same post-callback placement as Run: ErrStopped is returned even
+		// when the stopping event drained the queue.
+		if e.stopped {
+			return ErrStopped
+		}
 	}
 	return nil
 }

@@ -1,0 +1,386 @@
+// Conservative parallel discrete-event simulation (PDES).
+//
+// A ParallelEngine partitions one simulation into logical processes
+// (Partitions), each owning a private Engine — its own 4-ary value heap,
+// virtual clock, and random stream. Partitions interact only through
+// timestamped cross-partition events posted at link boundaries, and the
+// minimum latency across all such boundaries (the lookahead) bounds how
+// far any partition may run ahead of the others.
+//
+// Execution proceeds in barrier rounds (the null-message-free,
+// barrier-synchronized conservative scheme — YAWNS/bounded-lag): each
+// round computes T, the earliest pending event anywhere, and lets every
+// partition execute all of its events in the window [T, T+lookahead)
+// concurrently. An event at time t ≥ T that posts across a boundary with
+// latency ≥ lookahead lands at t+latency ≥ T+lookahead — at or past the
+// window's end — so no in-window event can causally affect another
+// partition's current window, and the windows are safe to run in
+// parallel. At the barrier the accumulated cross-partition events are
+// merged into the destination heaps in a canonical (time, source
+// partition, source sequence) order, making the whole schedule — and
+// therefore every simulation result — bit-identical for any worker
+// count, including 1.
+//
+// Posting a cross-partition event inside the current window (i.e. with a
+// latency below the registered lookahead) is a model bug that would break
+// the conservative guarantee; Post panics loudly instead of silently
+// corrupting causality.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sched is the scheduling surface shared by Engine and Partition. Model
+// components hold a Sched so the same code runs unchanged under the
+// serial engine and inside a partition.
+type Sched interface {
+	// Now returns the current virtual time.
+	Now() time.Duration
+	// At runs fn at absolute virtual time at.
+	At(at time.Duration, fn func())
+	// Schedule runs fn at Now()+delay.
+	Schedule(delay time.Duration, fn func())
+}
+
+var (
+	_ Sched = (*Engine)(nil)
+	_ Sched = (*Partition)(nil)
+)
+
+// errNoLookahead reports a multi-partition Run with no registered cut.
+var errNoLookahead = errors.New("sim: multi-partition run without a registered cut (no lookahead)")
+
+// xevent is one cross-partition event parked in its source partition's
+// outbox until the next barrier.
+type xevent struct {
+	at  time.Duration
+	src int
+	seq uint64
+	dst *Partition
+	fn  func()
+}
+
+// Partition is one logical process of a parallel simulation. It embeds a
+// private Engine; all model components assigned to the partition must
+// schedule exclusively through it (or the Engine it exposes), and their
+// state must never be touched by another partition's events.
+type Partition struct {
+	id  int
+	pe  *ParallelEngine
+	eng *Engine
+
+	outbox []xevent
+	outSeq uint64
+}
+
+// ID returns the partition's index (0-based, assignment order).
+func (p *Partition) ID() int { return p.id }
+
+// Engine exposes the partition's private engine for components that take
+// a *Engine directly.
+func (p *Partition) Engine() *Engine { return p.eng }
+
+// Parallel returns the ParallelEngine this partition belongs to, e.g. to
+// register a cut for a boundary discovered during topology wiring.
+func (p *Partition) Parallel() *ParallelEngine { return p.pe }
+
+// Now returns the partition's current virtual time.
+func (p *Partition) Now() time.Duration { return p.eng.Now() }
+
+// At runs fn at absolute virtual time at on this partition.
+func (p *Partition) At(at time.Duration, fn func()) { p.eng.At(at, fn) }
+
+// Schedule runs fn at Now()+delay on this partition.
+func (p *Partition) Schedule(delay time.Duration, fn func()) { p.eng.Schedule(delay, fn) }
+
+// Post schedules fn at absolute virtual time at on partition dst. Same-
+// partition posts and posts made while the parallel engine is quiescent
+// (topology construction, between Run calls) go straight to the
+// destination heap; posts made from inside a window are parked in the
+// source partition's outbox and merged at the barrier. Posting inside
+// the current window (at < window end) violates the conservative
+// lookahead contract and panics.
+func (p *Partition) Post(dst *Partition, at time.Duration, fn func()) {
+	if dst == p || !p.pe.running {
+		dst.eng.At(at, fn)
+		return
+	}
+	if at < p.pe.windowEnd {
+		panic(fmt.Sprintf(
+			"sim: lookahead violation: partition %d posted an event at %v to partition %d inside the window ending %v",
+			p.id, at, dst.id, p.pe.windowEnd))
+	}
+	p.outSeq++
+	p.outbox = append(p.outbox, xevent{at: at, src: p.id, seq: p.outSeq, dst: dst, fn: fn})
+}
+
+// runWindow executes this partition's events with virtual time in
+// [current, end) ∩ [0, horizon], honoring Engine.Stop's contract.
+func (p *Partition) runWindow(end, horizon time.Duration) {
+	e := p.eng
+	for len(e.heap) > 0 {
+		at := e.heap[0].at
+		if at >= end || at > horizon {
+			return
+		}
+		next := e.pop()
+		e.now = next.at
+		e.Processed++
+		next.fn()
+		if e.stopped {
+			return
+		}
+	}
+}
+
+// pending reports whether the partition has an executable event at or
+// before horizon and strictly before end.
+func (p *Partition) pending(end, horizon time.Duration) bool {
+	h := p.eng.heap
+	return len(h) > 0 && h[0].at < end && h[0].at <= horizon && !p.eng.stopped
+}
+
+// ParallelEngine coordinates the partitions of one simulation. Create it
+// with NewParallel, add partitions with NewPartition, declare every
+// cross-partition boundary latency with RegisterCut, then drive it with
+// Run exactly like a serial Engine.
+//
+// It is not safe for concurrent use from multiple goroutines; Run itself
+// fans the window work out to the worker pool internally.
+type ParallelEngine struct {
+	workers   int
+	parts     []*Partition
+	lookahead time.Duration
+	cuts      int
+
+	now       time.Duration
+	running   bool
+	windowEnd time.Duration
+	rounds    uint64
+	stopReq   atomic.Bool
+
+	merge  []xevent     // barrier merge scratch, reused across rounds
+	active []*Partition // round work list scratch
+}
+
+// NewParallel returns an engine that executes windows on up to workers
+// goroutines; workers < 1 defaults to GOMAXPROCS. The worker count never
+// affects simulation results, only wall-clock time.
+func NewParallel(workers int) *ParallelEngine {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &ParallelEngine{workers: workers}
+}
+
+// NewPartition adds a logical process whose private engine is seeded
+// with seed, and returns it. All partitions must be created before the
+// first Run.
+func (pe *ParallelEngine) NewPartition(seed int64) *Partition {
+	p := &Partition{id: len(pe.parts), pe: pe, eng: NewEngine(seed)}
+	pe.parts = append(pe.parts, p)
+	return p
+}
+
+// RegisterCut declares a cross-partition boundary with the given one-way
+// latency. The minimum over all registered cuts becomes the lookahead.
+// A non-positive latency provides no lookahead and panics: conservative
+// synchronization is impossible across a zero-delay boundary.
+func (pe *ParallelEngine) RegisterCut(latency time.Duration) {
+	if latency <= 0 {
+		panic("sim: partition-cut latency must be positive (conservative PDES needs lookahead)")
+	}
+	if pe.cuts == 0 || latency < pe.lookahead {
+		pe.lookahead = latency
+	}
+	pe.cuts++
+}
+
+// Workers returns the configured worker-pool size.
+func (pe *ParallelEngine) Workers() int { return pe.workers }
+
+// Lookahead returns the minimum registered cut latency (0 before the
+// first RegisterCut).
+func (pe *ParallelEngine) Lookahead() time.Duration { return pe.lookahead }
+
+// Partitions returns the partitions in creation order (shared slice; do
+// not mutate).
+func (pe *ParallelEngine) Partitions() []*Partition { return pe.parts }
+
+// Rounds returns the number of barrier rounds executed so far, an
+// observability signal for synchronization overhead.
+func (pe *ParallelEngine) Rounds() uint64 { return pe.rounds }
+
+// Now returns the engine's virtual time: the horizon of the last
+// completed Run, or the stopping event's time after an ErrStopped run.
+func (pe *ParallelEngine) Now() time.Duration { return pe.now }
+
+// Pending reports the total number of queued events across partitions.
+func (pe *ParallelEngine) Pending() int {
+	n := 0
+	for _, p := range pe.parts {
+		n += p.eng.Pending()
+	}
+	return n
+}
+
+// Processed returns the total number of events executed across
+// partitions.
+func (pe *ParallelEngine) Processed() uint64 {
+	var n uint64
+	for _, p := range pe.parts {
+		n += p.eng.Processed
+	}
+	return n
+}
+
+// Stop makes the current Run return ErrStopped at the next barrier.
+// Stopping is window-granular: every partition finishes the current
+// window (events already inside it still run, exactly as documented on
+// Engine.Stop), which keeps the stop point — and every simulation result
+// — independent of the worker count. Calling Engine.Stop from inside an
+// event has the same effect, additionally halting that partition's own
+// window immediately after the in-flight event.
+func (pe *ParallelEngine) Stop() { pe.stopReq.Store(true) }
+
+// Run executes events until every queue is empty of work at or before
+// the horizon, or until stopped. Events scheduled exactly at the horizon
+// still run; later events remain queued. Like Engine.Run it returns
+// ErrStopped only when stopped explicitly, from any partition.
+func (pe *ParallelEngine) Run(horizon time.Duration) error {
+	if horizon < pe.now {
+		horizon = pe.now
+	}
+	switch len(pe.parts) {
+	case 0:
+		pe.now = horizon
+		return nil
+	case 1:
+		// Degenerate parallel run: exactly the serial engine.
+		err := pe.parts[0].eng.Run(horizon)
+		pe.now = pe.parts[0].eng.Now()
+		return err
+	}
+	if pe.cuts == 0 {
+		return errNoLookahead
+	}
+	pe.stopReq.Store(false)
+	for _, p := range pe.parts {
+		p.eng.stopped = false
+	}
+	pe.running = true
+	defer func() { pe.running = false }()
+
+	for {
+		// T: the earliest pending event anywhere.
+		var T time.Duration
+		have := false
+		for _, p := range pe.parts {
+			if h := p.eng.heap; len(h) > 0 && (!have || h[0].at < T) {
+				T, have = h[0].at, true
+			}
+		}
+		if !have || T > horizon {
+			break
+		}
+		pe.windowEnd = T + pe.lookahead
+		pe.runRound(pe.windowEnd, horizon)
+		pe.rounds++
+
+		stopped := pe.stopReq.Load()
+		pe.merge = pe.merge[:0]
+		for _, p := range pe.parts {
+			pe.merge = append(pe.merge, p.outbox...)
+			for i := range p.outbox {
+				p.outbox[i].fn = nil
+			}
+			p.outbox = p.outbox[:0]
+			if p.eng.stopped {
+				stopped = true
+			}
+		}
+		// Canonical merge order (time, source partition, source sequence):
+		// the only rule that makes cross-partition tie-breaks independent
+		// of goroutine scheduling.
+		sort.Slice(pe.merge, func(i, j int) bool {
+			a, b := &pe.merge[i], &pe.merge[j]
+			if a.at != b.at {
+				return a.at < b.at
+			}
+			if a.src != b.src {
+				return a.src < b.src
+			}
+			return a.seq < b.seq
+		})
+		for i := range pe.merge {
+			ev := &pe.merge[i]
+			ev.dst.eng.At(ev.at, ev.fn)
+			ev.fn = nil
+		}
+		if stopped {
+			// Leave Now at the latest executed event, mirroring Engine.Stop.
+			pe.now = 0
+			for _, p := range pe.parts {
+				if n := p.eng.Now(); n > pe.now {
+					pe.now = n
+				}
+			}
+			return ErrStopped
+		}
+	}
+	for _, p := range pe.parts {
+		if p.eng.now < horizon {
+			p.eng.now = horizon
+		}
+	}
+	pe.now = horizon
+	return nil
+}
+
+// runRound executes one barrier round: every partition with work in
+// [T, end) runs its window, on up to workers goroutines. Partition state
+// is disjoint by the ownership rule and outboxes are per-partition, so
+// the round is data-race-free by construction; the barrier (WaitGroup)
+// orders every window write before the merge reads.
+func (pe *ParallelEngine) runRound(end, horizon time.Duration) {
+	active := pe.active[:0]
+	for _, p := range pe.parts {
+		if p.pending(end, horizon) {
+			active = append(active, p)
+		}
+	}
+	pe.active = active[:0] // retain capacity
+	nw := pe.workers
+	if nw > len(active) {
+		nw = len(active)
+	}
+	if nw <= 1 {
+		for _, p := range active {
+			p.runWindow(end, horizon)
+		}
+		return
+	}
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(active) {
+					return
+				}
+				active[i].runWindow(end, horizon)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// The parallel-vs-serial property test: a randomized multi-partition
+// model — relay nodes with periodic local traffic, cross-partition
+// channels with per-channel latencies at or above the lookahead, and a
+// scripted chaos plan of node outages — is executed on the plain serial
+// Engine and on ParallelEngines at 1, 2, 4, and 8 workers. Every
+// execution must produce byte-identical per-node event traces and the
+// same total event count: the conservative barrier scheme may never
+// reorder, drop, or duplicate an observable event.
+//
+// Timing classes are chosen so no two causally-unrelated events share a
+// timestamp (local work on even-nanosecond times, channel latencies with
+// odd-nanosecond components), which makes the serial global-sequence
+// tie-break and the parallel (time, partition, sequence) tie-break agree
+// on these topologies by construction.
+
+// propEnv abstracts serial vs partitioned wiring for the model.
+type propEnv struct {
+	sched func(part int) Sched
+	post  func(src, dst int, at time.Duration, fn func())
+	run   func(horizon time.Duration) error
+	done  func() uint64 // total events processed
+}
+
+// propChannel is a directed cross-partition channel.
+type propChannel struct {
+	src, dst int
+	latency  time.Duration
+}
+
+// propTopo is one randomized topology + workload + chaos plan.
+type propTopo struct {
+	nParts, nNodes int
+	chans          []propChannel
+	chansFrom      [][]int // channel indexes by source partition
+	lookahead      time.Duration
+	// node outage windows: chaos toggles node (part,node) down then up.
+	faults []propFault
+	ticks  int
+	period []time.Duration // per (part*nNodes+node) local period
+	start  []time.Duration
+}
+
+type propFault struct {
+	part, node int
+	down, up   time.Duration
+}
+
+// genTopo builds a random topology. All randomness happens here, before
+// either execution, so serial and parallel runs share the exact model.
+func genTopo(seed int64) *propTopo {
+	rng := rand.New(rand.NewSource(seed))
+	tp := &propTopo{
+		nParts: 2 + rng.Intn(5), // 2..6 partitions
+		nNodes: 2 + rng.Intn(3), // 2..4 nodes each
+		ticks:  6,
+	}
+	base := 200 * time.Microsecond
+	nChans := tp.nParts * 2
+	tp.chansFrom = make([][]int, tp.nParts)
+	for c := 0; c < nChans; c++ {
+		src := rng.Intn(tp.nParts)
+		dst := rng.Intn(tp.nParts)
+		for dst == src {
+			dst = rng.Intn(tp.nParts)
+		}
+		// Odd-nanosecond component keeps channel arrivals off the local
+		// (even-ns) timing grid.
+		lat := base*time.Duration(1+rng.Intn(6)) + time.Duration(2*c+1)*101
+		tp.chans = append(tp.chans, propChannel{src: src, dst: dst, latency: lat})
+		tp.chansFrom[src] = append(tp.chansFrom[src], c)
+	}
+	tp.lookahead = tp.chans[0].latency
+	for _, ch := range tp.chans {
+		if ch.latency < tp.lookahead {
+			tp.lookahead = ch.latency
+		}
+	}
+	for p := 0; p < tp.nParts; p++ {
+		for i := 0; i < tp.nNodes; i++ {
+			tp.period = append(tp.period, time.Duration(1+rng.Intn(4))*time.Millisecond+
+				time.Duration(p*100+i*10)*time.Microsecond)
+			tp.start = append(tp.start, time.Duration(1+rng.Intn(20))*100*time.Microsecond)
+		}
+	}
+	nFaults := 1 + rng.Intn(4)
+	for f := 0; f < nFaults; f++ {
+		down := time.Duration(1+rng.Intn(10)) * time.Millisecond
+		tp.faults = append(tp.faults, propFault{
+			part: rng.Intn(tp.nParts),
+			node: rng.Intn(tp.nNodes),
+			down: down,
+			up:   down + time.Duration(1+rng.Intn(8))*time.Millisecond,
+		})
+	}
+	return tp
+}
+
+// propNode is one relay node's state.
+type propNode struct {
+	down bool
+	log  []string
+}
+
+// build wires the topology into env and returns the per-node traces.
+func (tp *propTopo) build(env *propEnv) [][]*propNode {
+	nodes := make([][]*propNode, tp.nParts)
+	for p := range nodes {
+		nodes[p] = make([]*propNode, tp.nNodes)
+		for i := range nodes[p] {
+			nodes[p][i] = &propNode{}
+		}
+	}
+	// recv handles a message at (part,node); hop 0 messages relay once.
+	var recv func(part, node, from, hop int)
+	recv = func(part, node, from, hop int) {
+		n := nodes[part][node]
+		s := env.sched(part)
+		if n.down {
+			n.log = append(n.log, fmt.Sprintf("%d drop from=%d hop=%d", s.Now(), from, hop))
+			return
+		}
+		n.log = append(n.log, fmt.Sprintf("%d recv from=%d hop=%d", s.Now(), from, hop))
+		if hop == 0 && len(tp.chansFrom[part]) > 0 {
+			c := tp.chansFrom[part][(node+from)%len(tp.chansFrom[part])]
+			ch := tp.chans[c]
+			tgt := (node + 1) % tp.nNodes
+			env.post(part, ch.dst, s.Now()+ch.latency, func() { recv(ch.dst, tgt, part*tp.nNodes+node, 1) })
+		}
+	}
+	for p := 0; p < tp.nParts; p++ {
+		for i := 0; i < tp.nNodes; i++ {
+			p, i := p, i
+			id := p*tp.nNodes + i
+			s := env.sched(p)
+			var tick func(k int)
+			tick = func(k int) {
+				n := nodes[p][i]
+				n.log = append(n.log, fmt.Sprintf("%d tick %d", s.Now(), k))
+				if len(tp.chansFrom[p]) > 0 {
+					c := tp.chansFrom[p][(i+k)%len(tp.chansFrom[p])]
+					ch := tp.chans[c]
+					tgt := (i + k) % tp.nNodes
+					env.post(p, ch.dst, s.Now()+ch.latency, func() { recv(ch.dst, tgt, id, 0) })
+				}
+				if k+1 < tp.ticks {
+					s.Schedule(tp.period[id], func() { tick(k + 1) })
+				}
+			}
+			s.At(tp.start[id], func() { tick(0) })
+		}
+	}
+	// The chaos plan: scripted node outages, scheduled on the owning
+	// partition before the run starts.
+	for _, f := range tp.faults {
+		f := f
+		s := env.sched(f.part)
+		s.At(f.down, func() { nodes[f.part][f.node].down = true })
+		s.At(f.up, func() { nodes[f.part][f.node].down = false })
+	}
+	return nodes
+}
+
+// flatten renders all traces into one canonical byte string.
+func flatten(nodes [][]*propNode) string {
+	var out []byte
+	for p := range nodes {
+		for i, n := range nodes[p] {
+			out = append(out, fmt.Sprintf("node %d/%d:\n", p, i)...)
+			for _, l := range n.log {
+				out = append(out, "  "+l+"\n"...)
+			}
+		}
+	}
+	return string(out)
+}
+
+// serialEnv runs every partition on one plain Engine.
+func serialEnv(seed int64) *propEnv {
+	eng := NewEngine(seed)
+	return &propEnv{
+		sched: func(int) Sched { return eng },
+		post:  func(_, _ int, at time.Duration, fn func()) { eng.At(at, fn) },
+		run:   eng.Run,
+		done:  func() uint64 { return eng.Processed },
+	}
+}
+
+// parallelEnv runs the topology on a ParallelEngine with the given
+// worker count.
+func parallelEnv(tp *propTopo, seed int64, workers int) *propEnv {
+	pe := NewParallel(workers)
+	parts := make([]*Partition, tp.nParts)
+	for p := range parts {
+		parts[p] = pe.NewPartition(seed + int64(p))
+	}
+	for _, ch := range tp.chans {
+		pe.RegisterCut(ch.latency)
+	}
+	return &propEnv{
+		sched: func(p int) Sched { return parts[p] },
+		post: func(src, dst int, at time.Duration, fn func()) {
+			parts[src].Post(parts[dst], at, fn)
+		},
+		run:  pe.Run,
+		done: pe.Processed,
+	}
+}
+
+func TestParallelMatchesSerialOnRandomTopologies(t *testing.T) {
+	const horizon = 40 * time.Millisecond
+	for seed := int64(1); seed <= 10; seed++ {
+		tp := genTopo(seed)
+		ref := serialEnv(seed)
+		refNodes := tp.build(ref)
+		if err := ref.run(horizon); err != nil {
+			t.Fatalf("seed %d serial: %v", seed, err)
+		}
+		want := flatten(refNodes)
+		if len(want) == 0 {
+			t.Fatalf("seed %d produced an empty trace", seed)
+		}
+		wantDone := ref.done()
+		for _, workers := range []int{1, 2, 4, 8} {
+			env := parallelEnv(tp, seed, workers)
+			nodes := tp.build(env)
+			if err := env.run(horizon); err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			if got := flatten(nodes); got != want {
+				t.Fatalf("seed %d workers %d: trace diverged from serial\n--- serial ---\n%s\n--- parallel ---\n%s",
+					seed, workers, want, got)
+			}
+			if got := env.done(); got != wantDone {
+				t.Fatalf("seed %d workers %d: processed %d events, serial processed %d",
+					seed, workers, got, wantDone)
+			}
+		}
+	}
+}
+
+// TestParallelTraceIdenticalUnderRepeatedRuns re-runs one randomized
+// topology at 4 workers several times: goroutine scheduling noise across
+// process-internal runs must never surface in the trace.
+func TestParallelTraceIdenticalUnderRepeatedRuns(t *testing.T) {
+	const horizon = 40 * time.Millisecond
+	tp := genTopo(99)
+	var want string
+	for rep := 0; rep < 5; rep++ {
+		env := parallelEnv(tp, 99, 4)
+		nodes := tp.build(env)
+		if err := env.run(horizon); err != nil {
+			t.Fatal(err)
+		}
+		got := flatten(nodes)
+		if rep == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("rep %d diverged", rep)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStopSameTimestampAtHorizon pins the documented Stop contract: the
+// in-flight event completes, later events at the same timestamp (even at
+// the horizon boundary) stay queued, Now() is not advanced to the
+// horizon, and ErrStopped is returned.
+func TestStopSameTimestampAtHorizon(t *testing.T) {
+	e := NewEngine(1)
+	const at = 5 * time.Millisecond
+	var ran []string
+	e.At(at, func() { ran = append(ran, "first"); e.Stop() })
+	e.At(at, func() { ran = append(ran, "second") })
+	if err := e.Run(at); err != ErrStopped {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if got := strings.Join(ran, ","); got != "first" {
+		t.Fatalf("ran = %q, want only the stopping event", got)
+	}
+	if e.Now() != at {
+		t.Fatalf("Now = %v, want the stopping event's time %v", e.Now(), at)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want the same-timestamp event still queued", e.Pending())
+	}
+	// The queued event runs on the next Run call.
+	if err := e.Run(at); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(ran, ","); got != "first,second" {
+		t.Fatalf("after resume ran = %q", got)
+	}
+}
+
+// TestStopOnLastEvent covers the historic inconsistency: a Stop issued
+// by the final queued event used to fall out of the drained loop and
+// return nil instead of ErrStopped — from Run and RunAll both.
+func TestStopOnLastEvent(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(time.Millisecond, func() { e.Stop() })
+	if err := e.Run(time.Second); err != ErrStopped {
+		t.Fatalf("Run err = %v, want ErrStopped", err)
+	}
+	if e.Now() != time.Millisecond {
+		t.Fatalf("Now = %v, want 1ms (not advanced to horizon)", e.Now())
+	}
+
+	e2 := NewEngine(1)
+	e2.Schedule(time.Millisecond, func() { e2.Stop() })
+	if err := e2.RunAll(100); err != ErrStopped {
+		t.Fatalf("RunAll err = %v, want ErrStopped", err)
+	}
+}
+
+// TestStopBeyondHorizonNextEvent: Stop fires while the next event lies
+// beyond the horizon; the old loop broke out and returned nil.
+func TestStopBeyondHorizonNextEvent(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(time.Millisecond, func() { e.Stop() })
+	e.Schedule(time.Hour, func() {})
+	if err := e.Run(time.Second); err != ErrStopped {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+}
+
+// TestIdleStopIsNoOp: Stop while the engine is idle must not poison the
+// next Run call.
+func TestIdleStopIsNoOp(t *testing.T) {
+	e := NewEngine(1)
+	e.Stop()
+	ran := false
+	e.Schedule(time.Millisecond, func() { ran = true })
+	if err := e.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("event did not run after idle Stop")
+	}
+}
+
+func TestRegisterCutRejectsZeroLatency(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RegisterCut(0) did not panic")
+		}
+	}()
+	NewParallel(2).RegisterCut(0)
+}
+
+func TestParallelRunWithoutCutsErrors(t *testing.T) {
+	pe := NewParallel(2)
+	pe.NewPartition(1)
+	pe.NewPartition(1)
+	if err := pe.Run(time.Second); err == nil {
+		t.Fatal("multi-partition Run without cuts must error")
+	}
+}
+
+// TestParallelSinglePartitionIsSerial: one partition degenerates to the
+// serial engine, including Stop semantics.
+func TestParallelSinglePartitionIsSerial(t *testing.T) {
+	pe := NewParallel(4)
+	p := pe.NewPartition(7)
+	var order []int
+	p.Schedule(2*time.Millisecond, func() { order = append(order, 2) })
+	p.Schedule(time.Millisecond, func() { order = append(order, 1) })
+	if err := pe.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if pe.Now() != time.Second || len(order) != 2 || order[0] != 1 {
+		t.Fatalf("order=%v now=%v", order, pe.Now())
+	}
+	p.Schedule(time.Millisecond, func() { p.Engine().Stop() })
+	if err := pe.Run(2 * time.Second); err != ErrStopped {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+}
+
+// twoPartitions builds a minimal two-partition engine joined by one cut.
+func twoPartitions(workers int, lookahead time.Duration) (*ParallelEngine, *Partition, *Partition) {
+	pe := NewParallel(workers)
+	a := pe.NewPartition(1)
+	b := pe.NewPartition(2)
+	pe.RegisterCut(lookahead)
+	return pe, a, b
+}
+
+// TestParallelCrossPartitionDelivery: a message posted across the cut
+// arrives at the scheduled time, and quiescent posts (before Run) work.
+func TestParallelCrossPartitionDelivery(t *testing.T) {
+	pe, a, b := twoPartitions(2, time.Millisecond)
+	var gotAt time.Duration
+	// Quiescent post straight into b.
+	a.Post(b, 500*time.Microsecond, func() {
+		// In-window post from b back to a, exactly at the lookahead bound.
+		b.Post(a, b.Now()+time.Millisecond, func() { gotAt = a.Now() })
+	})
+	if err := pe.Run(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if want := 1500 * time.Microsecond; gotAt != want {
+		t.Fatalf("arrival = %v, want %v", gotAt, want)
+	}
+	if pe.Rounds() == 0 {
+		t.Fatal("no barrier rounds counted")
+	}
+	if pe.Now() != 10*time.Millisecond {
+		t.Fatalf("Now = %v", pe.Now())
+	}
+}
+
+// TestParallelLookaheadViolationPanics: posting inside the current
+// window is a model bug and must fail loudly.
+func TestParallelLookaheadViolationPanics(t *testing.T) {
+	pe, a, b := twoPartitions(1, time.Millisecond)
+	b.Schedule(time.Millisecond, func() {}) // give b pending work
+	a.Schedule(time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("in-window cross-partition post did not panic")
+			}
+			a.Engine().Stop()
+		}()
+		a.Post(b, a.Now()+time.Microsecond, func() {})
+	})
+	_ = pe.Run(10 * time.Millisecond)
+}
+
+// TestParallelStopWindowGranular: pe.Stop from inside an event lets every
+// partition finish the current window, then Run returns ErrStopped with
+// later windows unexecuted — independent of worker count.
+func TestParallelStopWindowGranular(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		pe, a, b := twoPartitions(workers, time.Millisecond)
+		var ran []string
+		a.At(time.Millisecond, func() { ran = append(ran, "a-stop"); pe.Stop() })
+		// Same window (within lookahead of T=1ms) on the sibling partition.
+		b.At(time.Millisecond+500*time.Microsecond, func() { ran = append(ran, "b-same-window") })
+		// Next window: must not run.
+		b.At(3*time.Millisecond, func() { ran = append(ran, "b-next-window") })
+		if err := pe.Run(10 * time.Millisecond); err != ErrStopped {
+			t.Fatalf("workers=%d err = %v, want ErrStopped", workers, err)
+		}
+		got := strings.Join(ran, ",")
+		if got != "a-stop,b-same-window" {
+			t.Fatalf("workers=%d ran = %q", workers, got)
+		}
+		if pe.Pending() != 1 {
+			t.Fatalf("workers=%d pending = %d", workers, pe.Pending())
+		}
+	}
+}
+
+// TestParallelHorizonBoundary: events exactly at the horizon run; later
+// ones stay queued, exactly like the serial engine.
+func TestParallelHorizonBoundary(t *testing.T) {
+	pe, a, b := twoPartitions(2, time.Millisecond)
+	ranAt, ranLater := false, false
+	a.At(5*time.Millisecond, func() { ranAt = true })
+	b.At(5*time.Millisecond+1, func() { ranLater = true })
+	if err := pe.Run(5 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !ranAt || ranLater {
+		t.Fatalf("ranAt=%v ranLater=%v", ranAt, ranLater)
+	}
+	if pe.Pending() != 1 {
+		t.Fatalf("pending = %d", pe.Pending())
+	}
+}

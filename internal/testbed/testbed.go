@@ -91,14 +91,28 @@ type Options struct {
 	// every switch added later (core.Config.Obs + dataplane RegisterObs).
 	// Nil keeps all hooks off.
 	Obs *obs.FlowObs
+	// SimWorkers > 1 partitions the simulation for conservative parallel
+	// execution (PDES): the data plane and the controller become separate
+	// logical processes cut at the secure channel, plus one process per
+	// island (NewIsland). Results are byte-identical to a serial run; the
+	// worker count only sets how many windows execute concurrently.
+	// 0 or 1 keeps the single serial engine.
+	SimWorkers int
 }
 
 // Net is an assembled deployment.
 type Net struct {
+	// Eng is the engine owning the main data-plane partition. In a serial
+	// deployment it is the only engine; in a partitioned one (SimWorkers >
+	// 1) island components live on their own engines — use EngFor when
+	// scheduling against a specific switch.
 	Eng        *sim.Engine
 	Fabric     *legacy.Fabric
 	Controller *core.Controller
 	Store      *monitor.Store
+
+	// Par drives a partitioned run; nil for a serial deployment.
+	Par *sim.ParallelEngine
 
 	Switches []*dataplane.Switch
 	Hosts    []*host.Host
@@ -119,6 +133,14 @@ type Net struct {
 	uplinkIDs   map[uint64]int    // dpid → chaos link id of the uplink
 	nextLinkID  int
 	nextFlooder int
+
+	// Partitioning state (nil/empty for serial deployments): the main
+	// data-plane partition, the controller partition, one partition per
+	// island, and the switch → owning-partition map for island switches.
+	dataPart *sim.Partition
+	ctrlPart *sim.Partition
+	islands  []*sim.Partition
+	swParts  map[uint64]*sim.Partition
 }
 
 // New creates an empty deployment.
@@ -135,7 +157,29 @@ func New(opts Options) *Net {
 	if opts.FabricSwitches == 0 {
 		opts.FabricSwitches = 1
 	}
-	eng := sim.NewEngine(opts.Seed)
+	var (
+		par      *sim.ParallelEngine
+		dataPart *sim.Partition
+		ctrlPart *sim.Partition
+	)
+	var eng *sim.Engine
+	ctrlEng := (*sim.Engine)(nil)
+	if opts.SimWorkers > 1 {
+		// Partitioned deployment: the data plane and the controller become
+		// separate logical processes; the secure-channel latency is the cut
+		// between them (registered per switch in addSwitch). Both engines
+		// get the deployment seed — the only RNG the simulation draws from
+		// at run time is the data partition's, so the draw sequence matches
+		// the serial engine's exactly.
+		par = sim.NewParallel(opts.SimWorkers)
+		dataPart = par.NewPartition(opts.Seed)
+		ctrlPart = par.NewPartition(opts.Seed)
+		eng = dataPart.Engine()
+		ctrlEng = ctrlPart.Engine()
+	} else {
+		eng = sim.NewEngine(opts.Seed)
+		ctrlEng = eng
+	}
 	var store *monitor.Store
 	if opts.Monitor {
 		store = monitor.NewStore(0)
@@ -148,7 +192,7 @@ func New(opts Options) *Net {
 		fabric = legacy.NewStar(eng, opts.FabricSwitches, link.Params{BitsPerSec: link.Rate10G})
 	}
 	ctrl := core.New(core.Config{
-		Engine:           eng,
+		Engine:           ctrlEng,
 		Store:            store,
 		Policies:         opts.Policies,
 		RequireCerts:     opts.RequireCerts,
@@ -176,6 +220,7 @@ func New(opts Options) *Net {
 		Fabric:      fabric,
 		Controller:  ctrl,
 		Store:       store,
+		Par:         par,
 		opts:        opts,
 		nextPort:    make(map[uint64]uint32),
 		swFabric:    make(map[uint64]int),
@@ -183,11 +228,86 @@ func New(opts Options) *Net {
 		accessLinks: make(map[link.Node]*link.Link),
 		linkIDs:     make(map[link.Node]int),
 		uplinkIDs:   make(map[uint64]int),
+		dataPart:    dataPart,
+		ctrlPart:    ctrlPart,
+		swParts:     make(map[uint64]*sim.Partition),
 	}
 	if opts.Chaos {
 		n.Chaos = chaos.NewInjector(eng)
+		if ctrlPart != nil {
+			// Secure-channel faults mutate controller-side Channel state, so
+			// they must fire on the controller partition.
+			n.Chaos.SetChannelSched(ctrlPart)
+		}
+	}
+	if par != nil && opts.Obs != nil {
+		// Parallel-engine observability: barrier-round count plus the
+		// per-partition heap high-watermark. Registered only when both the
+		// registry and the parallel engine exist, so a disabled or serial
+		// exposition stays byte-identical.
+		r := opts.Obs.Registry
+		r.CounterFunc("livesec_sim_barrier_rounds_total",
+			"Conservative-sync barrier rounds executed by the parallel engine.",
+			func() float64 { return float64(par.Rounds()) })
+		for _, p := range par.Partitions() {
+			p := p
+			r.GaugeFunc("livesec_sim_partition_heap_max_depth",
+				"Per-partition high-watermark of the simulation event queue.",
+				func() float64 { return float64(p.Engine().MaxDepth()) },
+				obs.L("partition", fmt.Sprint(p.ID())))
+		}
 	}
 	return n
+}
+
+// registerPartitionObs adds the heap-watermark gauge for a partition
+// created after New (an island).
+func (n *Net) registerPartitionObs(p *sim.Partition) {
+	if n.opts.Obs == nil {
+		return
+	}
+	p2 := p
+	n.opts.Obs.Registry.GaugeFunc("livesec_sim_partition_heap_max_depth",
+		"Per-partition high-watermark of the simulation event queue.",
+		func() float64 { return float64(p2.Engine().MaxDepth()) },
+		obs.L("partition", fmt.Sprint(p2.ID())))
+}
+
+// NewIsland allocates a topology island: a group of switches, hosts and
+// service elements that, under a partitioned deployment, runs as its own
+// logical process connected to the main fabric only through positive-
+// delay uplinks (AddSwitchIsland). It returns the island id. In a serial
+// deployment islands are purely notional — the same topology is built on
+// the single engine, so serial and parallel runs stay byte-identical.
+func (n *Net) NewIsland() int {
+	id := len(n.islands)
+	if n.Par != nil {
+		p := n.Par.NewPartition(n.opts.Seed)
+		n.islands = append(n.islands, p)
+		n.registerPartitionObs(p)
+	} else {
+		n.islands = append(n.islands, nil)
+	}
+	return id
+}
+
+// partFor returns the partition owning sw (nil when serial or on the
+// main data partition).
+func (n *Net) partFor(sw *dataplane.Switch) *sim.Partition {
+	if p, ok := n.swParts[sw.DPID()]; ok {
+		return p
+	}
+	return n.dataPart
+}
+
+// EngFor returns the engine that owns sw and everything attached to it —
+// the island's engine for island switches, Net.Eng otherwise. Schedule
+// workload events for a switch's hosts on this engine.
+func (n *Net) EngFor(sw *dataplane.Switch) *sim.Engine {
+	if p, ok := n.swParts[sw.DPID()]; ok && p != nil {
+		return p.Engine()
+	}
+	return n.Eng
 }
 
 // AddSwitch creates an AS switch (OvS or OF Wi-Fi), uplinks it into
@@ -207,6 +327,24 @@ func (n *Net) AddSwitchUplink(kind dataplane.Kind, name string, fabricIdx int, u
 // latency — distant wiring closets see the controller later than nearby
 // ones, which is what makes barrier synchronization matter.
 func (n *Net) AddSwitchFull(kind dataplane.Kind, name string, fabricIdx int, uplinkBps int64, ctrlLatency time.Duration) *dataplane.Switch {
+	return n.addSwitch(kind, name, fabricIdx, uplinkBps, ctrlLatency, 0, -1)
+}
+
+// AddSwitchIsland adds an AS switch to island isl (from NewIsland),
+// uplinked into fabric switch fabricIdx over a link with the given
+// propagation delay. Under a partitioned deployment the switch, its
+// hosts and its service elements run on the island's own logical
+// process, with the uplink delay as the partition cut (it must be
+// positive). A serial deployment builds the identical topology — same
+// uplink delay — on the single engine, so results match byte for byte.
+func (n *Net) AddSwitchIsland(kind dataplane.Kind, name string, fabricIdx, isl int, uplinkDelay time.Duration) *dataplane.Switch {
+	return n.addSwitch(kind, name, fabricIdx, n.opts.UplinkRate, n.opts.CtrlLatency, uplinkDelay, isl)
+}
+
+// addSwitch is the shared switch builder. island < 0 places the switch
+// on the main data-plane partition with a delay-free uplink; otherwise
+// the switch joins that island, uplinked across uplinkDelay.
+func (n *Net) addSwitch(kind dataplane.Kind, name string, fabricIdx int, uplinkBps int64, ctrlLatency, uplinkDelay time.Duration, island int) *dataplane.Switch {
 	n.nextDPID++
 	dpid := n.nextDPID
 	if name == "" {
@@ -216,15 +354,40 @@ func (n *Net) AddSwitchFull(kind dataplane.Kind, name string, fabricIdx int, upl
 		}
 		name = fmt.Sprintf("%s%d", prefix, dpid)
 	}
-	sw := dataplane.New(n.Eng, dataplane.Config{DPID: dpid, Name: name, Kind: kind})
+	part := n.dataPart // nil when serial
+	if island >= 0 {
+		part = n.islands[island]
+		if part != nil {
+			n.swParts[dpid] = part
+		}
+	}
+	swEng := n.Eng
+	if part != nil {
+		swEng = part.Engine()
+	}
+	sw := dataplane.New(swEng, dataplane.Config{DPID: dpid, Name: name, Kind: kind})
 	if n.opts.Obs != nil {
 		sw.RegisterObs(n.opts.Obs.Registry)
 	}
-	up := n.Fabric.Attach(fabricIdx, sw, uplinkPort, link.Params{BitsPerSec: uplinkBps})
+	upParams := link.Params{BitsPerSec: uplinkBps, Delay: uplinkDelay}
+	var up *link.Link
+	if part != nil && part != n.dataPart {
+		up = n.Fabric.AttachParts(n.dataPart, part, fabricIdx, sw, uplinkPort, upParams)
+	} else {
+		up = n.Fabric.Attach(fabricIdx, sw, uplinkPort, upParams)
+	}
 	sw.AttachPort(uplinkPort, up)
-	ctrlSide, swSide := openflow.SimPipe(n.Eng, ctrlLatency)
+	var ctrlSide, swSide openflow.Conn
+	if n.Par != nil {
+		swSide, ctrlSide = openflow.SimPipeParts(part, n.ctrlPart, ctrlLatency)
+	} else {
+		ctrlSide, swSide = openflow.SimPipe(n.Eng, ctrlLatency)
+	}
 	sw.ConnectController(swSide)
 	if n.Chaos != nil {
+		// The uplink keeps its chaos id in every mode so plan link ids stay
+		// stable; under a partitioned run, link faults may only target
+		// main-partition links (an island uplink spans two partitions).
 		n.uplinkIDs[dpid] = n.registerLink(up)
 		n.Controller.AddSwitch(n.Chaos.WrapConn(dpid, ctrlSide))
 	} else {
@@ -299,9 +462,10 @@ func (n *Net) allocPort(sw *dataplane.Switch) uint32 {
 // parameters (100 Mbps wired and 43 Mbps wireless in the paper).
 func (n *Net) AddHost(sw *dataplane.Switch, name string, ip netpkt.IPv4Addr, p link.Params) *host.Host {
 	n.nextHost++
-	h := host.New(n.Eng, name, netpkt.MACFromUint64(n.nextHost), ip)
+	eng := n.EngFor(sw)
+	h := host.New(eng, name, netpkt.MACFromUint64(n.nextHost), ip)
 	port := n.allocPort(sw)
-	l := link.Connect(n.Eng, sw, port, h, 0, p)
+	l := link.Connect(eng, sw, port, h, 0, p)
 	sw.AttachPort(port, l)
 	h.Attach(l)
 	n.trackAccessLink(h, l)
@@ -318,7 +482,10 @@ func (n *Net) MoveHost(h *host.Host, to *dataplane.Switch, p link.Params) {
 		old.SetUp(false)
 	}
 	port := n.allocPort(to)
-	l := link.Connect(n.Eng, to, port, h, 0, p)
+	// Mobility stays within one partition: a host built on the main
+	// partition may only move between main-partition switches (island
+	// hosts between that island's switches).
+	l := link.Connect(n.EngFor(to), to, port, h, 0, p)
 	to.AttachPort(port, l)
 	h.Attach(l)
 	n.trackAccessLink(h, l)
@@ -355,7 +522,8 @@ func (n *Net) addElementWithMAC(sw *dataplane.Switch, insp service.Inspector, ni
 		nicRate = link.Rate1G
 	}
 	ip := netpkt.IP(10, 9, byte(id>>8), byte(id))
-	el := service.New(n.Eng, service.Config{
+	eng := n.EngFor(sw)
+	el := service.New(eng, service.Config{
 		ID:        id,
 		Name:      fmt.Sprintf("se%d", id),
 		MAC:       mac,
@@ -364,7 +532,7 @@ func (n *Net) addElementWithMAC(sw *dataplane.Switch, insp service.Inspector, ni
 		Cert:      n.Controller.Certify(id, mac),
 	})
 	port := n.allocPort(sw)
-	l := link.Connect(n.Eng, sw, port, el, 0, link.Params{BitsPerSec: nicRate})
+	l := link.Connect(eng, sw, port, el, 0, link.Params{BitsPerSec: nicRate})
 	sw.AttachPort(port, l)
 	el.Attach(l)
 	n.trackAccessLink(el, l)
@@ -386,14 +554,19 @@ func (n *Net) MoveElement(el *service.Element, to *dataplane.Switch, nicRate int
 		old.SetUp(false)
 	}
 	port := n.allocPort(to)
-	l := link.Connect(n.Eng, to, port, el, 0, link.Params{BitsPerSec: nicRate})
+	// Like MoveHost, migration stays within the element's partition.
+	l := link.Connect(n.EngFor(to), to, port, el, 0, link.Params{BitsPerSec: nicRate})
 	to.AttachPort(port, l)
 	el.Attach(l)
 	n.trackAccessLink(el, l)
 }
 
-// Run advances virtual time by d.
+// Run advances virtual time by d — on the parallel engine when the
+// deployment is partitioned, on the single serial engine otherwise.
 func (n *Net) Run(d time.Duration) error {
+	if n.Par != nil {
+		return n.Par.Run(n.Par.Now() + d)
+	}
 	return n.Eng.Run(n.Eng.Now() + d)
 }
 
@@ -422,6 +595,23 @@ func (n *Net) Discover() error {
 	}
 	n.Controller.AnnounceAll()
 	return n.Run(5 * time.Millisecond)
+}
+
+// Processed returns the total number of simulated events executed so
+// far, summed across partitions when the deployment is partitioned.
+func (n *Net) Processed() uint64 {
+	if n.Par != nil {
+		return n.Par.Processed()
+	}
+	return n.Eng.Processed
+}
+
+// SimWorkers returns the effective parallel worker count (1 = serial).
+func (n *Net) SimWorkers() int {
+	if n.Par == nil {
+		return 1
+	}
+	return n.Par.Workers()
 }
 
 // Shutdown stops background tickers on every component.

@@ -1,0 +1,45 @@
+#!/bin/sh
+# Engine calibration: simulated events per wall-clock second, per core.
+#
+# Runs the ESCALE experiment (island-partitioned deployment, identical
+# event stream at every worker count — see internal/experiments/
+# escale.go) and records the measured rates plus the machine context
+# (CPU count, go version) in a JSON file next to the BENCH_*.json
+# snapshots. ESCALE's rows are wall-clock rates, so they are kept out
+# of the -stable evaluation report and live here instead; its built-in
+# determinism gate aborts the run if any worker count diverges from the
+# serial execution, so a populated file always describes equivalent
+# simulations.
+#
+# Usage: scripts/calibrate.sh   (or: make calibrate)
+#   CALIBRATE_SCALE  full (default) or ci for a fast smoke run
+#   CALIBRATE_OUT    output file (default CALIBRATION.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+scale="${CALIBRATE_SCALE:-full}"
+out="${CALIBRATE_OUT:-CALIBRATION.json}"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+echo "==> engine scaling run (scale=$scale)"
+go run ./cmd/livesec-bench -scale "$scale" -experiment escale -json "$tmpdir/escale.json"
+
+cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+goversion=$(go env GOVERSION)
+
+# Wrap the bench report with the machine context; the per-core rate is
+# the serial (1-worker) Mev/s row, which by construction runs one core.
+{
+	printf '{\n'
+	printf '  "cores": %s,\n' "$cores"
+	printf '  "go_version": "%s",\n' "$goversion"
+	printf '  "scale": "%s",\n' "$scale"
+	printf '  "generated_at": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+	printf '  "escale": '
+	sed 's/^/  /' "$tmpdir/escale.json" | sed '1s/^  //'
+	printf '}\n'
+} >"$out"
+
+echo "calibration written to $out"

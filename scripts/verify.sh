@@ -11,8 +11,9 @@
 #                  the numbers
 #   determinism -> the full experiment suite (E1…E9 + ablations) at ci
 #                  scale is byte-identical between a serial and a
-#                  parallel -stable run, with observability both off
-#                  and on
+#                  parallel -stable run, between the serial engine and
+#                  the conservative parallel engine (-simworkers 4),
+#                  and with observability both off and on
 #   metrics     -> a short livesecd -obs run serves /metrics that passes
 #                  the exposition linter (scripts/check_metrics.sh)
 #
@@ -46,6 +47,12 @@ trap 'rm -rf "$tmpdir"' EXIT
 go run ./cmd/livesec-bench -scale ci -stable -parallel 1 -json "$tmpdir/serial.json" >/dev/null
 go run ./cmd/livesec-bench -scale ci -stable -json "$tmpdir/parallel.json" >/dev/null
 cmp "$tmpdir/serial.json" "$tmpdir/parallel.json"
+
+echo "==> experiment determinism (serial engine vs -simworkers 4, byte-identical)"
+go run ./cmd/livesec-bench -scale ci -stable -parallel 1 -simworkers 4 -json "$tmpdir/pdes.json" >/dev/null
+# sim_workers is the only field allowed to differ (self-describing report).
+grep -v '"sim_workers"' "$tmpdir/pdes.json" >"$tmpdir/pdes-stripped.json"
+cmp "$tmpdir/serial.json" "$tmpdir/pdes-stripped.json"
 
 echo "==> experiment determinism with observability on (-obs)"
 go run ./cmd/livesec-bench -scale ci -stable -obs -parallel 1 -json "$tmpdir/serial-obs.json" >/dev/null
