@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet bench bench-compare calibrate verify
+.PHONY: build test vet bench bench-hot bench-compare calibrate verify
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,15 @@ test:
 # Full benchmark pass over every package (real measurements; slow).
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./...
+
+# Hot-loop benchmarks only — the PR perf gate's regression set
+# (scripts/bench_gate.sh). -count=8 gives benchstat enough samples for a
+# significance verdict; the $$ anchors keep reference implementations
+# (e.g. the container/heap engine) out of the gate.
+bench-hot:
+	$(GO) test -run=NONE \
+		-bench='^(BenchmarkEngineSchedule|BenchmarkEngineRunTimerWheel|BenchmarkMicroflowLookup|BenchmarkPipelineSteadyState)$$' \
+		-benchmem -count=8 ./internal/sim ./internal/dataplane
 
 # Old-vs-new hot-loop comparison: retained reference implementations
 # against the current fast paths, via benchstat when installed.

@@ -142,6 +142,17 @@ func BenchmarkE9PacketInStorm(b *testing.B) {
 	}
 }
 
+// BenchmarkE10ShardScaling — sharded control plane: setup throughput
+// scale-out at 1/2/4(/8) shards plus shard-kill failover.
+func BenchmarkE10ShardScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.E10ShardScaling(scale(b))
+		if i == b.N-1 {
+			reportRows(b, r)
+		}
+	}
+}
+
 // --- Micro-benchmarks for the hot paths ---
 
 func benchPacket() *netpkt.Packet {

@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	livesec-bench [-scale full|ci] [-experiment all|E1|…|E9|ESCALE] [-json file]
-//	              [-parallel N] [-simworkers N] [-stable] [-obs]
+//	livesec-bench [-scale full|ci] [-experiment all|E1|…|E10|ESCALE] [-json file]
+//	              [-parallel N] [-simworkers N] [-shards N] [-stable] [-obs]
 //
 // With -json, the headline metrics are additionally written to the given
 // file as a machine-readable report (used to snapshot before/after
@@ -31,6 +31,15 @@
 // snapshots are self-describing. The ESCALE experiment (engine scaling,
 // not part of "all" because its rows are wall-clock rates) measures the
 // engine itself across worker counts.
+//
+// With -shards N (N > 1), every experiment's controller runs as N
+// consistent-hash shards (core/shard.go). The default shard layer only
+// attributes work — ownership, cross-shard and replication counters —
+// so results are byte-identical to an unsharded run (enforced by
+// scripts/verify.sh and CI); the banner and the -json report record the
+// count so snapshots are self-describing. The E10 experiment sets its
+// own shard counts (with shard lanes, which do change timing) and is
+// unaffected by the flag.
 package main
 
 import (
@@ -69,7 +78,10 @@ type jsonReport struct {
 	GeneratedAt string `json:"generated_at,omitempty"`
 	// SimWorkers is the parallel-simulation worker count; omitted when 1
 	// (the serial engine), so pre-existing snapshots compare equal.
-	SimWorkers   int              `json:"sim_workers,omitempty"`
+	SimWorkers int `json:"sim_workers,omitempty"`
+	// Shards is the controller shard count; omitted when 1 (unsharded),
+	// so pre-existing snapshots compare equal.
+	Shards       int              `json:"shards,omitempty"`
 	Experiments  []jsonExperiment `json:"experiments"`
 	TotalSeconds float64          `json:"total_seconds,omitempty"`
 }
@@ -84,18 +96,21 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("livesec-bench", flag.ContinueOnError)
 	scaleFlag := fs.String("scale", "full", "deployment scale: full (paper sizes) or ci (fast)")
-	expFlag := fs.String("experiment", "all", "experiment to run: all, E1…E9, or ablations A1…A4")
+	expFlag := fs.String("experiment", "all", "experiment to run: all, E1…E10, or ablations A1…A4")
 	jsonFlag := fs.String("json", "", "also write headline metrics to this file as JSON")
 	parallelFlag := fs.Int("parallel", runtime.GOMAXPROCS(0), "run experiments on up to N workers (1 = serial)")
 	stableFlag := fs.Bool("stable", false, "omit wall-clock timings for byte-identical output across runs")
 	obsFlag := fs.Bool("obs", false, "record flow-setup traces; adds per-stage latency histograms to output")
 	simWorkersFlag := fs.Int("simworkers", 1, "parallel-simulation workers per experiment (1 = serial engine; results identical)")
+	shardsFlag := fs.Int("shards", 1, "controller shards per experiment (1 = unsharded; results identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	experiments.SetObs(*obsFlag)
 	experiments.SetSimWorkers(*simWorkersFlag)
+	experiments.SetShards(*shardsFlag)
 	simWorkers := experiments.SimWorkers()
+	shards := experiments.Shards()
 	var scale experiments.Scale
 	switch strings.ToLower(*scaleFlag) {
 	case "full":
@@ -107,39 +122,43 @@ func run(args []string) error {
 	}
 
 	runners := map[string]func() experiments.Result{
-		"E1": experiments.E1AccessThroughput,
-		"A1": experiments.AblationGrain,
-		"A2": experiments.AblationFlowSetup,
-		"A3": experiments.AblationDirectoryProxy,
-		"A4": experiments.AblationReverseSteering,
-		"E2": func() experiments.Result { return experiments.E2ServiceElementScaling(scale) },
-		"E3": func() experiments.Result { return experiments.E3AggregateCapacity(scale) },
-		"E4": func() experiments.Result { return experiments.E4LoadDeviation(scale) },
-		"E5": experiments.E5LatencyOverhead,
-		"E6": experiments.E6EventPipeline,
-		"E7": func() experiments.Result { return experiments.E7BaselineComparison(scale) },
-		"E8": func() experiments.Result { return experiments.E8ChaosRecovery(scale) },
-		"E9": func() experiments.Result { return experiments.E9PacketInStorm(scale) },
+		"E1":  experiments.E1AccessThroughput,
+		"A1":  experiments.AblationGrain,
+		"A2":  experiments.AblationFlowSetup,
+		"A3":  experiments.AblationDirectoryProxy,
+		"A4":  experiments.AblationReverseSteering,
+		"E2":  func() experiments.Result { return experiments.E2ServiceElementScaling(scale) },
+		"E3":  func() experiments.Result { return experiments.E3AggregateCapacity(scale) },
+		"E4":  func() experiments.Result { return experiments.E4LoadDeviation(scale) },
+		"E5":  experiments.E5LatencyOverhead,
+		"E6":  experiments.E6EventPipeline,
+		"E7":  func() experiments.Result { return experiments.E7BaselineComparison(scale) },
+		"E8":  func() experiments.Result { return experiments.E8ChaosRecovery(scale) },
+		"E9":  func() experiments.Result { return experiments.E9PacketInStorm(scale) },
+		"E10": func() experiments.Result { return experiments.E10ShardScaling(scale) },
 		// ESCALE benches the engine itself (wall-clock rates) and is
 		// therefore not part of "all": its rows vary across machines and
 		// would break -stable snapshots.
 		"ESCALE": func() experiments.Result { return experiments.EngineScaling(scale) },
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "A1", "A2", "A3", "A4"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "A1", "A2", "A3", "A4"}
 
 	want := strings.ToUpper(*expFlag)
 	if want != "ALL" {
 		if _, ok := runners[want]; !ok {
-			return fmt.Errorf("unknown experiment %q (want E1…E9, A1…A4, ESCALE, or all)", *expFlag)
+			return fmt.Errorf("unknown experiment %q (want E1…E10, A1…A4, ESCALE, or all)", *expFlag)
 		}
 		order = []string{want}
 	}
 
-	fmt.Printf("LiveSec evaluation reproduction (scale=%s, simworkers=%d)\n", *scaleFlag, simWorkers)
+	fmt.Printf("LiveSec evaluation reproduction (scale=%s, simworkers=%d, shards=%d)\n", *scaleFlag, simWorkers, shards)
 	fmt.Println(strings.Repeat("=", 64))
 	report := jsonReport{Scale: strings.ToLower(*scaleFlag)}
 	if simWorkers > 1 {
 		report.SimWorkers = simWorkers
+	}
+	if shards > 1 {
+		report.Shards = shards
 	}
 	if !*stableFlag {
 		report.GeneratedAt = time.Now().UTC().Format(time.RFC3339)

@@ -123,6 +123,51 @@ func TestSimWorkersOutputByteIdentical(t *testing.T) {
 	}
 }
 
+// TestShardsOutputByteIdentical proves the -shards flag cannot change
+// results: the default shard layer only attributes work (core/shard.go),
+// so a sharded run's -stable JSON report must be identical to an
+// unsharded one, except for the self-describing shards field. Short mode
+// covers a subset including E10 (which picks its own shard counts and
+// must ignore the flag); scripts/verify.sh runs the same comparison over
+// the full suite.
+func TestShardsOutputByteIdentical(t *testing.T) {
+	exps := []string{"E1", "E9", "E10"}
+	if !testing.Short() {
+		exps = []string{"all"}
+	}
+	for _, exp := range exps {
+		dir := t.TempDir()
+		unsharded := filepath.Join(dir, "unsharded.json")
+		sharded := filepath.Join(dir, "sharded.json")
+		base := []string{"-scale", "ci", "-experiment", exp, "-stable", "-parallel", "1"}
+		if err := run(append(base, "-json", unsharded)); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(append(base, "-shards", "4", "-json", sharded)); err != nil {
+			t.Fatal(err)
+		}
+		var ur, sr jsonReport
+		for path, dst := range map[string]*jsonReport{unsharded: &ur, sharded: &sr} {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(data, dst); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if ur.Shards != 0 || sr.Shards != 4 {
+			t.Fatalf("%s: shards unsharded=%d sharded=%d, want 0 and 4", exp, ur.Shards, sr.Shards)
+		}
+		sr.Shards = 0
+		u, _ := json.Marshal(ur)
+		s, _ := json.Marshal(sr)
+		if !bytes.Equal(u, s) {
+			t.Fatalf("%s: unsharded and shards=4 -stable reports differ:\n--- unsharded ---\n%s\n--- sharded ---\n%s", exp, u, s)
+		}
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-scale", "bogus"}); err == nil {
 		t.Fatal("bad scale accepted")

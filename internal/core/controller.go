@@ -162,6 +162,35 @@ type Config struct {
 	// (the default) keeps records until their ingress entry reports
 	// removal, as before.
 	SessionTTL time.Duration
+
+	// Shards splits the control plane into N logical controller shards
+	// (shard.go): switches are owned by shards via consistent hashing
+	// (ring.go), flow setups are attributed to the ingress switch's
+	// shard, installs on peer-owned switches are cross-shard, and
+	// learned state is charged to lock-step replication. 0 or 1 (the
+	// default) disables the layer. On its own the setting is pure
+	// bookkeeping — message streams are byte-identical at any value,
+	// which the verify gate enforces.
+	Shards int
+	// ShardLanes gives each shard its own serialized packet-in lane of
+	// PacketInCost per packet-in — the scale-out model the E10
+	// experiment measures. It changes timing (N lanes drain N× faster
+	// than the single FIFO), so it is a per-experiment knob, never set
+	// by the global -shards flag; it is ignored under
+	// OverloadProtection, whose defended pipeline owns ingress.
+	ShardLanes bool
+	// ShardVnodes is the consistent-hash virtual-node count per shard
+	// (default 64).
+	ShardVnodes int
+	// ShardCoordLatency is the one-way delay of cross-shard
+	// coordination messages carrying a peer shard's install batch. Zero
+	// (the default) installs inline; positive values model the
+	// owner-decides / peers-install-behind-a-barrier protocol.
+	ShardCoordLatency time.Duration
+	// ShardFailoverDelay is the hot-standby takeover delay after
+	// KillShard (default 200ms — well under the keepalive's
+	// switch-down budget).
+	ShardFailoverDelay time.Duration
 }
 
 // switchState is one registered AS switch.
@@ -280,6 +309,16 @@ type Stats struct {
 	BreakerTrips  uint64
 	BreakerCloses uint64
 	BreakerSkips  uint64
+
+	// Shard counters (see shard.go and shard_failover.go).
+	ShardCrossSetups    uint64
+	ShardCrossInstalls  uint64
+	ShardCoordMsgs      uint64
+	ShardReplEntries    uint64
+	ShardQueuedMsgs     uint64
+	ShardKills          uint64
+	ShardTakeovers      uint64
+	ShardShadowReplayed uint64
 }
 
 // Controller is the LiveSec controller.
@@ -339,6 +378,10 @@ type Controller struct {
 	// ov is the ingress pipeline (overload.go), non-nil only when
 	// PacketInCost or OverloadProtection is configured.
 	ov *overloadState
+
+	// sh is the shard layer (shard.go), non-nil only when Shards > 1 or
+	// ShardLanes is configured.
+	sh *shardLayer
 
 	// Observability (obs_hooks.go, gated on Config.Obs). obsAcceptedAt is
 	// when the packet-in being dispatched entered the ingress pipeline;
@@ -439,6 +482,13 @@ func New(cfg Config) *Controller {
 	if cfg.OverloadProtection || cfg.PacketInCost > 0 {
 		ov = newOverloadState()
 	}
+	var sh *shardLayer
+	if cfg.Shards > 1 || cfg.ShardLanes {
+		if cfg.ShardFailoverDelay == 0 {
+			cfg.ShardFailoverDelay = defaultShardFailoverDelay
+		}
+		sh = newShardLayer(cfg)
+	}
 	c := &Controller{
 		cfg:          cfg,
 		eng:          cfg.Engine,
@@ -455,6 +505,7 @@ func New(cfg Config) *Controller {
 		leases:       make(map[netpkt.MAC]netpkt.IPv4Addr),
 		cache:        newDecisionCache(),
 		ov:           ov,
+		sh:           sh,
 		obs:          cfg.Obs,
 	}
 	if c.obs != nil {
@@ -553,10 +604,15 @@ func (c *Controller) Shutdown() {
 	c.stops = nil
 }
 
-// handleMessage receives every control-channel message. With the
-// ingress pipeline active (overload.go) messages queue through its
-// lanes; otherwise they dispatch inline, exactly as before.
+// handleMessage receives every control-channel message. The shard
+// layer (shard.go) sees it first — attribution always, consumption
+// only for dead-shard parking and shard-lane packet-ins. Then, with
+// the ingress pipeline active (overload.go), messages queue through
+// its lanes; otherwise they dispatch inline, exactly as before.
 func (c *Controller) handleMessage(st *switchState, m openflow.Message) {
+	if c.sh != nil && c.shardIntercept(st, m) {
+		return
+	}
 	if c.ov != nil {
 		c.ingressAccept(st, m)
 		return
@@ -623,6 +679,7 @@ func (c *Controller) registerSwitch(st *switchState, fr *openflow.FeaturesReply)
 	}
 	c.switches[fr.DPID] = st
 	if !rejoin {
+		c.shardReplicate(fr.DPID)
 		c.record(monitor.Event{Type: monitor.EventSwitchJoin, Switch: fr.DPID, Detail: st.name})
 	}
 	// Kick a full discovery round: the newcomer probes its links, and

@@ -161,6 +161,9 @@ func (c *Controller) learnHost(st *switchState, port uint32, mac netpkt.MAC, ip 
 		c.byIP[ip] = mac
 	}
 	if !known || moved {
+		// New or moved attachment is a learned fact the owning shard
+		// replicates to its peers (shard.go).
+		c.shardReplicate(st.dpid)
 		c.record(monitor.Event{Type: monitor.EventUserJoin, Switch: st.dpid,
 			User: mac.String(), IP: ip.String()})
 		if moved {

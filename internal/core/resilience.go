@@ -235,11 +235,7 @@ func (c *Controller) beginResync(st *switchState) {
 // down/probe loop.
 func (c *Controller) sendResync(st *switchState) {
 	st.resyncAttempt++
-	entries := make([]*shadowEntry, 0, len(st.shadow))
-	for _, e := range st.shadow {
-		entries = append(entries, e)
-	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].seq < entries[j].seq })
+	entries := shadowOrdered(st)
 
 	msgs := make([]openflow.Message, 0, len(entries)+3)
 	msgs = append(msgs, &openflow.FeaturesRequest{XID: c.xid()})

@@ -1,0 +1,139 @@
+package core
+
+// Consistent-hash ownership ring for the sharded control plane
+// (shard.go). Switches — and through their ingress switch, hosts and
+// flows — are assigned to controller shards by hashing the switch
+// datapath id onto a ring of virtual nodes. The properties the shard
+// layer relies on:
+//
+//   - Stability: adding or removing a shard moves only ~1/N of the key
+//     space; every key not adjacent to the changed shard's virtual nodes
+//     keeps its owner (ring_test.go proves both directions).
+//   - Exactly-one owner: Owner walks clockwise to the first *live*
+//     shard, so during a permanent shard removal every key still maps to
+//     exactly one live shard — never zero, never two.
+//   - Determinism: the ring is pure arithmetic on splitmix64 hashes; the
+//     same shard count always produces the same assignment, on every
+//     run and at any -simworkers setting.
+//
+// Note the distinction between the two failure modes the shard layer
+// models: a *failover* (KillShard) keeps the dead shard's ring slots —
+// its hot standby inherits the shard id and the ownership map never
+// changes — while *removal* (SetLive false) reassigns the slots to the
+// clockwise survivors. The controller only performs failovers; removal
+// semantics are exercised by the ownership property tests.
+
+import "sort"
+
+// defaultShardVnodes is the virtual-node count per shard. 64 points per
+// shard keeps the maximum ownership imbalance under ~20% for small N
+// while the ring stays tiny (N·64 points).
+const defaultShardVnodes = 64
+
+// ringNodeSalt keys the virtual-node hash domain (see NewShardRing).
+const ringNodeSalt = 0x5bd1e995c2b2ae35
+
+// splitmix64 is the 64-bit finalizer of the splitmix64 generator: a
+// cheap, well-mixed, allocation-free hash for ring points and keys.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ringPoint is one virtual node: a position on the ring owned by a
+// shard.
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// ShardRing maps uint64 keys (switch dpids) to shard ids by consistent
+// hashing.
+type ShardRing struct {
+	vnodes int
+	points []ringPoint // sorted by hash
+	live   []bool
+	nLive  int
+}
+
+// NewShardRing builds a ring of `shards` shards with `vnodes` virtual
+// nodes each (0 uses the default). All shards start live. A given
+// shard's virtual nodes depend only on (shard, vnode), so growing the
+// ring from N to N+1 shards adds points without moving any existing
+// one — the consistency property.
+func NewShardRing(shards, vnodes int) *ShardRing {
+	if shards < 1 {
+		shards = 1
+	}
+	if vnodes <= 0 {
+		vnodes = defaultShardVnodes
+	}
+	r := &ShardRing{
+		vnodes: vnodes,
+		points: make([]ringPoint, 0, shards*vnodes),
+		live:   make([]bool, shards),
+		nLive:  shards,
+	}
+	for s := 0; s < shards; s++ {
+		r.live[s] = true
+		for v := 0; v < vnodes; v++ {
+			// The salt separates the node-hash domain from the key-hash
+			// domain: without it, shard 0's vnode inputs are the raw values
+			// 0..vnodes-1 and collide exactly with small dpid keys, pinning
+			// every low dpid onto shard 0.
+			r.points = append(r.points, ringPoint{
+				hash:  splitmix64(ringNodeSalt ^ (uint64(s)<<32 | uint64(v))),
+				shard: s,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.shard < b.shard // total order even on hash collisions
+	})
+	return r
+}
+
+// Shards returns the total shard count (live or not).
+func (r *ShardRing) Shards() int { return len(r.live) }
+
+// Live returns the number of live shards.
+func (r *ShardRing) Live() int { return r.nLive }
+
+// SetLive marks a shard live or removed. Removal reassigns the shard's
+// key ranges to the clockwise survivors; re-adding restores the original
+// assignment exactly (the points never move).
+func (r *ShardRing) SetLive(shard int, live bool) {
+	if shard < 0 || shard >= len(r.live) || r.live[shard] == live {
+		return
+	}
+	r.live[shard] = live
+	if live {
+		r.nLive++
+	} else {
+		r.nLive--
+	}
+}
+
+// Owner returns the shard owning key: the first live shard at or after
+// hash(key) on the ring, wrapping. Returns -1 when no shard is live.
+func (r *ShardRing) Owner(key uint64) int {
+	if r.nLive == 0 {
+		return -1
+	}
+	h := splitmix64(key)
+	// First point with hash >= h, wrapping to 0.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for n := 0; n < len(r.points); n++ {
+		p := r.points[(i+n)%len(r.points)]
+		if r.live[p.shard] {
+			return p.shard
+		}
+	}
+	return -1
+}

@@ -614,7 +614,7 @@ func (c *Controller) finishSetup(em *emitter, st *switchState, pi *openflow.Pack
 	sp := c.obsTakeSetupSpan()
 	if c.cfg.UseBarriers {
 		c.barrierRelease(em, st, po, programmed, sp)
-		em.flush()
+		c.shardFlush(em, st)
 		return
 	}
 	// The packet-out rides in the ingress switch's batch, after its flow
@@ -624,7 +624,7 @@ func (c *Controller) finishSetup(em *emitter, st *switchState, pi *openflow.Pack
 	b := em.batchFor(st)
 	b.msgs = append(b.msgs, po)
 	c.stats.PacketOuts++
-	em.flush()
+	c.shardFlush(em, st)
 	c.obs.FinishSpan(sp, c.eng.Now())
 }
 

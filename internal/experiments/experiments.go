@@ -91,6 +91,7 @@ func All(scale Scale) []Result {
 		E7BaselineComparison(scale),
 		E8ChaosRecovery(scale),
 		E9PacketInStorm(scale),
+		E10ShardScaling(scale),
 	}
 }
 

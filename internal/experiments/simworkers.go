@@ -22,11 +22,16 @@ func SimWorkers() int {
 }
 
 // newNet builds an experiment deployment, injecting the configured
-// parallel worker count. Every experiment constructs its testbed through
-// this helper so -simworkers reaches E1–E9 and the ablations uniformly.
+// parallel worker count and controller shard count. Every experiment
+// constructs its testbed through this helper so -simworkers and -shards
+// reach E1–E10 and the ablations uniformly; an experiment that sets
+// either option explicitly (E10's shard sweep) keeps its own value.
 func newNet(opts testbed.Options) *testbed.Net {
 	if opts.SimWorkers == 0 {
 		opts.SimWorkers = SimWorkers()
+	}
+	if opts.Shards == 0 {
+		opts.Shards = Shards()
 	}
 	return testbed.New(opts)
 }

@@ -46,6 +46,8 @@ const (
 	EventSuppress      EventType = "suppress"
 	EventBreakerOpen   EventType = "breaker-open"
 	EventBreakerClose  EventType = "breaker-close"
+	EventShardKill     EventType = "shard-kill"
+	EventShardTakeover EventType = "shard-takeover"
 )
 
 // Event is one record in the global log.

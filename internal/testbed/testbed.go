@@ -98,6 +98,21 @@ type Options struct {
 	// worker count only sets how many windows execute concurrently.
 	// 0 or 1 keeps the single serial engine.
 	SimWorkers int
+	// Shards > 1 splits the controller into that many logical shards
+	// with consistent-hash switch ownership (core/shard.go). On its own
+	// the shard layer only attributes work — message streams and results
+	// are byte-identical to an unsharded run.
+	Shards int
+	// ShardLanes serializes each shard's packet-ins on its own busy
+	// clock of PacketInCost (scale-out model, changes timing — an
+	// experiment knob, never set by the global -shards flag).
+	ShardLanes bool
+	// ShardCoordLatency delays cross-shard install batches as
+	// coordination messages (0 = inline flush).
+	ShardCoordLatency time.Duration
+	// ShardFailoverDelay is the hot-standby takeover delay after
+	// KillShard (0 = the core default, 200ms).
+	ShardFailoverDelay time.Duration
 }
 
 // Net is an assembled deployment.
@@ -214,6 +229,11 @@ func New(opts Options) *Net {
 		SourceRate:         opts.SourceRate,
 		SourceBurst:        opts.SourceBurst,
 		Obs:                opts.Obs,
+
+		Shards:             opts.Shards,
+		ShardLanes:         opts.ShardLanes,
+		ShardCoordLatency:  opts.ShardCoordLatency,
+		ShardFailoverDelay: opts.ShardFailoverDelay,
 	})
 	n := &Net{
 		Eng:         eng,
@@ -255,6 +275,29 @@ func New(opts Options) *Net {
 				"Per-partition high-watermark of the simulation event queue.",
 				func() float64 { return float64(p.Engine().MaxDepth()) },
 				obs.L("partition", fmt.Sprint(p.ID())))
+		}
+	}
+	if opts.Shards > 1 && opts.Obs != nil {
+		// Per-shard activity gauges, registered only for sharded
+		// deployments so an unsharded exposition stays byte-identical.
+		r := opts.Obs.Registry
+		for id := 0; id < opts.Shards; id++ {
+			id := id
+			lbl := obs.L("shard", fmt.Sprint(id))
+			r.GaugeFunc("livesec_shard_msgs_total",
+				"Control-channel messages attributed to this controller shard.",
+				func() float64 { return float64(ctrl.ShardStats()[id].Msgs) }, lbl)
+			r.GaugeFunc("livesec_shard_cross_installs_total",
+				"Cross-shard install batches sent by this controller shard.",
+				func() float64 { return float64(ctrl.ShardStats()[id].CrossInstallsOut) }, lbl)
+			r.GaugeFunc("livesec_shard_alive",
+				"Whether this controller shard's event loop is up (1) or failed over (0).",
+				func() float64 {
+					if ctrl.ShardStats()[id].Alive {
+						return 1
+					}
+					return 0
+				}, lbl)
 		}
 	}
 	return n
@@ -612,6 +655,20 @@ func (n *Net) SimWorkers() int {
 		return 1
 	}
 	return n.Par.Workers()
+}
+
+// Shards returns the controller's effective shard count (1 = unsharded).
+func (n *Net) Shards() int { return n.Controller.Shards() }
+
+// CtrlEng returns the engine the controller runs on — the controller
+// partition's engine under a partitioned deployment, Net.Eng otherwise.
+// Schedule control-plane interventions (e.g. Controller.KillShard) on
+// this engine so they execute on the controller's logical process.
+func (n *Net) CtrlEng() *sim.Engine {
+	if n.ctrlPart != nil {
+		return n.ctrlPart.Engine()
+	}
+	return n.Eng
 }
 
 // Shutdown stops background tickers on every component.

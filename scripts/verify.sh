@@ -9,11 +9,12 @@
 #   bench 1x    -> every benchmark in every package runs once, so perf
 #                  harness rot is caught even when no one is looking at
 #                  the numbers
-#   determinism -> the full experiment suite (E1…E9 + ablations) at ci
+#   determinism -> the full experiment suite (E1…E10 + ablations) at ci
 #                  scale is byte-identical between a serial and a
 #                  parallel -stable run, between the serial engine and
 #                  the conservative parallel engine (-simworkers 4),
-#                  and with observability both off and on
+#                  between an unsharded and a sharded controller
+#                  (-shards 4), and with observability both off and on
 #   metrics     -> a short livesecd -obs run serves /metrics that passes
 #                  the exposition linter (scripts/check_metrics.sh)
 #
@@ -53,6 +54,12 @@ go run ./cmd/livesec-bench -scale ci -stable -parallel 1 -simworkers 4 -json "$t
 # sim_workers is the only field allowed to differ (self-describing report).
 grep -v '"sim_workers"' "$tmpdir/pdes.json" >"$tmpdir/pdes-stripped.json"
 cmp "$tmpdir/serial.json" "$tmpdir/pdes-stripped.json"
+
+echo "==> experiment determinism (unsharded vs -shards 4, byte-identical)"
+go run ./cmd/livesec-bench -scale ci -stable -parallel 1 -shards 4 -json "$tmpdir/shards.json" >/dev/null
+# shards is the only field allowed to differ (self-describing report).
+grep -v '"shards"' "$tmpdir/shards.json" >"$tmpdir/shards-stripped.json"
+cmp "$tmpdir/serial.json" "$tmpdir/shards-stripped.json"
 
 echo "==> experiment determinism with observability on (-obs)"
 go run ./cmd/livesec-bench -scale ci -stable -obs -parallel 1 -json "$tmpdir/serial-obs.json" >/dev/null
