@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	livesec-bench [-scale full|ci] [-experiment all|E1|…|E10|ESCALE] [-json file]
+//	livesec-bench [-scale full|ci] [-experiment all|E1|…|E11|ESCALE] [-json file]
 //	              [-parallel N] [-simworkers N] [-shards N] [-stable] [-obs]
+//	              [-compiledpolicy] [-preciseinval]
 //
 // With -json, the headline metrics are additionally written to the given
 // file as a machine-readable report (used to snapshot before/after
@@ -40,6 +41,16 @@
 // count so snapshots are self-describing. The E10 experiment sets its
 // own shard counts (with shard lanes, which do change timing) and is
 // unaffected by the flag.
+//
+// With -compiledpolicy, every experiment's policy lookups run through
+// the tuple-space compiled classifier (internal/policy); with
+// -preciseinval, decision-cache invalidation on policy change is scoped
+// to the mutated rules' match cones (core). Both are decision-neutral,
+// so results are byte-identical to the defaults (enforced by
+// scripts/verify.sh); the banner and the -json report record the
+// settings so snapshots are self-describing. The E11 experiment
+// (policy engine at scale, not part of "all" because its sweep rows are
+// wall-clock timings) measures both mechanisms explicitly.
 package main
 
 import (
@@ -81,9 +92,13 @@ type jsonReport struct {
 	SimWorkers int `json:"sim_workers,omitempty"`
 	// Shards is the controller shard count; omitted when 1 (unsharded),
 	// so pre-existing snapshots compare equal.
-	Shards       int              `json:"shards,omitempty"`
-	Experiments  []jsonExperiment `json:"experiments"`
-	TotalSeconds float64          `json:"total_seconds,omitempty"`
+	Shards int `json:"shards,omitempty"`
+	// CompiledPolicy / PreciseInvalidation record the policy-engine
+	// knobs; omitted when off, so pre-existing snapshots compare equal.
+	CompiledPolicy      bool             `json:"compiled_policy,omitempty"`
+	PreciseInvalidation bool             `json:"precise_invalidation,omitempty"`
+	Experiments         []jsonExperiment `json:"experiments"`
+	TotalSeconds        float64          `json:"total_seconds,omitempty"`
 }
 
 func main() {
@@ -103,12 +118,16 @@ func run(args []string) error {
 	obsFlag := fs.Bool("obs", false, "record flow-setup traces; adds per-stage latency histograms to output")
 	simWorkersFlag := fs.Int("simworkers", 1, "parallel-simulation workers per experiment (1 = serial engine; results identical)")
 	shardsFlag := fs.Int("shards", 1, "controller shards per experiment (1 = unsharded; results identical)")
+	compiledFlag := fs.Bool("compiledpolicy", false, "route policy lookups through the compiled classifier (results identical)")
+	preciseFlag := fs.Bool("preciseinval", false, "scope decision-cache invalidation to rule-delta cones (results identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	experiments.SetObs(*obsFlag)
 	experiments.SetSimWorkers(*simWorkersFlag)
 	experiments.SetShards(*shardsFlag)
+	experiments.SetCompiledPolicy(*compiledFlag)
+	experiments.SetPreciseInvalidation(*preciseFlag)
 	simWorkers := experiments.SimWorkers()
 	shards := experiments.Shards()
 	var scale experiments.Scale
@@ -136,22 +155,30 @@ func run(args []string) error {
 		"E8":  func() experiments.Result { return experiments.E8ChaosRecovery(scale) },
 		"E9":  func() experiments.Result { return experiments.E9PacketInStorm(scale) },
 		"E10": func() experiments.Result { return experiments.E10ShardScaling(scale) },
-		// ESCALE benches the engine itself (wall-clock rates) and is
-		// therefore not part of "all": its rows vary across machines and
+		// ESCALE and E11 bench engines (wall-clock rates/latencies) and are
+		// therefore not part of "all": their rows vary across machines and
 		// would break -stable snapshots.
 		"ESCALE": func() experiments.Result { return experiments.EngineScaling(scale) },
+		"E11":    func() experiments.Result { return experiments.E11PolicyEngine(scale) },
 	}
 	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "A1", "A2", "A3", "A4"}
 
 	want := strings.ToUpper(*expFlag)
 	if want != "ALL" {
 		if _, ok := runners[want]; !ok {
-			return fmt.Errorf("unknown experiment %q (want E1…E10, A1…A4, ESCALE, or all)", *expFlag)
+			return fmt.Errorf("unknown experiment %q (want E1…E11, A1…A4, ESCALE, or all)", *expFlag)
 		}
 		order = []string{want}
 	}
 
-	fmt.Printf("LiveSec evaluation reproduction (scale=%s, simworkers=%d, shards=%d)\n", *scaleFlag, simWorkers, shards)
+	banner := fmt.Sprintf("scale=%s, simworkers=%d, shards=%d", *scaleFlag, simWorkers, shards)
+	if *compiledFlag {
+		banner += ", compiledpolicy"
+	}
+	if *preciseFlag {
+		banner += ", preciseinval"
+	}
+	fmt.Printf("LiveSec evaluation reproduction (%s)\n", banner)
 	fmt.Println(strings.Repeat("=", 64))
 	report := jsonReport{Scale: strings.ToLower(*scaleFlag)}
 	if simWorkers > 1 {
@@ -160,6 +187,8 @@ func run(args []string) error {
 	if shards > 1 {
 		report.Shards = shards
 	}
+	report.CompiledPolicy = *compiledFlag
+	report.PreciseInvalidation = *preciseFlag
 	if !*stableFlag {
 		report.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	}

@@ -171,6 +171,63 @@ func (dc *decisionCache) decision(sel selectorKey, version uint64) (policy.Decis
 	return cd.dec, true
 }
 
+// matchKey reconstructs the flow key a cached decision was computed for,
+// as far as policy matching is concerned. The selector holds every field
+// policy.Match examines (that is the selector's defining property), so
+// cone tests against it are exact, not conservative.
+func (sel selectorKey) matchKey() flow.Key {
+	return flow.Key{
+		InPort:  sel.inPort,
+		EthSrc:  sel.ethSrc,
+		EthDst:  sel.ethDst,
+		VLAN:    sel.vlan,
+		EthType: sel.ethType,
+		IPSrc:   sel.ipSrc,
+		IPDst:   sel.ipDst,
+		IPProto: sel.ipProto,
+		DstPort: sel.dstPort,
+	}
+}
+
+// decisionPrecise is the delta-scoped variant of decision (trigger 1,
+// Config.PreciseInvalidation): a version-stale entry is not discarded
+// outright — the table's mutation log says exactly which match cones
+// changed since the entry was cached, and a decision whose key none of
+// those cones match cannot have changed, so it is revalidated in place.
+// Eviction is lazy (on read), so a burst of rule edits costs nothing
+// until a cached flow actually returns; evicted/retained count the
+// stale reads that lost/kept their entry.
+func (dc *decisionCache) decisionPrecise(sel selectorKey, tbl *policy.Table, evicted, retained *uint64) (policy.Decision, bool) {
+	cd, ok := dc.decisions[sel]
+	if !ok {
+		return policy.Decision{}, false
+	}
+	version := tbl.Version()
+	if cd.version == version {
+		return cd.dec, true
+	}
+	ds, reachable := tbl.DeltasSince(cd.version)
+	if !reachable {
+		// The log was trimmed past this entry's version: wholesale
+		// semantics are all that is sound.
+		delete(dc.decisions, sel)
+		*evicted++
+		return policy.Decision{}, false
+	}
+	k := sel.matchKey()
+	for _, d := range ds {
+		if d.Cone.Matches(k) {
+			delete(dc.decisions, sel)
+			*evicted++
+			return policy.Decision{}, false
+		}
+	}
+	cd.version = version
+	dc.decisions[sel] = cd
+	*retained++
+	return cd.dec, true
+}
+
 func (dc *decisionCache) putDecision(sel selectorKey, version uint64, dec policy.Decision) {
 	if len(dc.decisions) >= cacheLimit {
 		dc.decisions = make(map[selectorKey]cachedDecision)

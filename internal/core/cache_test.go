@@ -36,6 +36,81 @@ func TestDecisionCacheVersionCheck(t *testing.T) {
 	}
 }
 
+func TestDecisionPrecise(t *testing.T) {
+	tbl := policy.NewTable(policy.Allow)
+	dc := newDecisionCache()
+	var ev, ret uint64
+	add := func(name string, m policy.Match) {
+		t.Helper()
+		if err := tbl.Add(&policy.Rule{Name: name, Match: m, Action: policy.Deny}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sel := testSelector(1, 2)
+	sel.dstPort = 80
+	dc.putDecision(sel, tbl.Version(), policy.Decision{Action: policy.Allow, Rule: "d"})
+
+	// An edit whose cone misses the flow (different port) must not cost
+	// the entry: retained, and revalidated in place.
+	add("other", policy.Match{DstPort: 9999})
+	if dec, ok := dc.decisionPrecise(sel, tbl, &ev, &ret); !ok || dec.Rule != "d" {
+		t.Fatalf("unrelated edit evicted the decision: %+v %v", dec, ok)
+	}
+	if ev != 0 || ret != 1 {
+		t.Fatalf("counters after unrelated edit: evicted=%d retained=%d", ev, ret)
+	}
+	// Revalidation stamped the current version: the next read is a plain
+	// version hit and touches neither counter.
+	if _, ok := dc.decisionPrecise(sel, tbl, &ev, &ret); !ok || ev != 0 || ret != 1 {
+		t.Fatalf("revalidated entry not served as fresh: evicted=%d retained=%d", ev, ret)
+	}
+
+	// An edit whose cone covers the flow evicts it.
+	add("covers", policy.Match{DstPort: 80})
+	if _, ok := dc.decisionPrecise(sel, tbl, &ev, &ret); ok {
+		t.Fatal("decision served across a covering rule edit")
+	}
+	if ev != 1 || ret != 1 {
+		t.Fatalf("counters after covering edit: evicted=%d retained=%d", ev, ret)
+	}
+	if _, ok := dc.decisions[sel]; ok {
+		t.Fatal("evicted entry still in the map")
+	}
+
+	// A removal's cone counts the same as an addition's.
+	dc.putDecision(sel, tbl.Version(), policy.Decision{Action: policy.Deny, Rule: "covers"})
+	tbl.Remove("covers")
+	if _, ok := dc.decisionPrecise(sel, tbl, &ev, &ret); ok {
+		t.Fatal("decision served across a covering rule removal")
+	}
+}
+
+func TestDecisionPreciseTrimmedLog(t *testing.T) {
+	tbl := policy.NewTable(policy.Allow)
+	dc := newDecisionCache()
+	var ev, ret uint64
+
+	sel := testSelector(1, 2)
+	dc.putDecision(sel, tbl.Version(), policy.Decision{Action: policy.Allow, Rule: "d"})
+
+	// Push enough unrelated edits to trim the delta log past the cached
+	// version: precision is no longer sound, so the entry must fall back
+	// to wholesale eviction even though no cone matched it.
+	for i := 0; i < 2000; i++ {
+		r := &policy.Rule{Name: "churn", Match: policy.Match{DstPort: 9999}, Action: policy.Deny}
+		if err := tbl.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := dc.decisionPrecise(sel, tbl, &ev, &ret); ok {
+		t.Fatal("decision served across a trimmed delta log")
+	}
+	if ev != 1 || ret != 0 {
+		t.Fatalf("counters after trimmed log: evicted=%d retained=%d", ev, ret)
+	}
+}
+
 func TestDecisionCacheInvalidateHost(t *testing.T) {
 	dc := newDecisionCache()
 	mk := func(src, dst uint64, ses ...uint64) planKey {

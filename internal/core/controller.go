@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"livesec/internal/flow"
+	"livesec/internal/intent"
 	"livesec/internal/loadbalance"
 	"livesec/internal/monitor"
 	"livesec/internal/netpkt"
@@ -156,6 +157,22 @@ type Config struct {
 	// `-stable` runs reproduce bit-for-bit.
 	Obs *obs.FlowObs
 
+	// CompiledPolicy switches policy lookups to the tuple-space compiled
+	// classifier (policy/compiled.go): shape partitions and prefix tries
+	// make a decision-cache miss O(partitions · trie depth) instead of
+	// O(rules). Decisions are identical to the linear scan
+	// (property-tested), so enabling it changes timing only. Off by
+	// default so existing runs reproduce bit-for-bit.
+	CompiledPolicy bool
+	// PreciseInvalidation scopes decision-cache invalidation on policy
+	// change to the mutated rules' match cones: a version-stale cached
+	// decision is revalidated against the table's mutation log
+	// (policy.Table.DeltasSince) and retained when no logged cone matches
+	// its flow key, instead of the wholesale version-mismatch eviction.
+	// Stats.PolicyCacheEvicted/Retained account the split. Off by
+	// default.
+	PreciseInvalidation bool
+
 	// SessionTTL expires session records that outlive it (sessions.go):
 	// FLOW_REMOVED notifications can be lost under storms or chaos
 	// faults, and an unexpirable record map is unbounded state. Zero
@@ -287,6 +304,15 @@ type Stats struct {
 	PlanCacheHits       uint64
 	PlanCacheMisses     uint64
 
+	// Delta-scoped decision-cache invalidation counters, live only under
+	// Config.PreciseInvalidation (see decisionPrecise in cache.go):
+	// of the cached decisions read while version-stale, how many were
+	// evicted because a mutated rule's cone matched their key versus
+	// revalidated and kept. Retained entries are exactly the invalidation
+	// work wholesale versioning wastes.
+	PolicyCacheEvicted  uint64
+	PolicyCacheRetained uint64
+
 	// Resilience counters (see resilience.go).
 	EchoProbes       uint64
 	EchoMisses       uint64
@@ -375,6 +401,11 @@ type Controller struct {
 	cache *decisionCache
 	emit  emitter
 
+	// intents is the runtime intent→rule compiler (internal/intent)
+	// managing the "intent:" namespace of the policy table. Inert until
+	// the first Upsert, so its existence changes nothing by default.
+	intents *intent.Compiler
+
 	// ov is the ingress pipeline (overload.go), non-nil only when
 	// PacketInCost or OverloadProtection is configured.
 	ov *overloadState
@@ -408,6 +439,9 @@ func New(cfg Config) *Controller {
 	}
 	if cfg.Policies == nil {
 		cfg.Policies = policy.NewTable(policy.Allow)
+	}
+	if cfg.CompiledPolicy {
+		cfg.Policies.SetCompiled(true)
 	}
 	if cfg.DefaultAlgorithm == 0 {
 		cfg.DefaultAlgorithm = loadbalance.LeastLoad
@@ -508,11 +542,25 @@ func New(cfg Config) *Controller {
 		sh:           sh,
 		obs:          cfg.Obs,
 	}
+	c.intents = intent.New(c.policies)
 	if c.obs != nil {
 		c.obsRegister()
+		// Intent compile timing is real wall clock: recompilation is real
+		// compute, not simulated activity. Deterministic (-stable) runs
+		// never edit intents, so the histogram stays empty there.
+		c.intents.SetHooks(intent.Hooks{
+			Now:            time.Now,
+			CompileSeconds: c.obs.PolicyCompile.Observe,
+			IntentCount:    func(n int) { c.obs.Intents.Set(float64(n)) },
+		})
 	}
 	return c
 }
+
+// Intents returns the controller's intent compiler. Edits apply to the
+// live policy table immediately; with PreciseInvalidation enabled the
+// decision cache evicts only inside the edit's match cones.
+func (c *Controller) Intents() *intent.Compiler { return c.intents }
 
 // sortedSwitches returns registered switches in ascending dpid order so
 // message emission and event recording are deterministic (map iteration

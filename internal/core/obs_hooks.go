@@ -67,6 +67,12 @@ func (c *Controller) obsRegister() {
 	r.CounterFunc("livesec_plan_cache_total",
 		"Install-plan cache lookups by result.",
 		ctr(&c.stats.PlanCacheMisses), obs.L("result", "miss"))
+	r.CounterFunc("livesec_policy_cache_invalidation_total",
+		"Stale decision-cache entries checked against rule-delta cones, by fate (precise invalidation only).",
+		ctr(&c.stats.PolicyCacheEvicted), obs.L("fate", "evicted"))
+	r.CounterFunc("livesec_policy_cache_invalidation_total",
+		"Stale decision-cache entries checked against rule-delta cones, by fate (precise invalidation only).",
+		ctr(&c.stats.PolicyCacheRetained), obs.L("fate", "retained"))
 	r.CounterFunc("livesec_breaker_total",
 		"Service-element circuit-breaker events.",
 		ctr(&c.stats.BreakerTrips), obs.L("event", "trip"))
@@ -77,6 +83,9 @@ func (c *Controller) obsRegister() {
 		"Service-element circuit-breaker events.",
 		ctr(&c.stats.BreakerSkips), obs.L("event", "skip"))
 
+	r.GaugeFunc("livesec_policy_rules",
+		"Rules installed in the policy table.",
+		func() float64 { return float64(c.policies.Len()) })
 	r.GaugeFunc("livesec_sessions",
 		"Tracked flow sessions.", func() float64 { return float64(len(c.sessions)) })
 	r.GaugeFunc("livesec_switches",

@@ -1,0 +1,29 @@
+package experiments
+
+// Global policy-engine knobs injected into every experiment deployment
+// (newNet). Both are behavior-neutral by construction: the compiled
+// classifier returns the same decision as the linear scan for every key
+// (property- and fuzz-tested in internal/policy), and precise
+// invalidation only changes *which* cached decisions survive a policy
+// edit, never what any lookup returns — so -stable snapshots are
+// byte-identical at any setting, which scripts/verify.sh enforces. E11
+// studies the engines themselves and sets the options explicitly.
+
+var (
+	compiledPolicy      bool
+	preciseInvalidation bool
+)
+
+// SetCompiledPolicy routes experiment policy lookups through the
+// compiled classifier; cmd/livesec-bench wires -compiledpolicy here.
+func SetCompiledPolicy(on bool) { compiledPolicy = on }
+
+// CompiledPolicy reports whether the compiled classifier is on.
+func CompiledPolicy() bool { return compiledPolicy }
+
+// SetPreciseInvalidation scopes experiment decision-cache invalidation
+// to rule-delta cones; cmd/livesec-bench wires -preciseinval here.
+func SetPreciseInvalidation(on bool) { preciseInvalidation = on }
+
+// PreciseInvalidation reports whether delta-scoped invalidation is on.
+func PreciseInvalidation() bool { return preciseInvalidation }

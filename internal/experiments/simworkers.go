@@ -33,5 +33,11 @@ func newNet(opts testbed.Options) *testbed.Net {
 	if opts.Shards == 0 {
 		opts.Shards = Shards()
 	}
+	if !opts.CompiledPolicy {
+		opts.CompiledPolicy = CompiledPolicy()
+	}
+	if !opts.PreciseInvalidation {
+		opts.PreciseInvalidation = PreciseInvalidation()
+	}
 	return testbed.New(opts)
 }

@@ -1,0 +1,174 @@
+package intent
+
+import (
+	"fmt"
+
+	"livesec/internal/policy"
+)
+
+// Conflict kinds. First-match semantics make many overlaps benign — a
+// higher-priority deny deliberately carving a hole in a broad allow is
+// the normal idiom — so only two situations are flagged:
+//
+//   - Ambiguous: two intents at the *same* priority claim overlapping
+//     traffic with different outcomes. Which wins is decided by rule-name
+//     tie-breaking, i.e. by accident of naming — almost never what the
+//     administrator meant.
+//   - Shadowed: every cone of one intent is covered by higher-priority
+//     cones of a single other intent, so the shadowed intent can never
+//     match any flow. Dead policy is a latent outage: it springs to life
+//     when the shadowing intent is edited.
+type ConflictKind int
+
+// Conflict kinds.
+const (
+	Ambiguous ConflictKind = iota + 1
+	Shadowed
+)
+
+// String names the kind.
+func (k ConflictKind) String() string {
+	switch k {
+	case Ambiguous:
+		return "ambiguous"
+	case Shadowed:
+		return "shadowed"
+	default:
+		return "unknown"
+	}
+}
+
+// Conflict reports one pairwise finding between two intents.
+type Conflict struct {
+	Kind ConflictKind
+	// A is the intent being checked; B the installed intent it collides
+	// with. For Shadowed, A is the shadowed (dead) intent.
+	A, B   string
+	Detail string
+}
+
+// String renders the conflict.
+func (c Conflict) String() string {
+	return fmt.Sprintf("%s: %s vs %s: %s", c.Kind, c.A, c.B, c.Detail)
+}
+
+// prefixOverlaps reports whether two prefixes share any address: one
+// must contain the other.
+func prefixOverlaps(a, b policy.Prefix) bool {
+	if a.Any() || b.Any() {
+		return true
+	}
+	min := a.Bits
+	if b.Bits < min {
+		min = b.Bits
+	}
+	mask := ^uint32(0) << (32 - uint(min))
+	return a.Addr.Uint32()&mask == b.Addr.Uint32()&mask
+}
+
+// prefixCovers reports whether a contains all of b.
+func prefixCovers(a, b policy.Prefix) bool {
+	if a.Any() {
+		return true
+	}
+	if b.Any() || b.Bits < a.Bits {
+		return false
+	}
+	mask := ^uint32(0) << (32 - uint(a.Bits))
+	return a.Addr.Uint32()&mask == b.Addr.Uint32()&mask
+}
+
+// matchOverlaps reports whether some flow key satisfies both matches:
+// every dimension must be pairwise compatible.
+func matchOverlaps(a, b policy.Match) bool {
+	switch {
+	case !a.User.IsZero() && !b.User.IsZero() && a.User != b.User:
+		return false
+	case a.Proto != 0 && b.Proto != 0 && a.Proto != b.Proto:
+		return false
+	case a.DstPort != 0 && b.DstPort != 0 && a.DstPort != b.DstPort:
+		return false
+	case a.VLAN != 0 && b.VLAN != 0 && a.VLAN != b.VLAN:
+		return false
+	}
+	return prefixOverlaps(a.SrcIP, b.SrcIP) && prefixOverlaps(a.DstIP, b.DstIP)
+}
+
+// matchCovers reports whether every key matching b also matches a: each
+// of a's dimensions must be equal or wider.
+func matchCovers(a, b policy.Match) bool {
+	switch {
+	case !a.User.IsZero() && a.User != b.User:
+		return false
+	case a.Proto != 0 && a.Proto != b.Proto:
+		return false
+	case a.DstPort != 0 && a.DstPort != b.DstPort:
+		return false
+	case a.VLAN != 0 && a.VLAN != b.VLAN:
+		return false
+	}
+	return prefixCovers(a.SrcIP, b.SrcIP) && prefixCovers(a.DstIP, b.DstIP)
+}
+
+// sameOutcome reports whether two intents decide matched traffic
+// identically (action, chain, failure semantics).
+func sameOutcome(a, b *Intent) bool {
+	if a.Action != b.Action || a.FailOpen != b.FailOpen || len(a.Services) != len(b.Services) {
+		return false
+	}
+	for i := range a.Services {
+		if a.Services[i] != b.Services[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// check runs the pairwise detection between the intent being installed
+// (with its freshly compiled cones) and one installed intent. At most
+// one conflict per pair per kind is reported — the first overlap found
+// names the pair; enumerating every colliding cone pair is noise.
+func check(it *Intent, cones []policy.Match, other *Intent, otherCones []policy.Match) []Conflict {
+	var out []Conflict
+	if it.Priority == other.Priority && !sameOutcome(it, other) {
+	ambiguous:
+		for _, a := range cones {
+			for _, b := range otherCones {
+				if matchOverlaps(a, b) {
+					out = append(out, Conflict{Kind: Ambiguous, A: it.Name, B: other.Name,
+						Detail: fmt.Sprintf("equal priority %d, different outcomes, overlapping traffic (%s ∩ %s)", it.Priority, a, b)})
+					break ambiguous
+				}
+			}
+		}
+	}
+	// Shadowing is directional: the lower-priority intent is dead if the
+	// higher-priority one covers all of its cones.
+	low, lowCones, hi, hiCones := it, cones, other, otherCones
+	if low.Priority > hi.Priority {
+		low, lowCones, hi, hiCones = other, otherCones, it, cones
+	}
+	if low.Priority < hi.Priority && coveredByAll(lowCones, hiCones) {
+		out = append(out, Conflict{Kind: Shadowed, A: low.Name, B: hi.Name,
+			Detail: fmt.Sprintf("priority %d block fully covered by priority %d", low.Priority, hi.Priority)})
+	}
+	return out
+}
+
+// coveredByAll reports whether every cone in lo is covered by some cone
+// in hi.
+func coveredByAll(lo, hi []policy.Match) bool {
+	for _, b := range lo {
+		covered := false
+		for _, a := range hi {
+			if matchCovers(a, b) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}

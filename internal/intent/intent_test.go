@@ -1,0 +1,348 @@
+package intent
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"livesec/internal/flow"
+	"livesec/internal/netpkt"
+	"livesec/internal/policy"
+	"livesec/internal/seproto"
+)
+
+func webKey(user uint64, dst netpkt.IPv4Addr, port uint16) flow.Key {
+	return flow.Key{
+		EthSrc:  netpkt.MACFromUint64(user),
+		EthType: netpkt.EtherTypeIPv4,
+		IPSrc:   netpkt.IP(10, 9, 0, byte(user)),
+		IPDst:   dst,
+		IPProto: netpkt.ProtoTCP,
+		SrcPort: 40000,
+		DstPort: port,
+	}
+}
+
+// guestIntent is the paper's running example: guests reach the web tier
+// only via the IDS chain.
+func guestIntent() Intent {
+	return Intent{
+		Name:     "guest-web",
+		Priority: 50,
+		SrcNets:  []policy.Prefix{policy.CIDR(10, 9, 0, 0, 16)},
+		DstNets:  []policy.Prefix{policy.CIDR(10, 1, 0, 0, 24), policy.CIDR(10, 1, 1, 0, 24)},
+		DstPorts: []uint16{80, 443},
+		Action:   policy.Chain,
+		Services: []seproto.ServiceType{seproto.ServiceIDS, seproto.ServiceCI},
+	}
+}
+
+func TestCompileProductOrderAndNames(t *testing.T) {
+	it := guestIntent()
+	rules, err := it.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 4 { // 2 dst nets x 2 ports
+		t.Fatalf("block size = %d", len(rules))
+	}
+	wantPorts := []uint16{80, 443, 80, 443}
+	for i, r := range rules {
+		if r.Name != RuleName("guest-web", i) {
+			t.Fatalf("rule %d name = %q", i, r.Name)
+		}
+		if r.Match.DstPort != wantPorts[i] || r.Priority != 50 || r.Action != policy.Chain {
+			t.Fatalf("rule %d = %+v", i, r)
+		}
+	}
+	if rules[0].Match.DstIP != rules[1].Match.DstIP || rules[0].Match.DstIP == rules[2].Match.DstIP {
+		t.Fatal("dst nets not in outer product position")
+	}
+}
+
+func TestCompileRejects(t *testing.T) {
+	if _, err := (&Intent{Action: policy.Allow}).Compile(); err == nil {
+		t.Fatal("nameless intent accepted")
+	}
+	if _, err := (&Intent{Name: "x", Action: policy.Chain}).Compile(); err == nil {
+		t.Fatal("chain without services accepted")
+	}
+	bad := Intent{Name: "x", Action: policy.Allow,
+		DstNets: []policy.Prefix{{Addr: netpkt.IP(1, 2, 3, 4), Bits: 40}}}
+	if _, err := bad.Compile(); err == nil {
+		t.Fatal("malformed prefix accepted")
+	}
+	huge := Intent{Name: "x", Action: policy.Allow}
+	for i := 0; i < 70; i++ {
+		huge.Users = append(huge.Users, netpkt.MACFromUint64(uint64(i+1)))
+		huge.DstPorts = append(huge.DstPorts, uint16(i+1))
+	}
+	if _, err := huge.Compile(); err == nil {
+		t.Fatal("4900-rule block over cap accepted")
+	}
+}
+
+func TestUpsertInstallsAndLookupWorks(t *testing.T) {
+	tbl := policy.NewTable(policy.Deny)
+	c := New(tbl)
+	d, conflicts, err := c.Upsert(guestIntent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) != 0 || len(d.Added) != 4 || len(d.Removed) != 0 {
+		t.Fatalf("delta=%+v conflicts=%v", d, conflicts)
+	}
+	if tbl.Len() != 4 || c.Len() != 1 || c.Rules() != 4 {
+		t.Fatalf("table=%d intents=%d rules=%d", tbl.Len(), c.Len(), c.Rules())
+	}
+	dec := tbl.Lookup(webKey(3, netpkt.IP(10, 1, 1, 7), 443))
+	if dec.Action != policy.Chain || len(dec.Services) != 2 {
+		t.Fatalf("decision = %+v", dec)
+	}
+	if dec := tbl.Lookup(webKey(3, netpkt.IP(10, 2, 0, 1), 80)); dec.Action != policy.Deny {
+		t.Fatalf("off-cone decision = %+v", dec)
+	}
+}
+
+func TestUpsertIsIncremental(t *testing.T) {
+	tbl := policy.NewTable(policy.Deny)
+	c := New(tbl)
+	if _, _, err := c.Upsert(guestIntent()); err != nil {
+		t.Fatal(err)
+	}
+	v := tbl.Version()
+
+	// Identical re-upsert: no table churn at all.
+	d, _, err := c.Upsert(guestIntent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() {
+		t.Fatalf("identical re-upsert delta = %+v", d)
+	}
+	if tbl.Version() != v {
+		t.Fatalf("identical re-upsert bumped version %d -> %d", v, tbl.Version())
+	}
+
+	// Change one port: only the two rules whose cone holds that port
+	// move (one per dst net).
+	it := guestIntent()
+	it.DstPorts = []uint16{80, 8443}
+	d, _, err = c.Upsert(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Added) != 2 || len(d.Removed) != 2 {
+		t.Fatalf("port edit delta: added=%d removed=%d", len(d.Added), len(d.Removed))
+	}
+	for _, m := range d.Added {
+		if m.DstPort != 8443 {
+			t.Fatalf("added cone %+v", m)
+		}
+	}
+	for _, m := range d.Removed {
+		if m.DstPort != 443 {
+			t.Fatalf("removed cone %+v", m)
+		}
+	}
+
+	// Shrink the block: stale tail rules removed from the table.
+	it.DstNets = it.DstNets[:1]
+	d, _, err = c.Upsert(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 2 || c.Rules() != 2 {
+		t.Fatalf("after shrink: table=%d rules=%d", tbl.Len(), c.Rules())
+	}
+	if len(d.Removed) == 0 {
+		t.Fatal("shrink emitted no removed cones")
+	}
+}
+
+func TestUpsertLeavesOtherIntentsAlone(t *testing.T) {
+	tbl := policy.NewTable(policy.Deny)
+	c := New(tbl)
+	other := Intent{Name: "printers", Priority: 10,
+		DstNets: []policy.Prefix{policy.CIDR(10, 4, 0, 0, 24)}, Action: policy.Allow}
+	if _, _, err := c.Upsert(other); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Upsert(guestIntent()); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := tbl.Get(RuleName("printers", 0))
+	if !ok {
+		t.Fatal("other intent's rule gone")
+	}
+	before := *r
+	it := guestIntent()
+	it.DstPorts = []uint16{8080}
+	if _, _, err := c.Upsert(it); err != nil {
+		t.Fatal(err)
+	}
+	r, ok = tbl.Get(RuleName("printers", 0))
+	if !ok || !sameRule(r, &before) {
+		t.Fatal("editing guest-web disturbed printers block")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tbl := policy.NewTable(policy.Deny)
+	c := New(tbl)
+	if _, _, err := c.Upsert(guestIntent()); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := c.Delete("guest-web")
+	if !ok || len(d.Removed) != 4 || tbl.Len() != 0 || c.Len() != 0 {
+		t.Fatalf("delete: ok=%v d=%+v table=%d", ok, d, tbl.Len())
+	}
+	if _, ok := c.Delete("guest-web"); ok {
+		t.Fatal("double delete reported ok")
+	}
+}
+
+func TestConflictAmbiguous(t *testing.T) {
+	tbl := policy.NewTable(policy.Deny)
+	c := New(tbl)
+	a := Intent{Name: "allow-web", Priority: 20,
+		DstNets: []policy.Prefix{policy.CIDR(10, 1, 0, 0, 16)}, DstPorts: []uint16{80},
+		Action: policy.Allow}
+	b := Intent{Name: "deny-subnet", Priority: 20,
+		DstNets: []policy.Prefix{policy.CIDR(10, 1, 5, 0, 24)},
+		Action:  policy.Deny}
+	if _, conflicts, _ := c.Upsert(a); len(conflicts) != 0 {
+		t.Fatalf("first intent conflicts: %v", conflicts)
+	}
+	_, conflicts, err := c.Upsert(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) != 1 || conflicts[0].Kind != Ambiguous {
+		t.Fatalf("conflicts = %v", conflicts)
+	}
+	// Different priority: same overlap is the normal carve-out idiom.
+	b.Priority = 30
+	if _, conflicts, _ = c.Upsert(b); len(conflicts) != 0 {
+		t.Fatalf("prioritized overlap flagged: %v", conflicts)
+	}
+}
+
+func TestConflictShadowed(t *testing.T) {
+	tbl := policy.NewTable(policy.Deny)
+	c := New(tbl)
+	broad := Intent{Name: "quarantine-all", Priority: 90,
+		SrcNets: []policy.Prefix{policy.CIDR(10, 9, 0, 0, 16)}, Action: policy.Deny}
+	narrow := Intent{Name: "guest-dns", Priority: 10,
+		SrcNets: []policy.Prefix{policy.CIDR(10, 9, 3, 0, 24)}, DstPorts: []uint16{53},
+		Action: policy.Allow}
+	if _, _, err := c.Upsert(broad); err != nil {
+		t.Fatal(err)
+	}
+	_, conflicts, err := c.Upsert(narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) != 1 || conflicts[0].Kind != Shadowed || conflicts[0].A != "guest-dns" {
+		t.Fatalf("conflicts = %v", conflicts)
+	}
+	if got := c.Conflicts(); len(got) != 1 || got[0].Kind != Shadowed {
+		t.Fatalf("full audit = %v", got)
+	}
+	// Partial coverage is not shadowing.
+	narrow.SrcNets = append(narrow.SrcNets, policy.CIDR(10, 8, 0, 0, 24))
+	if _, conflicts, _ = c.Upsert(narrow); len(conflicts) != 0 {
+		t.Fatalf("partially covered intent flagged: %v", conflicts)
+	}
+}
+
+func TestMatchPredicates(t *testing.T) {
+	anyM := policy.Match{}
+	web := policy.Match{DstIP: policy.CIDR(10, 1, 0, 0, 16), DstPort: 80}
+	host := policy.Match{DstIP: policy.CIDR(10, 1, 2, 3, 32), DstPort: 80}
+	otherPort := policy.Match{DstIP: policy.CIDR(10, 1, 0, 0, 16), DstPort: 443}
+	cases := []struct {
+		name             string
+		a, b             policy.Match
+		overlaps, covers bool
+	}{
+		{"any covers all", anyM, host, true, true},
+		{"host inside web", web, host, true, true},
+		{"host does not cover web", host, web, true, false},
+		{"disjoint ports", web, otherPort, false, false},
+		{"disjoint users", policy.Match{User: netpkt.MACFromUint64(1)}, policy.Match{User: netpkt.MACFromUint64(2)}, false, false},
+		{"user vs any-user overlap only", policy.Match{User: netpkt.MACFromUint64(1)}, anyM, true, false},
+	}
+	for _, tc := range cases {
+		if got := matchOverlaps(tc.a, tc.b); got != tc.overlaps {
+			t.Errorf("%s: overlaps = %v, want %v", tc.name, got, tc.overlaps)
+		}
+		if got := matchCovers(tc.a, tc.b); got != tc.covers {
+			t.Errorf("%s: covers = %v, want %v", tc.name, got, tc.covers)
+		}
+	}
+}
+
+func TestHooksObserve(t *testing.T) {
+	tbl := policy.NewTable(policy.Deny)
+	c := New(tbl)
+	var compiles int
+	var lastCount int
+	now := time.Unix(0, 0)
+	c.SetHooks(Hooks{
+		Now:            func() time.Time { now = now.Add(time.Millisecond); return now },
+		CompileSeconds: func(float64) { compiles++ },
+		IntentCount:    func(n int) { lastCount = n },
+	})
+	if _, _, err := c.Upsert(guestIntent()); err != nil {
+		t.Fatal(err)
+	}
+	if compiles != 1 || lastCount != 1 {
+		t.Fatalf("after upsert: compiles=%d count=%d", compiles, lastCount)
+	}
+	c.Delete("guest-web")
+	if compiles != 2 || lastCount != 0 {
+		t.Fatalf("after delete: compiles=%d count=%d", compiles, lastCount)
+	}
+}
+
+// TestChurnAgainstTableInvariants drives a few hundred random-ish edits
+// and checks the compiler's view never diverges from the table.
+func TestChurnAgainstTableInvariants(t *testing.T) {
+	tbl := policy.NewTable(policy.Deny)
+	c := New(tbl)
+	for i := 0; i < 300; i++ {
+		name := fmt.Sprintf("seg-%d", i%17)
+		it := Intent{
+			Name:     name,
+			Priority: i % 7,
+			DstNets:  []policy.Prefix{policy.CIDR(10, byte(i%29), 0, 0, 24)},
+			DstPorts: []uint16{uint16(80 + i%5)},
+			Action:   policy.Allow,
+		}
+		if i%3 == 0 {
+			it.Action = policy.Chain
+			it.Services = []seproto.ServiceType{seproto.ServiceIDS}
+		}
+		if i%11 == 10 {
+			c.Delete(name)
+			continue
+		}
+		if _, _, err := c.Upsert(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tbl.Len() != c.Rules() {
+		t.Fatalf("table has %d rules, compiler thinks %d", tbl.Len(), c.Rules())
+	}
+	for _, name := range c.Names() {
+		it := c.intents[name]
+		rules, _ := it.Compile()
+		for _, r := range rules {
+			got, ok := tbl.Get(r.Name)
+			if !ok || !sameRule(got, r) {
+				t.Fatalf("intent %s rule %s out of sync", name, r.Name)
+			}
+		}
+	}
+}

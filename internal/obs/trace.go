@@ -220,6 +220,22 @@ type FlowObs struct {
 	totalHist *Histogram
 	completed *Counter
 	outcomes  [numOutcomes]*Counter
+
+	// PolicyCompile observes intent recompile latency (one sample per
+	// intent Upsert/Delete). Wall-clock, not virtual: recompilation is
+	// real controller CPU work even under the sim clock.
+	PolicyCompile *Histogram
+	// Intents tracks the number of installed intents.
+	Intents *Gauge
+}
+
+// CompileLatencyBuckets is the bucket layout for policy-compile times:
+// 10µs to 1s, finer at the low end — single-intent incremental edits
+// land in the microsecond buckets while bulk installs reach into the
+// milliseconds; the ≤10ms interactive-edit budget sits mid-scale.
+var CompileLatencyBuckets = []float64{
+	0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001,
+	0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1,
 }
 
 // NewFlowObs creates the facade with a bounded span ring (0 = 4096
@@ -252,6 +268,13 @@ func NewFlowObs(ringCap int) *FlowObs {
 			"Flow-setup trace spans recorded, by outcome.",
 			L("outcome", Outcome(o).String()))
 	}
+	fo.PolicyCompile = fo.Registry.Histogram(
+		"livesec_policy_compile_seconds",
+		"Intent-to-rule recompile latency per intent edit (wall clock).",
+		CompileLatencyBuckets)
+	fo.Intents = fo.Registry.Gauge(
+		"livesec_intents",
+		"Installed security intents.")
 	return fo
 }
 

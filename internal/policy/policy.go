@@ -61,13 +61,31 @@ func HostIP(ip netpkt.IPv4Addr) Prefix { return Prefix{Addr: ip, Bits: 32} }
 // Any reports whether the prefix matches every address.
 func (p Prefix) Any() bool { return p.Bits == 0 && p.Addr.IsZero() }
 
-// Matches reports whether ip falls inside the prefix.
-func (p Prefix) Matches(ip netpkt.IPv4Addr) bool {
-	if p.Any() {
-		return true
+// Valid checks the prefix is well-formed: 0 ≤ Bits ≤ 32, and a zero Bits
+// only as the match-any zero value. Rule.Validate applies it to both
+// address predicates, so malformed prefixes are rejected at Add time
+// instead of silently matching everything (Bits < 0) or nothing the
+// administrator intended (Bits > 32 used to build a zero mask).
+func (p Prefix) Valid() error {
+	if p.Bits < 0 || p.Bits > 32 {
+		return fmt.Errorf("prefix %s/%d: bits out of range [0,32]", p.Addr, p.Bits)
 	}
-	if p.Bits <= 0 {
-		return true
+	if p.Bits == 0 && !p.Addr.IsZero() {
+		return fmt.Errorf("prefix %s/0: zero-length prefix must use the zero address", p.Addr)
+	}
+	return nil
+}
+
+// Matches reports whether ip falls inside the prefix. It is strict: a
+// malformed prefix (Bits outside [0,32], or a /0 with a non-zero
+// address) matches nothing, so an invalid predicate can never widen a
+// rule to match-everything.
+func (p Prefix) Matches(ip netpkt.IPv4Addr) bool {
+	if p.Bits == 0 {
+		return p.Addr.IsZero() // the zero value matches any address
+	}
+	if p.Bits < 0 || p.Bits > 32 {
+		return false
 	}
 	mask := ^uint32(0) << (32 - uint(p.Bits))
 	return ip.Uint32()&mask == p.Addr.Uint32()&mask
@@ -172,6 +190,12 @@ func (r *Rule) Validate() error {
 	if r.Name == "" {
 		return fmt.Errorf("policy: rule needs a name")
 	}
+	if err := r.Match.SrcIP.Valid(); err != nil {
+		return fmt.Errorf("policy: rule %q: src %w", r.Name, err)
+	}
+	if err := r.Match.DstIP.Valid(); err != nil {
+		return fmt.Errorf("policy: rule %q: dst %w", r.Name, err)
+	}
 	switch r.Action {
 	case Allow, Deny:
 		if len(r.Services) != 0 {
@@ -192,13 +216,30 @@ func (r *Rule) Validate() error {
 
 // Table is the controller's global policy table. The zero value is not
 // usable; call NewTable.
+//
+// Rules are stored unsorted (append on Add, swap-with-last on Remove —
+// both O(1) in slice work) with the evaluation order materialized lazily
+// in a sorted snapshot rebuilt on first ordered access after a mutation.
+// This keeps single-rule edits of a million-rule table off the O(N)
+// memmove a contiguous sorted slice would force, which is what holds the
+// intent layer's single-edit latency budget; steady-state reads pay
+// nothing because the snapshot is reused until the next mutation.
 type Table struct {
-	rules  []*Rule
-	byName map[string]*Rule
+	rules  []*Rule        // storage order (unsorted)
+	byName map[string]int // rule name -> index into rules
+	// sorted is the evaluation-order snapshot; valid while sortedOK.
+	sorted   []*Rule
+	sortedOK bool
 	// Default is the action for flows no rule matches.
 	Default Action
 	// version counts rule-set mutations; see Version.
 	version uint64
+	// deltas is the bounded mutation log backing DeltasSince: one entry
+	// per version bump, carrying the match cone the mutation touched.
+	deltas []Delta
+	// compiled is the tuple-space classifier (compiled.go); nil keeps the
+	// linear first-match scan. Add/Remove maintain it incrementally.
+	compiled *Compiled
 }
 
 // Version returns a counter that increases on every successful Add or
@@ -207,12 +248,66 @@ type Table struct {
 // having to know its cachers.
 func (t *Table) Version() uint64 { return t.version }
 
-// NewTable creates a table with the given default action.
-func NewTable(defaultAction Action) *Table {
-	return &Table{byName: make(map[string]*Rule), Default: defaultAction}
+// Delta is one table mutation's footprint: the match cone (the set of
+// flow keys the mutated rule can decide) stamped with the version the
+// mutation produced. A cached decision for a key outside the cone cannot
+// have been changed by the mutation — the identity behind the
+// controller's delta-scoped decision-cache invalidation (core/cache.go).
+type Delta struct {
+	// Version is the table version after the mutation.
+	Version uint64
+	// Cone is the mutated rule's match predicate.
+	Cone Match
 }
 
-// Add installs or replaces (by name) a rule.
+// deltaLogCap bounds the mutation log. A consumer whose cached version
+// fell further behind than the log reaches must invalidate wholesale
+// (DeltasSince reports ok=false), so the cap trades memory for how much
+// churn precise invalidation can absorb.
+const deltaLogCap = 512
+
+// logDelta appends one mutation footprint, trimming the log's front half
+// when it outgrows the cap (amortized O(1)).
+func (t *Table) logDelta(m Match) {
+	if len(t.deltas) >= deltaLogCap {
+		n := copy(t.deltas, t.deltas[len(t.deltas)/2:])
+		t.deltas = t.deltas[:n]
+	}
+	t.deltas = append(t.deltas, Delta{Version: t.version, Cone: m})
+}
+
+// DeltasSince returns the mutation footprints applied after version v,
+// oldest first. ok is false when the log no longer reaches back to v —
+// the caller saw a version so old that only wholesale invalidation is
+// sound. The returned slice aliases the log; callers must not retain it
+// across table mutations.
+func (t *Table) DeltasSince(v uint64) (ds []Delta, ok bool) {
+	if v == t.version {
+		return nil, true
+	}
+	if v > t.version || len(t.deltas) == 0 || t.deltas[0].Version > v+1 {
+		return nil, false
+	}
+	return t.deltas[v+1-t.deltas[0].Version:], true
+}
+
+// NewTable creates a table with the given default action.
+func NewTable(defaultAction Action) *Table {
+	return &Table{byName: make(map[string]int), Default: defaultAction}
+}
+
+// ruleBefore is the table's evaluation order: priority descending, name
+// ascending on ties (names are unique within a table).
+func ruleBefore(a, b *Rule) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return a.Name < b.Name
+}
+
+// Add installs or replaces (by name) a rule. O(1) slice work plus an
+// incremental classifier insert — a single-rule edit never touches the
+// rest of the table; the sorted snapshot is invalidated, not rebuilt.
 func (t *Table) Add(r *Rule) error {
 	if err := r.Validate(); err != nil {
 		return err
@@ -220,46 +315,115 @@ func (t *Table) Add(r *Rule) error {
 	if _, exists := t.byName[r.Name]; exists {
 		t.Remove(r.Name)
 	}
-	t.byName[r.Name] = r
+	t.byName[r.Name] = len(t.rules)
 	t.rules = append(t.rules, r)
-	sort.SliceStable(t.rules, func(i, j int) bool {
-		if t.rules[i].Priority != t.rules[j].Priority {
-			return t.rules[i].Priority > t.rules[j].Priority
-		}
-		return t.rules[i].Name < t.rules[j].Name
-	})
+	t.sortedOK = false
+	if t.compiled != nil {
+		t.compiled.insert(r)
+	}
 	t.version++
+	t.logDelta(r.Match)
+	return nil
+}
+
+// AddAll bulk-loads rules: one validation pass and one append for the
+// whole batch. All-or-nothing: on any validation error the table is
+// untouched. Names must be unique within the batch and not already
+// present (bulk load is for building tables, not editing them — use Add
+// to replace).
+func (t *Table) AddAll(rules []*Rule) error {
+	seen := make(map[string]struct{}, len(rules))
+	for _, r := range rules {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		if _, dup := seen[r.Name]; dup {
+			return fmt.Errorf("policy: duplicate rule %q in batch", r.Name)
+		}
+		if _, exists := t.byName[r.Name]; exists {
+			return fmt.Errorf("policy: rule %q already installed", r.Name)
+		}
+		seen[r.Name] = struct{}{}
+	}
+	for _, r := range rules {
+		t.byName[r.Name] = len(t.rules)
+		t.rules = append(t.rules, r)
+		if t.compiled != nil {
+			t.compiled.insert(r)
+		}
+		t.version++
+		t.logDelta(r.Match)
+	}
+	t.sortedOK = false
 	return nil
 }
 
 // Remove deletes a rule by name; it reports whether a rule was removed.
+// O(1): the removed slot is backfilled with the last rule.
 func (t *Table) Remove(name string) bool {
-	if _, ok := t.byName[name]; !ok {
+	i, ok := t.byName[name]
+	if !ok {
 		return false
 	}
+	r := t.rules[i]
 	delete(t.byName, name)
-	for i, r := range t.rules {
-		if r.Name == name {
-			t.rules = append(t.rules[:i], t.rules[i+1:]...)
-			break
-		}
+	last := len(t.rules) - 1
+	if i != last {
+		t.rules[i] = t.rules[last]
+		t.byName[t.rules[i].Name] = i
+	}
+	t.rules[last] = nil
+	t.rules = t.rules[:last]
+	t.sortedOK = false
+	if t.compiled != nil {
+		t.compiled.remove(r)
 	}
 	t.version++
+	t.logDelta(r.Match)
 	return true
 }
 
 // Get returns a rule by name.
 func (t *Table) Get(name string) (*Rule, bool) {
-	r, ok := t.byName[name]
-	return r, ok
+	i, ok := t.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return t.rules[i], true
 }
 
 // Len returns the rule count.
 func (t *Table) Len() int { return len(t.rules) }
 
+// ensureSorted materializes the evaluation-order snapshot. The backing
+// array is reused, so steady-state (no mutations) ordered access
+// allocates nothing.
+func (t *Table) ensureSorted() {
+	if t.sortedOK {
+		return
+	}
+	t.sorted = append(t.sorted[:0], t.rules...)
+	sort.Slice(t.sorted, func(i, j int) bool { return ruleBefore(t.sorted[i], t.sorted[j]) })
+	t.sortedOK = true
+}
+
 // Rules returns rules in evaluation order (a copy).
 func (t *Table) Rules() []*Rule {
-	return append([]*Rule(nil), t.rules...)
+	t.ensureSorted()
+	return append([]*Rule(nil), t.sorted...)
+}
+
+// Each calls f for every rule in evaluation order until f returns
+// false. Unlike Rules it does not copy — a steady-state walk over a
+// million-rule table allocates nothing — so it is the iteration API for
+// hot callers. f must not mutate the table.
+func (t *Table) Each(f func(*Rule) bool) {
+	t.ensureSorted()
+	for _, r := range t.sorted {
+		if !f(r) {
+			return
+		}
+	}
 }
 
 // Decision is the result of a policy lookup.
@@ -274,20 +438,66 @@ type Decision struct {
 	FailOpen bool
 }
 
+// decisionOf renders a matched rule as a lookup result.
+func decisionOf(r *Rule) Decision {
+	return Decision{
+		Action:    r.Action,
+		Services:  r.Services,
+		Grain:     r.Grain,
+		Algorithm: r.Algorithm,
+		Rule:      r.Name,
+		FailOpen:  r.FailOpen,
+	}
+}
+
 // Lookup evaluates the table for a flow key: the highest-priority
-// matching rule wins; otherwise the table default applies.
+// matching rule wins; otherwise the table default applies. With the
+// compiled classifier enabled (SetCompiled) the evaluation is a
+// tuple-space probe instead of the linear first-match scan; the two
+// paths return identical decisions (property-tested in
+// compiled_prop_test.go).
 func (t *Table) Lookup(k flow.Key) Decision {
-	for _, r := range t.rules {
+	if t.compiled != nil {
+		if r := t.compiled.match(k); r != nil {
+			return decisionOf(r)
+		}
+		return Decision{Action: t.Default}
+	}
+	return t.LookupLinear(k)
+}
+
+// LookupLinear is the reference first-match scan: O(rules) per call. It
+// stays exported as the oracle the compiled classifier is tested and
+// benchmarked against.
+func (t *Table) LookupLinear(k flow.Key) Decision {
+	t.ensureSorted()
+	for _, r := range t.sorted {
 		if r.Match.Matches(k) {
-			return Decision{
-				Action:    r.Action,
-				Services:  r.Services,
-				Grain:     r.Grain,
-				Algorithm: r.Algorithm,
-				Rule:      r.Name,
-				FailOpen:  r.FailOpen,
-			}
+			return decisionOf(r)
 		}
 	}
 	return Decision{Action: t.Default}
 }
+
+// SetCompiled switches the lookup implementation: on builds the
+// tuple-space classifier (compiled.go) from the current rules and keeps
+// it maintained incrementally by Add/Remove; off drops it and returns to
+// the linear scan. Default off — the controller's CompiledPolicy knob
+// (core.Config) flips it.
+func (t *Table) SetCompiled(on bool) {
+	if on == (t.compiled != nil) {
+		return
+	}
+	if !on {
+		t.compiled = nil
+		return
+	}
+	c := newCompiled()
+	for _, r := range t.rules {
+		c.insert(r)
+	}
+	t.compiled = c
+}
+
+// CompiledEnabled reports whether lookups use the compiled classifier.
+func (t *Table) CompiledEnabled() bool { return t.compiled != nil }

@@ -70,6 +70,11 @@ func TestObsSpansAndMetrics(t *testing.T) {
 		`livesec_switch_lookups_total{switch="s1"}`,
 		`livesec_switch_lookups_total{switch="s2"}`,
 		"livesec_sim_events_processed_total",
+		"livesec_policy_rules",
+		"livesec_policy_compile_seconds_bucket",
+		"livesec_intents",
+		`livesec_policy_cache_invalidation_total{fate="evicted"}`,
+		`livesec_policy_cache_invalidation_total{fate="retained"}`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("exposition missing %q:\n%s", want, text)

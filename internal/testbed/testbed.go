@@ -113,6 +113,14 @@ type Options struct {
 	// ShardFailoverDelay is the hot-standby takeover delay after
 	// KillShard (0 = the core default, 200ms).
 	ShardFailoverDelay time.Duration
+	// CompiledPolicy switches policy lookups to the tuple-space compiled
+	// classifier (core.Config.CompiledPolicy). Decision-for-decision
+	// identical to the linear scan; off by default.
+	CompiledPolicy bool
+	// PreciseInvalidation scopes decision-cache invalidation on policy
+	// change to the mutated rules' match cones
+	// (core.Config.PreciseInvalidation). Off by default.
+	PreciseInvalidation bool
 }
 
 // Net is an assembled deployment.
@@ -234,6 +242,9 @@ func New(opts Options) *Net {
 		ShardLanes:         opts.ShardLanes,
 		ShardCoordLatency:  opts.ShardCoordLatency,
 		ShardFailoverDelay: opts.ShardFailoverDelay,
+
+		CompiledPolicy:      opts.CompiledPolicy,
+		PreciseInvalidation: opts.PreciseInvalidation,
 	})
 	n := &Net{
 		Eng:         eng,

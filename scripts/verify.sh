@@ -14,7 +14,10 @@
 #                  parallel -stable run, between the serial engine and
 #                  the conservative parallel engine (-simworkers 4),
 #                  between an unsharded and a sharded controller
-#                  (-shards 4), and with observability both off and on
+#                  (-shards 4), between the linear policy engine and
+#                  the compiled classifier with precise invalidation
+#                  (-compiledpolicy -preciseinval), and with
+#                  observability both off and on
 #   metrics     -> a short livesecd -obs run serves /metrics that passes
 #                  the exposition linter (scripts/check_metrics.sh)
 #
@@ -60,6 +63,13 @@ go run ./cmd/livesec-bench -scale ci -stable -parallel 1 -shards 4 -json "$tmpdi
 # shards is the only field allowed to differ (self-describing report).
 grep -v '"shards"' "$tmpdir/shards.json" >"$tmpdir/shards-stripped.json"
 cmp "$tmpdir/serial.json" "$tmpdir/shards-stripped.json"
+
+echo "==> experiment determinism (linear policy vs -compiledpolicy -preciseinval, byte-identical)"
+go run ./cmd/livesec-bench -scale ci -stable -parallel 1 -compiledpolicy -preciseinval -json "$tmpdir/policy.json" >/dev/null
+# compiled_policy / precise_invalidation are the only fields allowed to
+# differ (self-describing report).
+grep -v -e '"compiled_policy"' -e '"precise_invalidation"' "$tmpdir/policy.json" >"$tmpdir/policy-stripped.json"
+cmp "$tmpdir/serial.json" "$tmpdir/policy-stripped.json"
 
 echo "==> experiment determinism with observability on (-obs)"
 go run ./cmd/livesec-bench -scale ci -stable -obs -parallel 1 -json "$tmpdir/serial-obs.json" >/dev/null
