@@ -21,8 +21,8 @@ bench:
 # (e.g. the container/heap engine) out of the gate.
 bench-hot:
 	$(GO) test -run=NONE \
-		-bench='^(BenchmarkEngineSchedule|BenchmarkEngineRunTimerWheel|BenchmarkMicroflowLookup|BenchmarkPipelineSteadyState|BenchmarkPolicyLookupCompiled|BenchmarkPolicyLookupLinear|BenchmarkPolicyCompile)$$' \
-		-benchmem -count=8 ./internal/sim ./internal/dataplane ./internal/policy
+		-bench='^(BenchmarkEngineSchedule|BenchmarkEngineRunTimerWheel|BenchmarkMicroflowLookup|BenchmarkPipelineSteadyState|BenchmarkPolicyLookupCompiled|BenchmarkPolicyLookupLinear|BenchmarkPolicyCompile|BenchmarkConntrackLookup|BenchmarkStateHandoff)$$' \
+		-benchmem -count=8 ./internal/sim ./internal/dataplane ./internal/policy ./internal/firewall
 
 # Old-vs-new hot-loop comparison: retained reference implementations
 # against the current fast paths, via benchstat when installed.

@@ -51,6 +51,15 @@
 // settings so snapshots are self-describing. The E11 experiment
 // (policy engine at scale, not part of "all" because its sweep rows are
 // wall-clock timings) measures both mechanisms explicitly.
+//
+// With -statefulfw, every experiment's controller arms connection-state
+// migration for stateful firewall elements (core/fwstate.go). The
+// machinery stays idle unless a firewall element reports connection
+// state, and no E1–E11 workload deploys one, so results are
+// byte-identical to the default (enforced by scripts/verify.sh); the
+// banner and the -json report record the setting. The E12 experiment
+// (stateful firewall under re-steers) pins the option in every arm and
+// is unaffected by the flag.
 package main
 
 import (
@@ -97,6 +106,9 @@ type jsonReport struct {
 	// knobs; omitted when off, so pre-existing snapshots compare equal.
 	CompiledPolicy      bool             `json:"compiled_policy,omitempty"`
 	PreciseInvalidation bool             `json:"precise_invalidation,omitempty"`
+	// StatefulFW records the -statefulfw knob; omitted when off, so
+	// pre-existing snapshots compare equal.
+	StatefulFW bool `json:"stateful_fw,omitempty"`
 	Experiments         []jsonExperiment `json:"experiments"`
 	TotalSeconds        float64          `json:"total_seconds,omitempty"`
 }
@@ -120,6 +132,7 @@ func run(args []string) error {
 	shardsFlag := fs.Int("shards", 1, "controller shards per experiment (1 = unsharded; results identical)")
 	compiledFlag := fs.Bool("compiledpolicy", false, "route policy lookups through the compiled classifier (results identical)")
 	preciseFlag := fs.Bool("preciseinval", false, "scope decision-cache invalidation to rule-delta cones (results identical)")
+	statefulFWFlag := fs.Bool("statefulfw", false, "arm firewall connection-state migration (results identical; E12 pins it)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -128,6 +141,7 @@ func run(args []string) error {
 	experiments.SetShards(*shardsFlag)
 	experiments.SetCompiledPolicy(*compiledFlag)
 	experiments.SetPreciseInvalidation(*preciseFlag)
+	experiments.SetStatefulFW(*statefulFWFlag)
 	simWorkers := experiments.SimWorkers()
 	shards := experiments.Shards()
 	var scale experiments.Scale
@@ -155,18 +169,19 @@ func run(args []string) error {
 		"E8":  func() experiments.Result { return experiments.E8ChaosRecovery(scale) },
 		"E9":  func() experiments.Result { return experiments.E9PacketInStorm(scale) },
 		"E10": func() experiments.Result { return experiments.E10ShardScaling(scale) },
+		"E12": func() experiments.Result { return experiments.E12StatefulFirewall(scale) },
 		// ESCALE and E11 bench engines (wall-clock rates/latencies) and are
 		// therefore not part of "all": their rows vary across machines and
 		// would break -stable snapshots.
 		"ESCALE": func() experiments.Result { return experiments.EngineScaling(scale) },
 		"E11":    func() experiments.Result { return experiments.E11PolicyEngine(scale) },
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "A1", "A2", "A3", "A4"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E12", "A1", "A2", "A3", "A4"}
 
 	want := strings.ToUpper(*expFlag)
 	if want != "ALL" {
 		if _, ok := runners[want]; !ok {
-			return fmt.Errorf("unknown experiment %q (want E1…E11, A1…A4, ESCALE, or all)", *expFlag)
+			return fmt.Errorf("unknown experiment %q (want E1…E12, A1…A4, ESCALE, or all)", *expFlag)
 		}
 		order = []string{want}
 	}
@@ -177,6 +192,9 @@ func run(args []string) error {
 	}
 	if *preciseFlag {
 		banner += ", preciseinval"
+	}
+	if *statefulFWFlag {
+		banner += ", statefulfw"
 	}
 	fmt.Printf("LiveSec evaluation reproduction (%s)\n", banner)
 	fmt.Println(strings.Repeat("=", 64))
@@ -189,6 +207,7 @@ func run(args []string) error {
 	}
 	report.CompiledPolicy = *compiledFlag
 	report.PreciseInvalidation = *preciseFlag
+	report.StatefulFW = *statefulFWFlag
 	if !*stableFlag {
 		report.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	}

@@ -290,6 +290,157 @@ func TestSECrashFailOpenDeliversAndAccounts(t *testing.T) {
 	}
 }
 
+// TestSessionTTLExpiryRacesBreakerHalfOpen covers the interaction of
+// the two session-retirement paths with the breaker lifecycle: sessions
+// live at a wedge-induced trip are drained (exactly once, counted as
+// drained — not expired), the half-open probe re-creates a session
+// whose TTL then expires it, and the expired record is not resurrected
+// by the breaker closing or by in-dataplane packets of the same flow.
+func TestSessionTTLExpiryRacesBreakerHalfOpen(t *testing.T) {
+	pt := policy.NewTable(policy.Allow)
+	if err := pt.Add(&policy.Rule{
+		Name: "inspect-web", Priority: 10,
+		Match:  policy.Match{Proto: netpkt.ProtoTCP, DstPort: 80},
+		Action: policy.Chain, Services: []seproto.ServiceType{seproto.ServiceIDS},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n := testbed.New(testbed.Options{
+		Keepalive: true, Chaos: true, Monitor: true, Breakers: true,
+		SessionTTL: 3 * time.Second, Policies: pt, FlowIdle: time.Minute,
+	})
+	s1 := n.AddOvS("ovs1")
+	s2 := n.AddOvS("ovs2")
+	s3 := n.AddOvS("ovs3")
+	a := n.AddWiredUser(s1, "alice", ipA)
+	b := n.AddServer(s2, "server", serverIP)
+	insp, err := service.NewIDS(ids.CommunityRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.AddElement(s3, insp, 0)
+	if err := n.Discover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Run(600 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	delivered := 0
+	b.HandleTCP(80, func(*netpkt.Packet) { delivered++ })
+
+	// Session A, inspected and delivered while the element is healthy.
+	a.SendTCP(serverIP, 50000, 80, []byte("pre-wedge"), 0)
+	if err := n.Run(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Fatalf("baseline delivery = %d", delivered)
+	}
+
+	// Wedge: heartbeats continue, traffic sinks. Assign flows B and C in
+	// separate report windows so two consecutive reports show the wedge
+	// signature (work assigned, packet counter flat) and trip the breaker
+	// while three sessions are live.
+	const seID = 1
+	base := n.Eng.Now()
+	n.Chaos.Schedule(chaos.NewPlan().
+		SEWedge(base, seID).
+		SEUnwedge(base+1600*time.Millisecond, seID))
+	a.Schedule(400*time.Millisecond, func() {
+		a.SendTCP(serverIP, 50001, 80, []byte("wedged-b"), 0)
+	})
+	a.Schedule(900*time.Millisecond, func() {
+		a.SendTCP(serverIP, 50002, 80, []byte("wedged-c"), 0)
+	})
+	if err := n.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := n.Controller.Stats()
+	if st.BreakerTrips != 1 {
+		t.Fatalf("BreakerTrips = %d, want 1", st.BreakerTrips)
+	}
+	if st.SessionsDrained != 3 {
+		t.Fatalf("SessionsDrained = %d, want exactly 3 (A, B, C live at trip)", st.SessionsDrained)
+	}
+	if st.SessionsExpired != 0 {
+		t.Fatalf("SessionsExpired = %d before any TTL elapsed", st.SessionsExpired)
+	}
+	if delivered != 1 {
+		t.Fatalf("wedged element leaked traffic: delivered = %d", delivered)
+	}
+
+	// Fail-closed while open: a matched flow is blocked, not steered.
+	blockedBefore := n.Controller.Stats().FlowsBlocked
+	a.SendTCP(serverIP, 50009, 80, []byte("while-open"), 0)
+	if err := n.Run(1500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Controller.Stats().FlowsBlocked; got <= blockedBefore {
+		t.Fatalf("FlowsBlocked = %d, want > %d", got, blockedBefore)
+	}
+
+	// Past the open timeout the next flow is the half-open probe; the
+	// now-healthy element passes it and the breaker closes.
+	a.SendTCP(serverIP, 50003, 80, []byte("probe"), 0)
+	if err := n.Run(900 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 2 {
+		t.Fatalf("probe not delivered: %d", delivered)
+	}
+	st = n.Controller.Stats()
+	if st.BreakerCloses != 1 {
+		t.Fatalf("BreakerCloses = %d, want 1", st.BreakerCloses)
+	}
+	if n.Controller.Sessions() != 1 {
+		t.Fatalf("live sessions after probe = %d, want 1", n.Controller.Sessions())
+	}
+
+	// The probe session's TTL elapses while the breaker sits closed; the
+	// record expires exactly once and only via the TTL path.
+	if err := n.Run(4 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st = n.Controller.Stats()
+	if st.SessionsExpired != 1 {
+		t.Fatalf("SessionsExpired = %d, want exactly 1 (the probe session)", st.SessionsExpired)
+	}
+	if st.SessionsDrained != 3 {
+		t.Fatalf("SessionsDrained grew to %d after the trip", st.SessionsDrained)
+	}
+	if n.Controller.Sessions() != 0 {
+		t.Fatalf("expired session still tracked: %d", n.Controller.Sessions())
+	}
+
+	// Not resurrected: the probe flow's dataplane entries outlive the
+	// record (FlowIdle is a minute), so another packet of the same flow
+	// delivers without a packet-in and without re-creating the record.
+	a.SendTCP(serverIP, 50003, 80, []byte("in-dataplane"), 0)
+	if err := n.Run(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 3 {
+		t.Fatalf("in-dataplane packet lost: delivered = %d", delivered)
+	}
+	if n.Controller.Sessions() != 0 {
+		t.Fatalf("expired session resurrected: %d", n.Controller.Sessions())
+	}
+
+	// A genuinely new flow still sets up through the closed breaker.
+	a.SendTCP(serverIP, 50004, 80, []byte("fresh"), 0)
+	if err := n.Run(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 4 || n.Controller.Sessions() != 1 {
+		t.Fatalf("post-expiry setup: delivered=%d sessions=%d, want 4/1",
+			delivered, n.Controller.Sessions())
+	}
+	if st := n.Controller.Stats(); st.BreakerTrips != 1 || st.BreakerCloses != 1 {
+		t.Fatalf("breaker churned again: %+v", st)
+	}
+}
+
 // runScenario drives a fixed workload and returns a behavioral
 // fingerprint: controller stats, event-log counters, and per-host
 // delivery counts.

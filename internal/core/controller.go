@@ -180,6 +180,22 @@ type Config struct {
 	// removal, as before.
 	SessionTTL time.Duration
 
+	// StatefulFW enables connection-state migration for stateful
+	// firewall elements (fwstate.go): the controller mirrors every
+	// STATE_SYNC transition reported by ServiceFW elements and, when a
+	// re-steer (drain, breaker trip, load re-pick, shard takeover, host
+	// move) lands a mirrored session on a different element, installs the
+	// state on the successor ahead of the first re-steered packet. Off by
+	// default; without it STATE_SYNC reports are accepted but never
+	// re-installed, so a re-steer falls back to drop-and-relearn. No
+	// experiment traffic exercises the machinery unless firewall elements
+	// are deployed, keeping default runs bit-for-bit identical.
+	StatefulFW bool
+	// FWHandoffTimeout bounds how long a state handoff may wait for the
+	// successor's STATE_ACK before it is counted as failed (the session
+	// then relearns from scratch). Default 10ms.
+	FWHandoffTimeout time.Duration
+
 	// Shards splits the control plane into N logical controller shards
 	// (shard.go): switches are owned by shards via consistent hashing
 	// (ring.go), flow setups are attributed to the ingress switch's
@@ -345,6 +361,19 @@ type Stats struct {
 	ShardKills          uint64
 	ShardTakeovers      uint64
 	ShardShadowReplayed uint64
+
+	// Stateful-firewall state-migration counters (see fwstate.go).
+	// FWStateSyncs counts STATE_SYNC datagrams mirrored; FWHandoffsSent
+	// counts STATE_INSTALL transfers emitted; FWHandoffOK / FWHandoffTimeout
+	// split their outcomes (ack within the bounded timeout vs fallback to
+	// drop-and-relearn). FWSyncErrors counts malformed or version-skewed
+	// service-element datagrams (satellite of the same machinery: they
+	// surface as monitor events instead of being silently skipped).
+	FWStateSyncs     uint64
+	FWHandoffsSent   uint64
+	FWHandoffOK      uint64
+	FWHandoffTimeout uint64
+	FWSyncErrors     uint64
 }
 
 // Controller is the LiveSec controller.
@@ -413,6 +442,14 @@ type Controller struct {
 	// sh is the shard layer (shard.go), non-nil only when Shards > 1 or
 	// ShardLanes is configured.
 	sh *shardLayer
+
+	// Stateful-firewall state mirror (fwstate.go): fwMirror is non-nil
+	// only under Config.StatefulFW, so the per-setup handoff hook costs a
+	// nil test when the feature is off. fwPending tracks in-flight
+	// handoffs by id until their ack or timeout.
+	fwMirror      map[seproto.SessionKey]*fwMirrorEntry
+	fwPending     map[uint64]*fwHandoff
+	fwNextHandoff uint64
 
 	// Observability (obs_hooks.go, gated on Config.Obs). obsAcceptedAt is
 	// when the packet-in being dispatched entered the ingress pipeline;
@@ -512,6 +549,9 @@ func New(cfg Config) *Controller {
 			cfg.BreakerOpenCap = defaultBreakerOpenCap
 		}
 	}
+	if cfg.StatefulFW && cfg.FWHandoffTimeout == 0 {
+		cfg.FWHandoffTimeout = defaultFWHandoffTimeout
+	}
 	var ov *overloadState
 	if cfg.OverloadProtection || cfg.PacketInCost > 0 {
 		ov = newOverloadState()
@@ -541,6 +581,10 @@ func New(cfg Config) *Controller {
 		ov:           ov,
 		sh:           sh,
 		obs:          cfg.Obs,
+	}
+	if cfg.StatefulFW {
+		c.fwMirror = make(map[seproto.SessionKey]*fwMirrorEntry)
+		c.fwPending = make(map[uint64]*fwHandoff)
 	}
 	c.intents = intent.New(c.policies)
 	if c.obs != nil {

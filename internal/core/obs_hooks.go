@@ -4,6 +4,7 @@ import (
 	"livesec/internal/flow"
 	"livesec/internal/netpkt"
 	"livesec/internal/obs"
+	"livesec/internal/seproto"
 )
 
 // Observability hooks (gated on Config.Obs, nil by default).
@@ -82,6 +83,25 @@ func (c *Controller) obsRegister() {
 	r.CounterFunc("livesec_breaker_total",
 		"Service-element circuit-breaker events.",
 		ctr(&c.stats.BreakerSkips), obs.L("event", "skip"))
+
+	if c.cfg.StatefulFW {
+		r.CounterFunc("livesec_fw_state_migrations_total",
+			"Firewall state handoffs by outcome.",
+			ctr(&c.stats.FWHandoffOK), obs.L("outcome", "handoff_ok"))
+		r.CounterFunc("livesec_fw_state_migrations_total",
+			"Firewall state handoffs by outcome.",
+			ctr(&c.stats.FWHandoffTimeout), obs.L("outcome", "handoff_timeout"))
+		r.CounterFunc("livesec_fw_state_syncs_total",
+			"STATE_SYNC reports mirrored from firewall elements.",
+			ctr(&c.stats.FWStateSyncs))
+		for _, cs := range seproto.ConnStates {
+			cs := cs
+			r.GaugeFunc("livesec_fw_sessions",
+				"Mirrored firewall sessions by connection state.",
+				func() float64 { return c.fwSessionsByState(cs) },
+				obs.L("state", cs.String()))
+		}
+	}
 
 	r.GaugeFunc("livesec_policy_rules",
 		"Rules installed in the policy table.",

@@ -347,6 +347,14 @@ func (c *Controller) installChain(st *switchState, pi *openflow.PacketIn, pkt *n
 		seIDs = append(seIDs, id)
 		c.curSpan.AddElement(id)
 	}
+	// State handoff (fwstate.go): if this session has mirrored firewall
+	// state and the balancer just picked a different element than the one
+	// holding it, transfer the state ahead of the packet's release. Sits
+	// before the plan-cache branch so cached and fresh installs both
+	// migrate.
+	if c.fwMirror != nil {
+		c.fwMaybeHandoff(key, seIDs)
+	}
 	// The balancer pick above is live for every flow; the plan cache is
 	// keyed by the picked elements, so a hit replays a path that steers
 	// exactly where the balancer just decided.

@@ -14,6 +14,13 @@ import (
 func (c *Controller) handleSEMessage(st *switchState, inPort uint32, pkt *netpkt.Packet) {
 	msg, err := seproto.Parse(pkt.Payload)
 	if err != nil {
+		// Version skew, unknown kinds, and truncated bodies surface as a
+		// typed error and a monitor event rather than a silent skip, so a
+		// mixed-version rollout shows up in the event log instead of as
+		// elements mysteriously never coming online.
+		c.stats.FWSyncErrors++
+		c.record(monitor.Event{Type: monitor.EventSEProtoError, Switch: st.dpid,
+			User: pkt.EthSrc.String(), Detail: err.Error()})
 		return
 	}
 	switch m := msg.(type) {
@@ -21,6 +28,14 @@ func (c *Controller) handleSEMessage(st *switchState, inPort uint32, pkt *netpkt
 		c.handleSEOnline(st, inPort, pkt, m)
 	case *seproto.Event:
 		c.handleSEEvent(pkt, m)
+	case *seproto.StateSync:
+		c.handleFWStateSync(pkt, m)
+	case *seproto.StateAck:
+		c.handleFWStateAck(pkt, m)
+	case *seproto.StateInstall:
+		// Controller→element only; an element echoing one back is noise.
+		c.record(monitor.Event{Type: monitor.EventSEProtoError, Switch: st.dpid,
+			User: pkt.EthSrc.String(), Detail: "unexpected STATE_INSTALL from element"})
 	}
 }
 

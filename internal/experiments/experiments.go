@@ -92,6 +92,7 @@ func All(scale Scale) []Result {
 		E8ChaosRecovery(scale),
 		E9PacketInStorm(scale),
 		E10ShardScaling(scale),
+		E12StatefulFirewall(scale),
 	}
 }
 

@@ -39,5 +39,8 @@ func newNet(opts testbed.Options) *testbed.Net {
 	if !opts.PreciseInvalidation {
 		opts.PreciseInvalidation = PreciseInvalidation()
 	}
+	if !opts.StatefulFW {
+		opts.StatefulFW = StatefulFW()
+	}
 	return testbed.New(opts)
 }

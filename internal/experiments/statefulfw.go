@@ -1,0 +1,19 @@
+package experiments
+
+// Global stateful-firewall knob injected into every experiment
+// deployment (newNet). The knob is behavior-neutral for E1–E11 by
+// construction: it only arms the controller's state mirror and handoff
+// machinery (core/fwstate.go), which stays idle unless a stateful
+// firewall element actually reports connection state — and no E1–E11
+// workload deploys one — so -stable snapshots are byte-identical at any
+// setting, which scripts/verify.sh enforces. E12 studies the machinery
+// itself and pins the option explicitly in every arm.
+
+var statefulFW bool
+
+// SetStatefulFW arms connection-state migration in subsequent
+// experiment deployments; cmd/livesec-bench wires -statefulfw here.
+func SetStatefulFW(on bool) { statefulFW = on }
+
+// StatefulFW reports whether state migration is armed globally.
+func StatefulFW() bool { return statefulFW }

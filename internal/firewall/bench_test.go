@@ -1,0 +1,114 @@
+package firewall
+
+import (
+	"testing"
+
+	"livesec/internal/netpkt"
+	"livesec/internal/seproto"
+)
+
+// benchStates builds a 64-session handoff payload (a busy element's
+// worth of live sessions).
+func benchStates() []seproto.SessionState {
+	out := make([]seproto.SessionState, 64)
+	for i := range out {
+		out[i] = seproto.SessionState{
+			Key: seproto.SessionKey{Proto: netpkt.ProtoTCP,
+				LoIP: cliIP, HiIP: srvIP,
+				LoPort: uint16(20000 + i), HiPort: 80},
+			State: seproto.StateEstablished, OrigLo: true,
+			SeqLo: uint32(i + 1), SeqHi: uint32(i + 2), Packets: uint64(i),
+		}
+	}
+	return out
+}
+
+// BenchmarkConntrackLookup measures the packet-path cost of a
+// steady-state established-session lookup + transition (the hot path of
+// every firewalled packet).
+func BenchmarkConntrackLookup(b *testing.B) {
+	tb := NewTable(true)
+	tb.Process(tcpKey(true), hdr(1, true, false, false, false))
+	tb.Process(tcpKey(false), hdr(1, true, true, false, false))
+	tb.Process(tcpKey(true), hdr(2, false, true, false, false))
+	fwd, rev := tcpKey(true), tcpKey(false)
+	h := hdr(3, false, true, false, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := fwd
+		if i&1 == 1 {
+			k = rev
+		}
+		if out := tb.Process(k, h); !out.Ok {
+			b.Fatal("steady-state packet rejected")
+		}
+	}
+}
+
+// BenchmarkStateHandoff measures one full handoff codec cycle: marshal
+// a 64-session STATE_INSTALL, parse it back, and merge it into a fresh
+// successor table.
+func BenchmarkStateHandoff(b *testing.B) {
+	states := benchStates()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload := seproto.MarshalStateInstall(&seproto.StateInstall{HandoffID: 1, States: states})
+		m, err := seproto.Parse(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tb := NewTable(true)
+		if n := tb.Install(m.(*seproto.StateInstall).States); n != len(states) {
+			b.Fatalf("installed %d", n)
+		}
+	}
+}
+
+// The race detector's instrumentation allocates on paths that are
+// alloc-free in normal builds, so the AllocsPerRun budgets only apply
+// to non-race builds (raceEnabled is set per build tag).
+
+// TestConntrackLookupAllocFree pins the packet-path budget: a
+// steady-state lookup + transition must not allocate.
+func TestConntrackLookupAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	tb := NewTable(true)
+	tb.Process(tcpKey(true), hdr(1, true, false, false, false))
+	tb.Process(tcpKey(false), hdr(1, true, true, false, false))
+	tb.Process(tcpKey(true), hdr(2, false, true, false, false))
+	fwd := tcpKey(true)
+	h := hdr(3, false, true, false, false)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if out := tb.Process(fwd, h); !out.Ok {
+			t.Fatal("rejected")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("conntrack lookup allocates %.1f times per packet, want 0", allocs)
+	}
+}
+
+// TestStateHandoffAllocBudget bounds the codec side of a handoff: the
+// marshal+parse of a 64-session transfer stays within a small, fixed
+// allocation budget (one buffer, one message, one state slice, plus
+// map-free decode).
+func TestStateHandoffAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	states := benchStates()
+	allocs := testing.AllocsPerRun(200, func() {
+		payload := seproto.MarshalStateInstall(&seproto.StateInstall{HandoffID: 1, States: states})
+		if _, err := seproto.Parse(payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 4
+	if allocs > budget {
+		t.Fatalf("handoff codec allocates %.1f times per 64-session transfer, budget %d", allocs, budget)
+	}
+}

@@ -1,0 +1,304 @@
+// Package firewall implements LiveSec's stateful firewall service
+// element: a deterministic connection-tracking (conntrack) engine whose
+// per-session verdict state is a first-class migratable object. The
+// table tracks TCP through NEW → SYN_SENT → SYN_RECV → ESTABLISHED →
+// FIN_WAIT → CLOSED and UDP/ICMP through a coarse NEW → ESTABLISHED
+// sub-track, keyed by the canonical (direction-independent)
+// seproto.SessionKey. In strict mode, packets that are out of state
+// (spoofed mid-stream ACKs, unsolicited reverse traffic) or out of the
+// sequence window are rejected; entries serialize to
+// seproto.SessionState so the controller can mirror them and install
+// them on a successor element across re-steers, drains, and failovers.
+package firewall
+
+import (
+	"sort"
+
+	"livesec/internal/flow"
+	"livesec/internal/netpkt"
+	"livesec/internal/seproto"
+)
+
+// Reason classifies a strict-mode rejection.
+type Reason uint8
+
+// Rejection reasons.
+const (
+	ReasonNone Reason = iota
+	// ReasonOutOfState: the packet is not admissible in the session's
+	// current state — a non-SYN with no tracked session (spoofed ACK,
+	// unsolicited reverse traffic) or a flag combination the state
+	// machine forbids (SYN inside an established session).
+	ReasonOutOfState
+	// ReasonOutOfWindow: the TCP sequence number is too far from the last
+	// sequence seen from that endpoint — a blind injection attempt that
+	// knows the 5-tuple but not the sequence space.
+	ReasonOutOfWindow
+)
+
+// String names the reason.
+func (r Reason) String() string {
+	switch r {
+	case ReasonNone:
+		return "none"
+	case ReasonOutOfState:
+		return "out-of-state"
+	case ReasonOutOfWindow:
+		return "out-of-window"
+	default:
+		return "reason(?)"
+	}
+}
+
+// seqWindow bounds how far a TCP sequence number may jump from the last
+// one seen from the same endpoint before the packet is rejected as a
+// blind injection. A sequence of 0 is treated as "unseen" (workloads
+// start their sequence spaces at 1).
+const seqWindow = 1 << 20
+
+// Table is a conntrack table. It is not safe for concurrent use; each
+// service element owns one and the simulator serializes element work.
+type Table struct {
+	strict  bool
+	entries map[seproto.SessionKey]seproto.SessionState
+}
+
+// NewTable creates a conntrack table. strict enables rejection of
+// out-of-state and out-of-window packets; non-strict tables relearn
+// unknown mid-stream flows as ESTABLISHED (pre-conntrack behavior).
+func NewTable(strict bool) *Table {
+	return &Table{strict: strict, entries: make(map[seproto.SessionKey]seproto.SessionState)}
+}
+
+// Len returns the number of tracked sessions.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Get returns the tracked state for a canonical session key.
+func (t *Table) Get(k seproto.SessionKey) (seproto.SessionState, bool) {
+	s, ok := t.entries[k]
+	return s, ok
+}
+
+// Export serializes the whole table in canonical key order, so two
+// exports of equal tables are byte-identical on the wire.
+func (t *Table) Export() []seproto.SessionState {
+	if len(t.entries) == 0 {
+		return nil
+	}
+	out := make([]seproto.SessionState, 0, len(t.entries))
+	for _, s := range t.entries {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.Less(out[j].Key) })
+	return out
+}
+
+// Install merges migrated session states into the table and returns how
+// many were installed. Local knowledge wins: a key the table already
+// tracks is left alone (the element may have relearned a fresher state
+// than the mirror holds), and CLOSED states are dropped rather than
+// resurrected.
+func (t *Table) Install(states []seproto.SessionState) int {
+	n := 0
+	for _, s := range states {
+		if s.State == seproto.StateClosed {
+			continue
+		}
+		if _, exists := t.entries[s.Key]; exists {
+			continue
+		}
+		t.entries[s.Key] = s
+		n++
+	}
+	return n
+}
+
+// Outcome is the result of processing one packet through the table.
+type Outcome struct {
+	// Ok reports whether the packet is admitted.
+	Ok bool
+	// Reason explains a rejection (ReasonNone when Ok).
+	Reason Reason
+	// Changed reports that the stored session state transitioned; Final
+	// is the post-transition snapshot to sync to the controller (a
+	// CLOSED Final means the entry was removed).
+	Changed bool
+	Final   seproto.SessionState
+}
+
+var accept = Outcome{Ok: true}
+
+// Process runs one packet through the state machine. key is the
+// packet's flow key; tcp is its TCP header when the packet is TCP (nil
+// otherwise). Non-IP packets are not tracked and always admitted.
+func (t *Table) Process(key flow.Key, tcp *netpkt.TCPHeader) Outcome {
+	sk, srcIsLo, ok := seproto.SessionKeyOf(key)
+	if !ok {
+		return accept
+	}
+	ent, exists := t.entries[sk]
+	if !exists {
+		return t.learn(sk, srcIsLo, key.IPProto, tcp)
+	}
+
+	if key.IPProto != netpkt.ProtoTCP {
+		// Coarse UDP/ICMP track: the first reply promotes NEW to
+		// ESTABLISHED; everything matching the session is admitted.
+		fromOrig := srcIsLo == ent.OrigLo
+		next := ent.State
+		if !fromOrig && ent.State == seproto.StateNew {
+			next = seproto.StateEstablished
+		}
+		return t.commit(sk, ent, next, srcIsLo, tcp)
+	}
+
+	if tcp == nil {
+		// A TCP-proto packet without a parsed TCP header is malformed.
+		return t.reject(ReasonOutOfState)
+	}
+	if r := t.windowCheck(&ent, srcIsLo, tcp); r != ReasonNone {
+		return t.reject(r)
+	}
+	fromOrig := srcIsLo == ent.OrigLo
+	next, admissible := tcpNext(ent.State, fromOrig, tcp)
+	if !admissible {
+		if t.strict {
+			return Outcome{Reason: ReasonOutOfState}
+		}
+		// Permissive tables treat state violations as a relearn.
+		next = seproto.StateEstablished
+	}
+	return t.commit(sk, ent, next, srcIsLo, tcp)
+}
+
+// learn handles a packet with no tracked session.
+func (t *Table) learn(sk seproto.SessionKey, srcIsLo bool, proto netpkt.IPProto, tcp *netpkt.TCPHeader) Outcome {
+	var state seproto.ConnState
+	switch {
+	case proto != netpkt.ProtoTCP:
+		state = seproto.StateNew
+	case tcp != nil && tcp.SYN && !tcp.ACK:
+		state = seproto.StateSynSent
+	case t.strict:
+		// Mid-stream TCP with no session: spoofed ACK or unsolicited
+		// reverse traffic.
+		return Outcome{Reason: ReasonOutOfState}
+	default:
+		state = seproto.StateEstablished // drop-and-relearn fallback
+	}
+	ent := seproto.SessionState{Key: sk, State: state, OrigLo: srcIsLo}
+	return t.commit(sk, ent, state, srcIsLo, tcp)
+}
+
+func (t *Table) reject(r Reason) Outcome {
+	if t.strict {
+		return Outcome{Reason: r}
+	}
+	return accept
+}
+
+// windowCheck rejects TCP sequence numbers that jump too far from the
+// last value seen from the same endpoint.
+func (t *Table) windowCheck(ent *seproto.SessionState, srcIsLo bool, tcp *netpkt.TCPHeader) Reason {
+	last := ent.SeqHi
+	if srcIsLo {
+		last = ent.SeqLo
+	}
+	if last == 0 {
+		return ReasonNone
+	}
+	d := int32(tcp.Seq - last)
+	if d < 0 {
+		d = -d
+	}
+	if uint32(d) > seqWindow {
+		return ReasonOutOfWindow
+	}
+	return ReasonNone
+}
+
+// commit applies a transition: updates per-side sequence tracking and
+// the packet count, stores (or removes, on CLOSED) the entry, and
+// reports whether the state changed.
+func (t *Table) commit(sk seproto.SessionKey, ent seproto.SessionState, next seproto.ConnState, srcIsLo bool, tcp *netpkt.TCPHeader) Outcome {
+	_, existed := t.entries[sk]
+	changed := !existed || ent.State != next
+	ent.State = next
+	if tcp != nil {
+		if srcIsLo {
+			ent.SeqLo = tcp.Seq
+		} else {
+			ent.SeqHi = tcp.Seq
+		}
+	}
+	ent.Packets++
+	if next == seproto.StateClosed {
+		delete(t.entries, sk)
+	} else {
+		t.entries[sk] = ent
+	}
+	out := Outcome{Ok: true, Changed: changed}
+	if changed {
+		out.Final = ent
+	}
+	return out
+}
+
+// tcpNext is the TCP transition function: given the tracked state and a
+// packet (direction + flags), it returns the next state and whether the
+// packet is admissible at all.
+func tcpNext(state seproto.ConnState, fromOrig bool, tcp *netpkt.TCPHeader) (seproto.ConnState, bool) {
+	if tcp.RST {
+		// An in-session reset tears the connection down from any state.
+		return seproto.StateClosed, true
+	}
+	switch state {
+	case seproto.StateNew:
+		// Only a migrated entry can sit here for TCP; treat it like an
+		// untracked flow awaiting its SYN.
+		if fromOrig && tcp.SYN && !tcp.ACK {
+			return seproto.StateSynSent, true
+		}
+		return 0, false
+	case seproto.StateSynSent:
+		if fromOrig {
+			if tcp.SYN && !tcp.ACK {
+				return seproto.StateSynSent, true // SYN retransmit
+			}
+			return 0, false
+		}
+		if tcp.SYN && tcp.ACK {
+			return seproto.StateSynRecv, true
+		}
+		return 0, false
+	case seproto.StateSynRecv:
+		if fromOrig {
+			if !tcp.SYN && tcp.ACK {
+				return seproto.StateEstablished, true // handshake ACK
+			}
+			return 0, false
+		}
+		if tcp.SYN && tcp.ACK {
+			return seproto.StateSynRecv, true // SYN-ACK retransmit
+		}
+		return 0, false
+	case seproto.StateEstablished:
+		if tcp.SYN && !tcp.ACK {
+			return 0, false // a fresh handshake inside a live session
+		}
+		if tcp.FIN {
+			return seproto.StateFinWait, true
+		}
+		return seproto.StateEstablished, true
+	case seproto.StateFinWait:
+		if tcp.FIN {
+			// The other side's FIN (or a retransmit) finishes the close;
+			// the single FIN_WAIT state stands in for the paired
+			// FIN-WAIT/CLOSE-WAIT pair.
+			return seproto.StateClosed, true
+		}
+		return seproto.StateFinWait, true
+	default: // StateClosed or invalid
+		return 0, false
+	}
+}

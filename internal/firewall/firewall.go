@@ -1,0 +1,116 @@
+package firewall
+
+import (
+	"time"
+
+	"livesec/internal/flow"
+	"livesec/internal/netpkt"
+	"livesec/internal/seproto"
+	"livesec/internal/service"
+)
+
+// fwPerPacketCost is the conntrack lookup + transition cost, far below
+// the DPI engines: the firewall touches headers only.
+const fwPerPacketCost = 3 * time.Microsecond
+
+// Signature IDs reported with strict-mode rejections.
+const (
+	SigOutOfState  = 20001
+	SigOutOfWindow = 20002
+)
+
+// Options configures a Firewall inspector.
+type Options struct {
+	// Permissive disables strict-mode rejection: out-of-state packets
+	// relearn their session as ESTABLISHED instead of being dropped.
+	Permissive bool
+	// NoSync disables state-transition reporting to the controller; the
+	// element then has no migratable state (the pre-conntrack behavior a
+	// re-steer falls back to).
+	NoSync bool
+}
+
+// Stats counts the firewall's decisions.
+type Stats struct {
+	Accepted    uint64
+	OutOfState  uint64
+	OutOfWindow uint64
+	Installed   uint64 // sessions adopted from state handoffs
+}
+
+// Firewall adapts the conntrack Table to the service.Inspector
+// interface and to the element's state-migration hooks
+// (service.StateSyncer / service.StateInstaller).
+type Firewall struct {
+	table   *Table
+	opts    Options
+	pending []seproto.SessionState
+	stats   Stats
+}
+
+// New builds a stateful firewall inspector.
+func New(opts Options) *Firewall {
+	return &Firewall{table: NewTable(!opts.Permissive), opts: opts}
+}
+
+// NewStrict builds the default strict, state-syncing firewall.
+func NewStrict() *Firewall { return New(Options{}) }
+
+// ServiceType implements service.Inspector.
+func (f *Firewall) ServiceType() seproto.ServiceType { return seproto.ServiceFW }
+
+// PerPacketCost implements service.Inspector.
+func (f *Firewall) PerPacketCost() time.Duration { return fwPerPacketCost }
+
+// Inspect implements service.Inspector: one conntrack lookup and
+// transition per packet; strict-mode rejections come back as dropping
+// attack verdicts.
+func (f *Firewall) Inspect(pkt *netpkt.Packet) []service.Verdict {
+	if pkt.IP == nil {
+		return nil
+	}
+	out := f.table.Process(flow.KeyOf(0, pkt), pkt.TCP)
+	if out.Changed && !f.opts.NoSync {
+		f.pending = append(f.pending, out.Final)
+	}
+	if out.Ok {
+		f.stats.Accepted++
+		return nil
+	}
+	sig := uint32(SigOutOfState)
+	if out.Reason == ReasonOutOfWindow {
+		sig = SigOutOfWindow
+		f.stats.OutOfWindow++
+	} else {
+		f.stats.OutOfState++
+	}
+	return []service.Verdict{{
+		Class:    seproto.EventAttack,
+		Severity: 180,
+		SigID:    sig,
+		Detail:   "stateful-fw: " + out.Reason.String(),
+		Drop:     true,
+	}}
+}
+
+// TakeStateSync implements service.StateSyncer: it drains the state
+// transitions accumulated since the last call, in packet order.
+func (f *Firewall) TakeStateSync() []seproto.SessionState {
+	p := f.pending
+	f.pending = nil
+	return p
+}
+
+// InstallState implements service.StateInstaller: it merges migrated
+// sessions into the conntrack table.
+func (f *Firewall) InstallState(states []seproto.SessionState) int {
+	n := f.table.Install(states)
+	f.stats.Installed += uint64(n)
+	return n
+}
+
+// Table exposes the conntrack table (tests and examples).
+func (f *Firewall) Table() *Table { return f.table }
+
+// Stats returns a copy of the decision counters.
+func (f *Firewall) Stats() Stats { return f.stats }

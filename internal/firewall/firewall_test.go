@@ -1,0 +1,96 @@
+package firewall
+
+import (
+	"testing"
+
+	"livesec/internal/netpkt"
+	"livesec/internal/seproto"
+	"livesec/internal/service"
+)
+
+var _ service.Inspector = (*Firewall)(nil)
+var _ service.StateSyncer = (*Firewall)(nil)
+var _ service.StateInstaller = (*Firewall)(nil)
+
+func tcpPkt(fromClient bool, seq uint32, syn, ack, fin bool) *netpkt.Packet {
+	src, dst := cliIP, srvIP
+	sp, dp := uint16(31000), uint16(80)
+	if !fromClient {
+		src, dst = dst, src
+		sp, dp = dp, sp
+	}
+	p := netpkt.NewTCP(netpkt.MACFromUint64(1), netpkt.MACFromUint64(2), src, dst, sp, dp, []byte("x"))
+	p.TCP.Seq = seq
+	p.TCP.SYN = syn
+	p.TCP.ACK = ack
+	p.TCP.FIN = fin
+	return p
+}
+
+func TestInspectorHandshakeAndSpoof(t *testing.T) {
+	fw := NewStrict()
+
+	for _, p := range []*netpkt.Packet{
+		tcpPkt(true, 1, true, false, false),
+		tcpPkt(false, 1, true, true, false),
+		tcpPkt(true, 2, false, true, false),
+	} {
+		if vs := fw.Inspect(p); len(vs) != 0 {
+			t.Fatalf("handshake packet flagged: %+v", vs)
+		}
+	}
+
+	// Three transitions should be pending for sync, ending established.
+	states := fw.TakeStateSync()
+	if len(states) != 3 || states[2].State != seproto.StateEstablished {
+		t.Fatalf("pending sync = %+v", states)
+	}
+	if len(fw.TakeStateSync()) != 0 {
+		t.Fatal("TakeStateSync did not drain")
+	}
+
+	// A spoofed ACK on an unknown 5-tuple draws a dropping attack verdict.
+	spoof := tcpPkt(true, 7, false, true, false)
+	spoof.IP.Src = netpkt.IP(10, 0, 0, 66)
+	vs := fw.Inspect(spoof)
+	if len(vs) != 1 || !vs[0].Drop || vs[0].Class != seproto.EventAttack || vs[0].SigID != SigOutOfState {
+		t.Fatalf("spoof verdict = %+v", vs)
+	}
+	// Blind injection into the live session draws the window verdict.
+	inject := tcpPkt(true, 0x70000000, false, true, false)
+	vs = fw.Inspect(inject)
+	if len(vs) != 1 || vs[0].SigID != SigOutOfWindow {
+		t.Fatalf("inject verdict = %+v", vs)
+	}
+	st := fw.Stats()
+	if st.OutOfState != 1 || st.OutOfWindow != 1 || st.Accepted != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInspectorNoSync(t *testing.T) {
+	fw := New(Options{NoSync: true})
+	fw.Inspect(tcpPkt(true, 1, true, false, false))
+	if len(fw.TakeStateSync()) != 0 {
+		t.Fatal("NoSync firewall still reports transitions")
+	}
+	if fw.Table().Len() != 1 {
+		t.Fatal("NoSync firewall lost local tracking")
+	}
+}
+
+func TestInspectorInstallState(t *testing.T) {
+	fw := NewStrict()
+	sk := seproto.SessionKey{Proto: netpkt.ProtoTCP, LoIP: cliIP, HiIP: srvIP, LoPort: 31000, HiPort: 80}
+	n := fw.InstallState([]seproto.SessionState{
+		{Key: sk, State: seproto.StateEstablished, OrigLo: true, SeqLo: 2, SeqHi: 1},
+	})
+	if n != 1 || fw.Stats().Installed != 1 {
+		t.Fatalf("installed = %d, stats %+v", n, fw.Stats())
+	}
+	// A mid-stream packet for the migrated session is admitted without
+	// ever having shown this element a handshake.
+	if vs := fw.Inspect(tcpPkt(true, 3, false, true, false)); len(vs) != 0 {
+		t.Fatalf("migrated session rejected: %+v", vs)
+	}
+}

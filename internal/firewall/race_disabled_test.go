@@ -1,0 +1,5 @@
+//go:build !race
+
+package firewall
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package firewall
+
+// raceEnabled gates allocation assertions: the race detector's
+// instrumentation allocates on paths that are alloc-free in normal
+// builds, making testing.AllocsPerRun report false positives.
+const raceEnabled = true

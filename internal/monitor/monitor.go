@@ -48,6 +48,13 @@ const (
 	EventBreakerClose  EventType = "breaker-close"
 	EventShardKill     EventType = "shard-kill"
 	EventShardTakeover EventType = "shard-takeover"
+	// Stateful-firewall state migration (core/fwstate.go): a completed
+	// handoff, a handoff whose ack missed the bounded timeout (fallback
+	// to drop-and-relearn), and a malformed or version-skewed
+	// service-element datagram.
+	EventFWHandoff        EventType = "fw-handoff"
+	EventFWHandoffTimeout EventType = "fw-handoff-timeout"
+	EventSEProtoError     EventType = "seproto-error"
 )
 
 // Event is one record in the global log.

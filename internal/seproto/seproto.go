@@ -3,12 +3,15 @@
 // specialized format and identifier. The controller never installs a flow
 // entry for this UDP flow, so every message keeps arriving as a packet-in.
 //
-// Two message kinds exist: the periodic real-time ONLINE message carrying
-// the element's service type and load (CPU, memory, packets per second),
-// and the EVENT report generated when a network-service result is
-// produced (an IDS alert, an identified application protocol, …).
+// Two base message kinds exist: the periodic real-time ONLINE message
+// carrying the element's service type and load (CPU, memory, packets per
+// second), and the EVENT report generated when a network-service result
+// is produced (an IDS alert, an identified application protocol, …).
 // Messages carry a certificate issued by the controller; flows from
 // uncertified elements are dropped at the ingress AS switch.
+//
+// Three further kinds (state.go) migrate stateful-firewall connection
+// state across element re-steers: STATE_SYNC, STATE_INSTALL, STATE_ACK.
 package seproto
 
 import (
@@ -49,6 +52,7 @@ const (
 	ServiceL7                         // protocol identification (l7-filter)
 	ServiceAV                         // virus scanning
 	ServiceCI                         // content inspection
+	ServiceFW                         // stateful firewall (conntrack)
 )
 
 // String names the service type.
@@ -62,6 +66,8 @@ func (s ServiceType) String() string {
 		return "virus-scanning"
 	case ServiceCI:
 		return "content-inspection"
+	case ServiceFW:
+		return "stateful-firewall"
 	default:
 		return fmt.Sprintf("service(%d)", uint8(s))
 	}
@@ -214,16 +220,23 @@ func MarshalEvent(m *Event) []byte {
 
 // IsSEProto reports whether a UDP payload looks like a service-element
 // message (the "specialized identifier" check the controller's message
-// parsing module performs first).
+// parsing module performs first). The check is magic-only so that a
+// version-skewed element is still recognized as speaking the protocol;
+// Parse then rejects it with the typed ErrBadVersion, letting the
+// controller surface the skew as a monitor event instead of treating
+// the datagram as ordinary traffic.
 func IsSEProto(payload []byte) bool {
-	return len(payload) >= 6 && [4]byte(payload[0:4]) == Magic && payload[4] == Version
+	return len(payload) >= 6 && [4]byte(payload[0:4]) == Magic
 }
 
-// Parse decodes a service-element datagram payload into *Online or
-// *Event.
+// Parse decodes a service-element datagram payload into *Online,
+// *Event, *StateSync, *StateInstall, or *StateAck.
 func Parse(payload []byte) (any, error) {
 	if !IsSEProto(payload) {
 		return nil, ErrNotSEProto
+	}
+	if payload[4] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, payload[4])
 	}
 	kind := Kind(payload[5])
 	body := payload[6:]
@@ -270,6 +283,12 @@ func Parse(payload []byte) (any, error) {
 		}
 		m.Detail = string(rest[1 : 1+dlen])
 		return m, nil
+	case KindStateSync:
+		return parseStateSync(body)
+	case KindStateInstall:
+		return parseStateInstall(body)
+	case KindStateAck:
+		return parseStateAck(body)
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadKind, kind)
 	}

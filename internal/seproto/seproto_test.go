@@ -1,6 +1,7 @@
 package seproto
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -99,10 +100,15 @@ func TestIsSEProto(t *testing.T) {
 	if !IsSEProto(MarshalOnline(&Online{})) {
 		t.Fatal("rejected valid ONLINE")
 	}
+	// A wrong version still *is* the protocol (magic matches) — Parse is
+	// what rejects it, with a typed error the controller can report.
 	bad := MarshalOnline(&Online{})
-	bad[4] = 99 // wrong version
-	if IsSEProto(bad) {
-		t.Fatal("accepted wrong version")
+	bad[4] = 99
+	if !IsSEProto(bad) {
+		t.Fatal("version-skewed datagram no longer recognized as seproto")
+	}
+	if _, err := Parse(bad); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("Parse(version 99) = %v, want ErrBadVersion", err)
 	}
 }
 

@@ -42,6 +42,11 @@ type Verdict struct {
 	Severity uint8
 	SigID    uint32
 	Detail   string
+	// Drop, when set, makes the element discard the packet instead of
+	// forwarding it on (inline enforcement — the stateful firewall's
+	// strict-mode rejections). The verdict is still reported to the
+	// controller as an event.
+	Drop bool
 }
 
 // Inspector is a pluggable deep-inspection engine.
@@ -53,6 +58,25 @@ type Inspector interface {
 	// PerPacketCost is the fixed CPU cost added to each packet on top of
 	// the byte-rate cost; it models header parsing and automaton setup.
 	PerPacketCost() time.Duration
+}
+
+// StateSyncer is implemented by inspectors whose per-session state must
+// survive re-steers (the stateful firewall). After each inspected
+// packet the element drains the pending state transitions and reports
+// them to the controller in a STATE_SYNC datagram, so the controller's
+// mirror stays current even if the element later crashes.
+type StateSyncer interface {
+	// TakeStateSync returns the session-state transitions accumulated
+	// since the previous call and resets the pending set.
+	TakeStateSync() []seproto.SessionState
+}
+
+// StateInstaller is implemented by inspectors that can adopt migrated
+// session state ahead of the first re-steered packet.
+type StateInstaller interface {
+	// InstallState merges the states into the inspector's tables and
+	// returns how many were installed.
+	InstallState(states []seproto.SessionState) int
 }
 
 // Config configures an Element.
@@ -105,6 +129,11 @@ type Element struct {
 
 	// OnVerdict, if set, observes local verdicts (tests and examples).
 	OnVerdict func(flow.Key, Verdict)
+
+	// syncer/installer cache the inspector's optional state-migration
+	// hooks so the packet path pays no type assertion.
+	syncer    StateSyncer
+	installer StateInstaller
 }
 
 // New creates a service element.
@@ -115,7 +144,12 @@ func New(eng *sim.Engine, cfg Config) *Element {
 	if cfg.QueueBytes == 0 {
 		cfg.QueueBytes = defaultQueueBytes
 	}
-	return &Element{eng: eng, cfg: cfg}
+	e := &Element{eng: eng, cfg: cfg}
+	if cfg.Inspector != nil {
+		e.syncer, _ = cfg.Inspector.(StateSyncer)
+		e.installer, _ = cfg.Inspector.(StateInstaller)
+	}
+	return e
 }
 
 // ID returns the element identifier.
@@ -205,6 +239,17 @@ func (e *Element) Receive(_ uint32, pkt *netpkt.Packet) {
 	if pkt.IP == nil || pkt.EthDst.IsBroadcast() {
 		return
 	}
+	// Controller → element control traffic (state-handoff installs) is
+	// addressed to the element itself on the seproto port; it bypasses
+	// the data-plane queue model so migrated state beats the first
+	// re-steered packet. A crashed VM is deaf to it.
+	if pkt.UDP != nil && pkt.IP.Dst == e.cfg.IP &&
+		pkt.UDP.DstPort == seproto.Port && seproto.IsSEProto(pkt.Payload) {
+		if !e.crashed {
+			e.handleControl(pkt)
+		}
+		return
+	}
 	if e.crashed || e.wedged {
 		e.stats.Drops++
 		return
@@ -243,6 +288,7 @@ func (e *Element) process(pkt *netpkt.Packet) {
 	e.stats.Packets++
 	e.stats.Bytes += uint64(pkt.WireLen())
 	e.windowPkts++
+	drop := false
 	if e.cfg.Inspector != nil {
 		for _, v := range e.cfg.Inspector.Inspect(pkt) {
 			key := flow.KeyOf(0, pkt)
@@ -251,13 +297,55 @@ func (e *Element) process(pkt *netpkt.Packet) {
 				e.OnVerdict(key, v)
 			}
 			e.reportEvent(key, v)
+			drop = drop || v.Drop
 		}
+		if e.syncer != nil {
+			if states := e.syncer.TakeStateSync(); len(states) > 0 {
+				e.sendToController(seproto.MarshalStateSync(&seproto.StateSync{
+					SEID: e.cfg.ID, Cert: e.cfg.Cert, States: states,
+				}))
+			}
+		}
+	}
+	if drop {
+		// Inline enforcement: the packet dies here instead of being
+		// bypassed back toward its destination.
+		e.stats.Drops++
+		return
 	}
 	// Bypass mode (§V.B.1): the checked packet leaves unchanged; the AS
 	// switch's flow entry rewrites dl_dst back to the original target.
 	if e.attached {
 		e.ep.Send(pkt)
 	}
+}
+
+// handleControl processes a controller → element seproto datagram:
+// currently only STATE_INSTALL, the state-handoff transfer, which is
+// acked so the controller can count the migration as completed.
+func (e *Element) handleControl(pkt *netpkt.Packet) {
+	msg, err := seproto.Parse(pkt.Payload)
+	if err != nil {
+		return
+	}
+	m, ok := msg.(*seproto.StateInstall)
+	if !ok {
+		return
+	}
+	if e.wedged {
+		// The VM's packet path is hung; the install neither lands nor
+		// acks, so the controller's bounded handoff timeout fires and the
+		// migration falls back to drop-and-relearn.
+		return
+	}
+	installed := 0
+	if e.installer != nil {
+		installed = e.installer.InstallState(m.States)
+	}
+	e.sendToController(seproto.MarshalStateAck(&seproto.StateAck{
+		SEID: e.cfg.ID, Cert: e.cfg.Cert,
+		HandoffID: m.HandoffID, Installed: uint16(installed),
+	}))
 }
 
 func (e *Element) reportEvent(key flow.Key, v Verdict) {

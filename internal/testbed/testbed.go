@@ -121,6 +121,12 @@ type Options struct {
 	// change to the mutated rules' match cones
 	// (core.Config.PreciseInvalidation). Off by default.
 	PreciseInvalidation bool
+	// StatefulFW enables connection-state migration for stateful
+	// firewall elements (core/fwstate.go). Off by default.
+	StatefulFW bool
+	// FWHandoffTimeout bounds a state handoff's wait for its ack
+	// (0 = the core default).
+	FWHandoffTimeout time.Duration
 }
 
 // Net is an assembled deployment.
@@ -245,6 +251,9 @@ func New(opts Options) *Net {
 
 		CompiledPolicy:      opts.CompiledPolicy,
 		PreciseInvalidation: opts.PreciseInvalidation,
+
+		StatefulFW:       opts.StatefulFW,
+		FWHandoffTimeout: opts.FWHandoffTimeout,
 	})
 	n := &Net{
 		Eng:         eng,

@@ -29,6 +29,7 @@ package livesec
 
 import (
 	"livesec/internal/core"
+	"livesec/internal/firewall"
 	"livesec/internal/flow"
 	"livesec/internal/host"
 	"livesec/internal/ids"
@@ -104,8 +105,30 @@ type IPv4Addr = netpkt.IPv4Addr
 // IP builds the address a.b.c.d.
 func IP(a, b, c, d byte) IPv4Addr { return netpkt.IP(a, b, c, d) }
 
+// IP protocol numbers for PolicyMatch.Proto.
+const (
+	ProtoTCP  = netpkt.ProtoTCP
+	ProtoUDP  = netpkt.ProtoUDP
+	ProtoICMP = netpkt.ProtoICMP
+)
+
 // Packet is one simulated network frame.
 type Packet = netpkt.Packet
+
+// TCPFlags selects TCP control bits for NewTCPSegment.
+type TCPFlags struct{ SYN, ACK, FIN, RST bool }
+
+// NewTCPSegment crafts one TCP segment between two hosts with an
+// explicit sequence number and control bits — enough to drive a real
+// three-way handshake through a strict stateful firewall (see
+// examples/mobility). Send it with Host.Send; both hosts must already
+// be known to the controller (any prior resolved traffic suffices).
+func NewTCPSegment(from, to *Host, srcPort, dstPort uint16, seq uint32, fl TCPFlags, payload []byte) *Packet {
+	pkt := netpkt.NewTCP(from.MAC, to.MAC, from.IP, to.IP, srcPort, dstPort, payload)
+	pkt.TCP.Seq = seq
+	pkt.TCP.SYN, pkt.TCP.ACK, pkt.TCP.FIN, pkt.TCP.RST = fl.SYN, fl.ACK, fl.FIN, fl.RST
+	return pkt
+}
 
 // Host is a Network-Periphery end system.
 type Host = host.Host
@@ -171,6 +194,7 @@ const (
 	ServiceL7  = seproto.ServiceL7
 	ServiceAV  = seproto.ServiceAV
 	ServiceCI  = seproto.ServiceCI
+	ServiceFW  = seproto.ServiceFW
 )
 
 // ServiceElement is a VM-based security service element.
@@ -202,6 +226,19 @@ func NewAV() Inspector { return service.NewAV() }
 
 // NewCI builds a content inspector flagging the given keywords.
 func NewCI(keywords ...string) Inspector { return service.NewCI(keywords...) }
+
+// FirewallOptions configures a stateful firewall inspector.
+type FirewallOptions = firewall.Options
+
+// NewFirewall builds a stateful-firewall inspector tracking TCP
+// connection state. With Options.StatefulFW set on the network, its
+// connection table migrates to the successor element across re-steers,
+// drains and failovers (core/fwstate.go).
+func NewFirewall(opts FirewallOptions) Inspector { return firewall.New(opts) }
+
+// NewStrictFirewall builds a firewall that drops out-of-state and
+// out-of-window packets.
+func NewStrictFirewall() Inspector { return firewall.NewStrict() }
 
 // Protocol is an identified application protocol.
 type Protocol = l7.Protocol
@@ -252,6 +289,10 @@ const (
 	EventSEOnline  = monitor.EventSEOnline
 	EventSEOffline = monitor.EventSEOffline
 	EventBlocked   = monitor.EventFlowBlocked
+
+	// Firewall state-migration outcomes (Options.StatefulFW).
+	EventFWHandoff        = monitor.EventFWHandoff
+	EventFWHandoffTimeout = monitor.EventFWHandoffTimeout
 )
 
 // Workloads --------------------------------------------------------------------

@@ -16,8 +16,10 @@
 #                  between an unsharded and a sharded controller
 #                  (-shards 4), between the linear policy engine and
 #                  the compiled classifier with precise invalidation
-#                  (-compiledpolicy -preciseinval), and with
-#                  observability both off and on
+#                  (-compiledpolicy -preciseinval), between firewall
+#                  state migration disarmed and armed (-statefulfw),
+#                  across two E12 runs (stateful firewall under
+#                  re-steers), and with observability both off and on
 #   metrics     -> a short livesecd -obs run serves /metrics that passes
 #                  the exposition linter (scripts/check_metrics.sh)
 #
@@ -70,6 +72,17 @@ go run ./cmd/livesec-bench -scale ci -stable -parallel 1 -compiledpolicy -precis
 # differ (self-describing report).
 grep -v -e '"compiled_policy"' -e '"precise_invalidation"' "$tmpdir/policy.json" >"$tmpdir/policy-stripped.json"
 cmp "$tmpdir/serial.json" "$tmpdir/policy-stripped.json"
+
+echo "==> experiment determinism (default vs -statefulfw, byte-identical)"
+go run ./cmd/livesec-bench -scale ci -stable -parallel 1 -statefulfw -json "$tmpdir/fw.json" >/dev/null
+# stateful_fw is the only field allowed to differ (self-describing report).
+grep -v '"stateful_fw"' "$tmpdir/fw.json" >"$tmpdir/fw-stripped.json"
+cmp "$tmpdir/serial.json" "$tmpdir/fw-stripped.json"
+
+echo "==> E12 determinism (stateful firewall, two runs byte-identical)"
+go run ./cmd/livesec-bench -scale ci -stable -parallel 1 -experiment E12 -json "$tmpdir/e12-a.json" >/dev/null
+go run ./cmd/livesec-bench -scale ci -stable -parallel 1 -experiment E12 -json "$tmpdir/e12-b.json" >/dev/null
+cmp "$tmpdir/e12-a.json" "$tmpdir/e12-b.json"
 
 echo "==> experiment determinism with observability on (-obs)"
 go run ./cmd/livesec-bench -scale ci -stable -obs -parallel 1 -json "$tmpdir/serial-obs.json" >/dev/null
