@@ -60,6 +60,14 @@
 // banner and the -json report record the setting. The E12 experiment
 // (stateful firewall under re-steers) pins the option in every arm and
 // is unaffected by the flag.
+//
+// With -slo, every experiment's deployment runs the deterministic
+// SLO/alert engine (internal/obs/alerts.go) over the default rule pack,
+// ticking on the controller engine. Evaluation is a read-only registry
+// scan, so results are byte-identical to the default (enforced by
+// scripts/verify.sh); the banner and the -json report record the
+// setting. The E13 experiment (alert timeline and detection latency)
+// pins the option and is unaffected by the flag.
 package main
 
 import (
@@ -109,6 +117,9 @@ type jsonReport struct {
 	// StatefulFW records the -statefulfw knob; omitted when off, so
 	// pre-existing snapshots compare equal.
 	StatefulFW bool `json:"stateful_fw,omitempty"`
+	// SLO records the -slo knob; omitted when off, so pre-existing
+	// snapshots compare equal.
+	SLO bool `json:"slo,omitempty"`
 	Experiments         []jsonExperiment `json:"experiments"`
 	TotalSeconds        float64          `json:"total_seconds,omitempty"`
 }
@@ -133,6 +144,7 @@ func run(args []string) error {
 	compiledFlag := fs.Bool("compiledpolicy", false, "route policy lookups through the compiled classifier (results identical)")
 	preciseFlag := fs.Bool("preciseinval", false, "scope decision-cache invalidation to rule-delta cones (results identical)")
 	statefulFWFlag := fs.Bool("statefulfw", false, "arm firewall connection-state migration (results identical; E12 pins it)")
+	sloFlag := fs.Bool("slo", false, "run the deterministic SLO/alert engine (results identical; E13 pins it)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -142,6 +154,7 @@ func run(args []string) error {
 	experiments.SetCompiledPolicy(*compiledFlag)
 	experiments.SetPreciseInvalidation(*preciseFlag)
 	experiments.SetStatefulFW(*statefulFWFlag)
+	experiments.SetSLO(*sloFlag)
 	simWorkers := experiments.SimWorkers()
 	shards := experiments.Shards()
 	var scale experiments.Scale
@@ -170,6 +183,10 @@ func run(args []string) error {
 		"E9":  func() experiments.Result { return experiments.E9PacketInStorm(scale) },
 		"E10": func() experiments.Result { return experiments.E10ShardScaling(scale) },
 		"E12": func() experiments.Result { return experiments.E12StatefulFirewall(scale) },
+		// E13 pins -slo and a private registry; it is not part of "all"
+		// because the standard suite's byte-identity gates compare runs
+		// without any alert machinery.
+		"E13": func() experiments.Result { return experiments.E13AlertTimeline(scale) },
 		// ESCALE and E11 bench engines (wall-clock rates/latencies) and are
 		// therefore not part of "all": their rows vary across machines and
 		// would break -stable snapshots.
@@ -181,7 +198,7 @@ func run(args []string) error {
 	want := strings.ToUpper(*expFlag)
 	if want != "ALL" {
 		if _, ok := runners[want]; !ok {
-			return fmt.Errorf("unknown experiment %q (want E1…E12, A1…A4, ESCALE, or all)", *expFlag)
+			return fmt.Errorf("unknown experiment %q (want E1…E13, A1…A4, ESCALE, or all)", *expFlag)
 		}
 		order = []string{want}
 	}
@@ -196,6 +213,9 @@ func run(args []string) error {
 	if *statefulFWFlag {
 		banner += ", statefulfw"
 	}
+	if *sloFlag {
+		banner += ", slo"
+	}
 	fmt.Printf("LiveSec evaluation reproduction (%s)\n", banner)
 	fmt.Println(strings.Repeat("=", 64))
 	report := jsonReport{Scale: strings.ToLower(*scaleFlag)}
@@ -208,6 +228,7 @@ func run(args []string) error {
 	report.CompiledPolicy = *compiledFlag
 	report.PreciseInvalidation = *preciseFlag
 	report.StatefulFW = *statefulFWFlag
+	report.SLO = *sloFlag
 	if !*stableFlag {
 		report.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	}

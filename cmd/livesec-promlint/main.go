@@ -20,6 +20,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"time"
 
 	"livesec/internal/obs"
 )
@@ -43,8 +44,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	var err error
 	switch {
 	case *urlFlag != "":
+		// An explicit deadline so a wedged scrape target cannot hang a CI
+		// step; the default client would wait forever.
+		client := &http.Client{Timeout: 10 * time.Second}
 		var resp *http.Response
-		resp, err = http.Get(*urlFlag)
+		resp, err = client.Get(*urlFlag)
 		if err != nil {
 			return err
 		}

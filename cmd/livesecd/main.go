@@ -6,11 +6,14 @@
 //
 // Usage:
 //
-//	livesecd [-listen :6633] [-http :8080] [-obs] [-demo]
+//	livesecd [-listen :6633] [-http :8080] [-obs] [-slo] [-demo]
 //
 // With -obs, the controller records flow-setup trace spans and runtime
 // metrics; the monitoring API then serves them on GET /metrics
-// (Prometheus text exposition) and GET /traces (JSON spans).
+// (Prometheus text exposition) and GET /traces (JSON spans). With -slo
+// (implies -obs), the deterministic SLO/alert engine evaluates the
+// default rule pack on the event loop and the API additionally serves
+// GET /alerts. GET /health always serves the controller health rollup.
 //
 // With -demo, livesecd spawns two in-process OpenFlow switches that
 // connect over TCP loopback, complete the handshake, exchange LLDP via
@@ -47,6 +50,7 @@ func run() error {
 	listenAddr := flag.String("listen", "127.0.0.1:6633", "OpenFlow listen address")
 	httpAddr := flag.String("http", "127.0.0.1:8080", "monitoring HTTP address ('' disables)")
 	obsFlag := flag.Bool("obs", false, "record flow-setup traces and metrics, served on /metrics and /traces")
+	sloFlag := flag.Bool("slo", false, "evaluate the SLO/alert rule pack, served on /alerts (implies -obs)")
 	demo := flag.Bool("demo", false, "spawn two loopback demo switches and exercise the control path")
 	demoTimeout := flag.Duration("demo-timeout", 3*time.Second, "how long the demo runs before exiting")
 	flag.Parse()
@@ -54,10 +58,11 @@ func run() error {
 	loop := newEventLoop()
 	store := monitor.NewStore(0)
 	var fo *obs.FlowObs
-	if *obsFlag {
+	if *obsFlag || *sloFlag {
 		fo = obs.NewFlowObs(0)
 	}
 	var ctrl *core.Controller
+	var alerts *obs.AlertEngine
 	loop.do(func() {
 		ctrl = core.New(core.Config{
 			Engine:   loop.eng,
@@ -66,6 +71,25 @@ func run() error {
 			Obs:      fo,
 		})
 		ctrl.Start()
+		if *sloFlag {
+			alerts = obs.NewAlertEngine(fo, 0, obs.DefaultRules(fo))
+			alerts.OnTransition = func(tr obs.AlertTransition) {
+				typ := monitor.EventAlertFiring
+				if tr.State == "resolved" {
+					typ = monitor.EventAlertResolved
+				}
+				sev := uint8(1)
+				if tr.Severity == "critical" {
+					sev = 2
+				}
+				store.Record(monitor.Event{At: tr.At, Type: typ, Severity: sev,
+					Detail: fmt.Sprintf("%s value=%.6g limit=%.6g trace=%d",
+						tr.Rule, tr.Value, tr.Limit, tr.ExemplarTraceID)})
+			}
+			var tick func()
+			tick = func() { alerts.Tick(loop.eng.Now()); loop.eng.Schedule(alerts.Interval(), tick) }
+			loop.eng.Schedule(alerts.Interval(), tick)
+		}
 	})
 
 	ln, err := net.Listen("tcp", *listenAddr)
@@ -82,6 +106,8 @@ func run() error {
 			Store:    store,
 			Topology: func() any { return ctrl.Topology() },
 			Obs:      fo,
+			Alerts:   alerts,
+			Health:   func() []monitor.HealthComponent { return ctrl.HealthComponents() },
 			Sync:     loop.do,
 		})
 		httpLn, err := net.Listen("tcp", *httpAddr)

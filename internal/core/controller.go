@@ -455,10 +455,14 @@ type Controller struct {
 	// when the packet-in being dispatched entered the ingress pipeline;
 	// curSpan is the flow-setup span open between routeFlow and
 	// finishSetup (the controller is single-threaded, so at most one
-	// setup is in flight outside barrier waits).
-	obs           *obs.FlowObs
-	obsAcceptedAt time.Duration
-	curSpan       *obs.Span
+	// setup is in flight outside barrier waits). obsParentTrace/Span,
+	// when nonzero, link spans opened by the next dispatches into an
+	// enclosing trace (a shard takeover draining parked messages).
+	obs            *obs.FlowObs
+	obsAcceptedAt  time.Duration
+	curSpan        *obs.Span
+	obsParentTrace uint64
+	obsParentSpan  uint64
 
 	stats Stats
 }

@@ -6,6 +6,7 @@ import (
 	"livesec/internal/flow"
 	"livesec/internal/monitor"
 	"livesec/internal/netpkt"
+	"livesec/internal/obs"
 	"livesec/internal/openflow"
 	"livesec/internal/seproto"
 	"livesec/internal/service"
@@ -42,6 +43,10 @@ type fwHandoff struct {
 	fromSE   uint64
 	toSE     uint64
 	sessions int
+	// span is the fw_install child of the setup that triggered the
+	// handoff (nil with observability off); closed by the ack or the
+	// timeout, whichever lands first.
+	span *obs.Span
 }
 
 // handleFWStateSync folds a STATE_SYNC report into the mirror. Closed
@@ -96,6 +101,7 @@ func (c *Controller) handleFWStateAck(pkt *netpkt.Packet, m *seproto.StateAck) {
 	}
 	delete(c.fwPending, m.HandoffID)
 	c.stats.FWHandoffOK++
+	c.obs.FinishSpan(h.span, c.eng.Now())
 	c.record(monitor.Event{Type: monitor.EventFWHandoff, SE: h.toSE,
 		Detail: "from-se=" + uitoa(h.fromSE) + " sessions=" + uitoa(uint64(m.Installed))})
 }
@@ -137,9 +143,20 @@ func (c *Controller) fwSendInstall(sk seproto.SessionKey, ent *fwMirrorEntry, ta
 	}
 	c.fwNextHandoff++
 	hid := c.fwNextHandoff
+	// The handoff is causally part of the setup being installed right
+	// now (fwMaybeHandoff runs inside installChain, while the setup span
+	// is still open), so it records as an fw_install child and the
+	// STATE_INSTALL carries the TraceID on the wire for the element to
+	// echo back in its STATE_ACK.
+	ch := c.obs.StartChild(c.curSpan, obs.KindFWInstall, c.eng.Now())
+	var traceID uint64
+	if ch != nil {
+		traceID = ch.TraceID
+	}
 	payload := seproto.MarshalStateInstall(&seproto.StateInstall{
 		HandoffID: hid,
 		FromSE:    ent.holder,
+		TraceID:   traceID,
 		States:    []seproto.SessionState{ent.state},
 	})
 	pkt := netpkt.NewUDP(service.ControllerMAC, target.mac,
@@ -150,7 +167,7 @@ func (c *Controller) fwSendInstall(sk seproto.SessionKey, ent *fwMirrorEntry, ta
 		Actions:  openflow.Output(target.port),
 		Data:     pkt.Marshal(),
 	})
-	c.fwPending[hid] = &fwHandoff{id: hid, fromSE: ent.holder, toSE: target.id, sessions: 1}
+	c.fwPending[hid] = &fwHandoff{id: hid, fromSE: ent.holder, toSE: target.id, sessions: 1, span: ch}
 	ent.holder = target.id
 	c.stats.FWHandoffsSent++
 	c.eng.Schedule(c.cfg.FWHandoffTimeout, func() {
@@ -160,6 +177,10 @@ func (c *Controller) fwSendInstall(sk seproto.SessionKey, ent *fwMirrorEntry, ta
 		}
 		delete(c.fwPending, hid)
 		c.stats.FWHandoffTimeout++
+		if h.span != nil {
+			h.span.SetOutcome(obs.OutcomeIncomplete)
+			c.obs.FinishSpan(h.span, c.eng.Now())
+		}
 		c.record(monitor.Event{Type: monitor.EventFWHandoffTimeout, SE: h.toSE,
 			Detail: "from-se=" + uitoa(h.fromSE) + " fallback=drop-and-relearn"})
 	})

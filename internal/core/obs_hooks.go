@@ -84,6 +84,10 @@ func (c *Controller) obsRegister() {
 		"Service-element circuit-breaker events.",
 		ctr(&c.stats.BreakerSkips), obs.L("event", "skip"))
 
+	r.CounterFunc("livesec_seproto_errors_total",
+		"Malformed or version-skewed service-element datagrams.",
+		ctr(&c.stats.FWSyncErrors))
+
 	if c.cfg.StatefulFW {
 		r.CounterFunc("livesec_fw_state_migrations_total",
 			"Firewall state handoffs by outcome.",
@@ -94,6 +98,9 @@ func (c *Controller) obsRegister() {
 		r.CounterFunc("livesec_fw_state_syncs_total",
 			"STATE_SYNC reports mirrored from firewall elements.",
 			ctr(&c.stats.FWStateSyncs))
+		r.GaugeFunc("livesec_fw_pending_handoffs",
+			"STATE_INSTALL handoffs in flight awaiting their STATE_ACK.",
+			func() float64 { return float64(len(c.fwPending)) })
 		for _, cs := range seproto.ConnStates {
 			cs := cs
 			r.GaugeFunc("livesec_fw_sessions",
@@ -101,6 +108,18 @@ func (c *Controller) obsRegister() {
 				func() float64 { return c.fwSessionsByState(cs) },
 				obs.L("state", cs.String()))
 		}
+	}
+
+	if c.sh != nil {
+		r.GaugeFunc("livesec_shard_parked_msgs",
+			"Messages parked on dead shards awaiting standby takeover.",
+			func() float64 {
+				n := 0
+				for _, s := range c.sh.shards {
+					n += len(s.pending)
+				}
+				return float64(n)
+			})
 	}
 
 	r.GaugeFunc("livesec_policy_rules",
@@ -138,6 +157,11 @@ func (c *Controller) obsSpanStart(st *switchState, key flow.Key) {
 	sp := c.obs.StartSpan(c.obsAcceptedAt)
 	sp.Switch = st.dpid
 	sp.Key = key
+	if c.obsParentTrace != 0 {
+		// The setup is being driven by an enclosing operation (a shard
+		// takeover draining parked messages): link it into that trace.
+		sp.SetParent(c.obsParentTrace, c.obsParentSpan)
+	}
 	sp.SetStage(obs.StageQueueWait, c.eng.Now()-c.obsAcceptedAt)
 	c.curSpan = sp
 }

@@ -629,7 +629,7 @@ func (c *Controller) finishSetup(em *emitter, st *switchState, pi *openflow.Pack
 	sp := c.obsTakeSetupSpan()
 	if c.cfg.UseBarriers {
 		c.barrierRelease(em, st, po, programmed, sp)
-		c.shardFlush(em, st)
+		c.shardFlush(em, st, sp)
 		return
 	}
 	// The packet-out rides in the ingress switch's batch, after its flow
@@ -639,7 +639,7 @@ func (c *Controller) finishSetup(em *emitter, st *switchState, pi *openflow.Pack
 	b := em.batchFor(st)
 	b.msgs = append(b.msgs, po)
 	c.stats.PacketOuts++
-	c.shardFlush(em, st)
+	c.shardFlush(em, st, sp)
 	c.obs.FinishSpan(sp, c.eng.Now())
 }
 

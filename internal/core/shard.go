@@ -52,6 +52,7 @@ package core
 import (
 	"time"
 
+	"livesec/internal/obs"
 	"livesec/internal/openflow"
 )
 
@@ -214,7 +215,7 @@ func (c *Controller) shardIntercept(st *switchState, m openflow.Message) bool {
 		return true
 	}
 	if sh.lanes && isPacketIn && c.cfg.PacketInCost > 0 {
-		c.shardLaneDispatch(s, st, m, c.eng.Now())
+		c.shardLaneDispatch(s, st, m, c.eng.Now(), 0, 0)
 		return true
 	}
 	return false
@@ -226,7 +227,10 @@ func (c *Controller) shardIntercept(st *switchState, m openflow.Message) bool {
 // single-FIFO model in overload.go (identical timing at one shard).
 // Non-packet-in traffic is never laned, so echo and barrier replies
 // keep strict priority, like the defended pipeline's control lane.
-func (c *Controller) shardLaneDispatch(s *shardState, st *switchState, m openflow.Message, at time.Duration) {
+// ptrace/pspan carry the trace context of an enclosing operation (a
+// shard takeover draining its parked queue) into the deferred dispatch;
+// zero means the setup starts its own trace.
+func (c *Controller) shardLaneDispatch(s *shardState, st *switchState, m openflow.Message, at time.Duration, ptrace, pspan uint64) {
 	start := c.eng.Now()
 	if s.busyUntil > start {
 		start = s.busyUntil
@@ -235,8 +239,12 @@ func (c *Controller) shardLaneDispatch(s *shardState, st *switchState, m openflo
 	c.eng.At(s.busyUntil, func() {
 		if c.obs != nil {
 			c.obsAcceptedAt = at
+			c.obsParentTrace, c.obsParentSpan = ptrace, pspan
 		}
 		c.dispatch(st, m)
+		if c.obs != nil {
+			c.obsParentTrace, c.obsParentSpan = 0, 0
+		}
 	})
 }
 
@@ -248,7 +256,12 @@ func (c *Controller) shardLaneDispatch(s *shardState, st *switchState, m openflo
 // coordination messages tagged (time, shard, seq) and install on
 // arrival — barrier requests ride inside the batch, so a barriered
 // release still waits for the remote segment.
-func (c *Controller) shardFlush(em *emitter, ingress *switchState) {
+//
+// sp is the setup's trace span (nil when observability is off or the
+// setup never opened one): each deferred coordination message records a
+// shard_coord child span under it, closed when the peer installs the
+// batch, so /traces shows the cross-shard hop as part of the setup tree.
+func (c *Controller) shardFlush(em *emitter, ingress *switchState, sp *obs.Span) {
 	sh := c.sh
 	if sh == nil {
 		em.flush()
@@ -290,8 +303,13 @@ func (c *Controller) shardFlush(em *emitter, ingress *switchState) {
 			conn := b.st.conn
 			sh.coordSeq++
 			c.stats.ShardCoordMsgs++
+			ch := c.obs.StartChild(sp, obs.KindShardCoord, c.eng.Now())
+			if ch != nil {
+				ch.Switch = b.st.dpid
+			}
 			c.eng.Schedule(sh.coordLatency, func() {
 				openflow.SendAll(conn, msgs...)
+				c.obs.FinishSpan(ch, c.eng.Now())
 			})
 		}
 		b.st = nil

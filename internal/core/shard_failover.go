@@ -29,6 +29,7 @@ import (
 	"sort"
 
 	"livesec/internal/monitor"
+	"livesec/internal/obs"
 	"livesec/internal/openflow"
 )
 
@@ -60,6 +61,12 @@ func (c *Controller) shardTakeover(s *shardState) {
 	s.alive = true
 	s.stat.Takeovers++
 	c.stats.ShardTakeovers++
+
+	// The takeover anchors its own trace: the shadow replay and every
+	// drained setup become children, so /traces shows the whole recovery
+	// as one tree. The span starts at the kill instant — its duration is
+	// the outage window plus the synchronous replay.
+	tk := c.obs.StartRoot(obs.KindShardTakeover, s.downSince)
 
 	// Reinstall the shadow flow tables of every owned switch (switches in
 	// ascending dpid order, entries in original emission order — both for
@@ -97,16 +104,28 @@ func (c *Controller) shardTakeover(s *shardState) {
 	// processing rate instead of instantaneously.
 	pending := s.pending
 	s.pending = nil
+	var ptrace, pspan uint64
+	if tk != nil {
+		ptrace, pspan = tk.TraceID, tk.ID
+	}
 	for _, pm := range pending {
 		if _, isPI := pm.m.(*openflow.PacketIn); isPI && sh.lanes && c.cfg.PacketInCost > 0 {
-			c.shardLaneDispatch(s, pm.st, pm.m, pm.at)
+			// Setups deferred through the lane clock still join the
+			// takeover's trace: the context rides into the deferred
+			// dispatch by value.
+			c.shardLaneDispatch(s, pm.st, pm.m, pm.at, ptrace, pspan)
 			continue
 		}
 		if c.obs != nil {
 			c.obsAcceptedAt = pm.at
+			c.obsParentTrace, c.obsParentSpan = ptrace, pspan
 		}
 		c.dispatch(pm.st, pm.m)
 	}
+	if c.obs != nil {
+		c.obsParentTrace, c.obsParentSpan = 0, 0
+	}
+	c.obs.FinishSpan(tk, c.eng.Now())
 	c.record(monitor.Event{Type: monitor.EventShardTakeover,
 		Detail: "shard " + uitoa(uint64(s.id)) + " standby up: " +
 			uitoa(uint64(replayed)) + " entries replayed, " +

@@ -1,6 +1,9 @@
 package experiments
 
-import "livesec/internal/testbed"
+import (
+	"livesec/internal/obs"
+	"livesec/internal/testbed"
+)
 
 // simWorkers is the parallel-simulation worker count injected into every
 // experiment deployment. 0/1 keeps the serial engine, which is the
@@ -41,6 +44,15 @@ func newNet(opts testbed.Options) *testbed.Net {
 	}
 	if !opts.StatefulFW {
 		opts.StatefulFW = StatefulFW()
+	}
+	if !opts.SLO {
+		opts.SLO = SLO()
+	}
+	if opts.SLO && opts.Obs == nil {
+		// The alert engine needs a registry to sample; without -obs the
+		// run gets a private FlowObs that is never exported, so reported
+		// output is unchanged.
+		opts.Obs = obs.NewFlowObs(0)
 	}
 	return testbed.New(opts)
 }

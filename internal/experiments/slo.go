@@ -1,0 +1,21 @@
+package experiments
+
+// Global SLO/alert-engine knob injected into every experiment
+// deployment (newNet); cmd/livesec-bench wires -slo here. The knob is
+// behavior-neutral for the standard suite by construction: evaluation
+// is a read-only scan over the run's private registry on controller-
+// engine ticks, so no row of E1–E12 changes — scripts/verify.sh
+// enforces byte-identity of -stable output against a default run. When
+// -obs is off, each run still gets a private FlowObs so the engine has
+// a registry to sample; the private registry is never exported, so the
+// JSON shape differs only in the "slo" knob field. E13 studies the
+// alert engine itself and pins the option explicitly.
+
+var sloEnabled bool
+
+// SetSLO arms the deterministic alert engine in subsequent experiment
+// deployments.
+func SetSLO(on bool) { sloEnabled = on }
+
+// SLO reports whether the alert engine is armed globally.
+func SLO() bool { return sloEnabled }

@@ -27,12 +27,54 @@ type HandlerConfig struct {
 	// Obs exposes the observability subsystem on /metrics and /traces;
 	// nil serves store-level metrics only and empty traces.
 	Obs *obs.FlowObs
+	// Alerts exposes the SLO alert engine on /alerts and folds its firing
+	// summary into /health; nil serves an empty alert set.
+	Alerts *obs.AlertEngine
+	// Health supplies per-component health for /health; nil reports no
+	// components (the rollup then reflects alerts alone).
+	Health func() []HealthComponent
 	// Sync serializes a snapshot with the goroutine owning Obs and the
 	// Topology state (the simulation event loop): the handler calls
 	// Sync(fn) and fn must run while that owner is quiescent. Nil calls
 	// fn directly — correct when no event loop runs concurrently (tests,
 	// post-run exports). The Store needs no Sync; it locks internally.
 	Sync func(func())
+}
+
+// HealthComponent is one subsystem's health in the GET /health rollup.
+type HealthComponent struct {
+	Name   string `json:"name"`
+	Status string `json:"status"` // "ok", "degraded", or "down"
+	Detail string `json:"detail,omitempty"`
+}
+
+// HealthResponse is the JSON shape of GET /health. Status is the worst
+// component status, bumped to at least "degraded" while any alert fires;
+// "down" is served with HTTP 503 so load-balancer checks need no body
+// parsing.
+type HealthResponse struct {
+	Status           string            `json:"status"`
+	Components       []HealthComponent `json:"components"`
+	AlertsFiring     int               `json:"alerts_firing"`
+	AlertsBySeverity map[string]int    `json:"alerts_by_severity,omitempty"`
+}
+
+// AlertsResponse is the JSON shape of GET /alerts.
+type AlertsResponse struct {
+	Firing      int                   `json:"firing"`
+	Alerts      []obs.AlertView       `json:"alerts"`
+	Transitions []obs.AlertTransition `json:"transitions"`
+}
+
+// healthRank orders health statuses worst-last for the rollup.
+func healthRank(status string) int {
+	switch status {
+	case "down":
+		return 2
+	case "degraded":
+		return 1
+	}
+	return 0
 }
 
 // TracesResponse is the JSON shape of GET /traces.
@@ -58,7 +100,9 @@ func NewHandler(store *Store, topo TopologyFunc) http.Handler {
 //	GET /apps                               — per-user application usage
 //	GET /topology                           — logical topology snapshot
 //	GET /metrics                            — Prometheus text exposition v0.0.4
-//	GET /traces?limit=&slowest=             — recent flow-setup trace spans
+//	GET /traces?limit=&slowest=&trace=      — recent trace spans, or one trace tree
+//	GET /health                             — component rollup (503 when down)
+//	GET /alerts                             — SLO alert states and transition log
 //
 // Malformed query parameters (non-numeric, negative, overflowing) are
 // uniformly rejected with status 400 and body "bad <param>".
@@ -163,14 +207,70 @@ func NewAPIHandler(cfg HandlerConfig) http.Handler {
 			http.Error(w, "bad slowest", http.StatusBadRequest)
 			return
 		}
+		traceID, ok := queryUint(w, q.Get("trace"), "trace", math.MaxUint64)
+		if !ok {
+			return
+		}
 		resp := TracesResponse{Spans: []obs.SpanView{}}
 		if cfg.Obs != nil {
 			sync(func() {
 				resp.Recorded = cfg.Obs.Recorded()
 				resp.CompletedSetups = cfg.Obs.CompletedSetups()
-				for _, sp := range cfg.Obs.Spans(int(limit), slowest) {
-					resp.Spans = append(resp.Spans, sp.View())
+				if traceID != 0 {
+					// One causally-linked tree, parents before children.
+					for _, sp := range cfg.Obs.Trace(traceID) {
+						resp.Spans = append(resp.Spans, sp.View())
+					}
+				} else {
+					for _, sp := range cfg.Obs.Spans(int(limit), slowest) {
+						resp.Spans = append(resp.Spans, sp.View())
+					}
 				}
+			})
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("GET /health", func(w http.ResponseWriter, r *http.Request) {
+		resp := HealthResponse{Status: "ok", Components: []HealthComponent{}}
+		sync(func() {
+			if cfg.Health != nil {
+				resp.Components = append(resp.Components, cfg.Health()...)
+			}
+			if cfg.Alerts != nil {
+				resp.AlertsFiring = cfg.Alerts.Firing()
+				if resp.AlertsFiring > 0 {
+					resp.AlertsBySeverity = cfg.Alerts.FiringBySeverity()
+				}
+			}
+		})
+		worst := 0
+		for _, comp := range resp.Components {
+			if r := healthRank(comp.Status); r > worst {
+				worst = r
+			}
+		}
+		if resp.AlertsFiring > 0 && worst < 1 {
+			worst = 1
+		}
+		resp.Status = [...]string{"ok", "degraded", "down"}[worst]
+		if worst == 2 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			buf, err := json.MarshalIndent(resp, "", "  ")
+			if err == nil {
+				w.Write(append(buf, '\n'))
+			}
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("GET /alerts", func(w http.ResponseWriter, r *http.Request) {
+		resp := AlertsResponse{Alerts: []obs.AlertView{}, Transitions: []obs.AlertTransition{}}
+		if cfg.Alerts != nil {
+			sync(func() {
+				resp.Firing = cfg.Alerts.Firing()
+				resp.Alerts = append(resp.Alerts, cfg.Alerts.Snapshot()...)
+				resp.Transitions = append(resp.Transitions, cfg.Alerts.Transitions()...)
 			})
 		}
 		writeJSON(w, resp)

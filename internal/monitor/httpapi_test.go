@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -227,5 +228,181 @@ func TestEncodeErrorReports500(t *testing.T) {
 	}
 	if !strings.HasPrefix(body, "encode: ") {
 		t.Fatalf("error body %q, want encode error", body)
+	}
+}
+
+func TestTracesSlowestTieBreak(t *testing.T) {
+	fo := obs.NewFlowObs(8)
+	// Three spans with identical 3ms totals: slowest ordering must break
+	// ties by ascending ID so the endpoint is deterministic.
+	for i := 0; i < 3; i++ {
+		sp := fo.StartSpan(time.Duration(i) * time.Millisecond)
+		fo.FinishSpan(sp, time.Duration(i)*time.Millisecond+3*time.Millisecond)
+	}
+	srv := httptest.NewServer(NewAPIHandler(HandlerConfig{Store: NewStore(0), Obs: fo}))
+	defer srv.Close()
+	status, body := get(t, srv, "/traces?slowest=1")
+	if status != 200 {
+		t.Fatalf("status %d", status)
+	}
+	var tr TracesResponse
+	if err := json.Unmarshal([]byte(body), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Spans) != 3 {
+		t.Fatalf("got %d spans", len(tr.Spans))
+	}
+	for i, want := range []uint64{1, 2, 3} {
+		if tr.Spans[i].ID != want {
+			t.Fatalf("slowest tie order: spans[%d].ID = %d, want %d", i, tr.Spans[i].ID, want)
+		}
+	}
+}
+
+func TestTracesByTraceID(t *testing.T) {
+	fo := obs.NewFlowObs(16)
+	// Trace 1: a setup with two children; trace 4: an unrelated setup.
+	root := fo.StartSpan(0)
+	// Capture before FinishSpan: the pool recycles the span object.
+	tid := strconv.FormatUint(root.TraceID, 10)
+	c1 := fo.StartChild(root, obs.KindShardCoord, time.Millisecond)
+	c2 := fo.StartChild(root, obs.KindFWInstall, 2*time.Millisecond)
+	fo.FinishSpan(c1, 3*time.Millisecond)
+	fo.FinishSpan(c2, 3*time.Millisecond)
+	fo.FinishSpan(root, 4*time.Millisecond)
+	other := fo.StartSpan(5 * time.Millisecond)
+	fo.FinishSpan(other, 6*time.Millisecond)
+
+	srv := httptest.NewServer(NewAPIHandler(HandlerConfig{Store: NewStore(0), Obs: fo}))
+	defer srv.Close()
+	status, body := get(t, srv, "/traces?trace="+tid)
+	if status != 200 {
+		t.Fatalf("status %d", status)
+	}
+	var tr TracesResponse
+	if err := json.Unmarshal([]byte(body), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Spans) != 3 {
+		t.Fatalf("trace returned %d spans, want 3:\n%s", len(tr.Spans), body)
+	}
+	if tr.Spans[0].Kind != "setup" || tr.Spans[0].ParentID != 0 {
+		t.Fatalf("root = %+v", tr.Spans[0])
+	}
+	for _, sp := range tr.Spans[1:] {
+		if sp.TraceID != tr.Spans[0].TraceID || sp.ParentID != tr.Spans[0].ID {
+			t.Fatalf("child not linked to root: %+v", sp)
+		}
+	}
+	if tr.Spans[1].Kind != "shard_coord" || tr.Spans[2].Kind != "fw_install" {
+		t.Fatalf("child kinds = %s, %s", tr.Spans[1].Kind, tr.Spans[2].Kind)
+	}
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	comps := []HealthComponent{{Name: "switches", Status: "ok", Detail: "2/2 reachable"}}
+	var mu struct{ status string }
+	mu.status = "ok"
+	fo := obs.NewFlowObs(8)
+	var errs float64
+	ae := obs.NewAlertEngine(fo, 10*time.Millisecond, []obs.AlertRule{{
+		Name: "errs", Severity: "warning", Window: 50 * time.Millisecond, Limit: 0,
+		Sample: func() (float64, float64) { return errs, 0 },
+	}})
+	srv := httptest.NewServer(NewAPIHandler(HandlerConfig{
+		Store:  NewStore(0),
+		Alerts: ae,
+		Health: func() []HealthComponent {
+			out := append([]HealthComponent{}, comps...)
+			out[0].Status = mu.status
+			return out
+		},
+	}))
+	defer srv.Close()
+
+	decode := func(body string) HealthResponse {
+		var h HealthResponse
+		if err := json.Unmarshal([]byte(body), &h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	ae.Tick(10 * time.Millisecond) // baseline sample
+	status, body := get(t, srv, "/health")
+	if h := decode(body); status != 200 || h.Status != "ok" || len(h.Components) != 1 || h.AlertsFiring != 0 {
+		t.Fatalf("healthy: status=%d %+v", status, h)
+	}
+	// A firing alert bumps an otherwise-ok rollup to degraded. (The
+	// first tick is the baseline sample; the second sees the delta.)
+	errs = 1
+	ae.Tick(20 * time.Millisecond)
+	status, body = get(t, srv, "/health")
+	if h := decode(body); status != 200 || h.Status != "degraded" || h.AlertsFiring != 1 ||
+		h.AlertsBySeverity["warning"] != 1 {
+		t.Fatalf("alert-degraded: status=%d %+v", status, h)
+	}
+	// A down component makes the rollup down and the status 503, so load
+	// balancers can health-check without parsing the body.
+	mu.status = "down"
+	status, body = get(t, srv, "/health")
+	if h := decode(body); status != http.StatusServiceUnavailable || h.Status != "down" {
+		t.Fatalf("down: status=%d %+v", status, h)
+	}
+}
+
+func TestHealthEndpointUnconfigured(t *testing.T) {
+	srv := httptest.NewServer(NewAPIHandler(HandlerConfig{Store: NewStore(0)}))
+	defer srv.Close()
+	status, body := get(t, srv, "/health")
+	if status != 200 {
+		t.Fatalf("status %d", status)
+	}
+	var h HealthResponse
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || len(h.Components) != 0 || h.AlertsFiring != 0 {
+		t.Fatalf("unconfigured health = %+v", h)
+	}
+}
+
+func TestAlertsEndpoint(t *testing.T) {
+	fo := obs.NewFlowObs(8)
+	var errs float64
+	ae := obs.NewAlertEngine(fo, 10*time.Millisecond, []obs.AlertRule{{
+		Name: "errs", Severity: "critical", Window: 50 * time.Millisecond, Limit: 0,
+		Summary: "test rule",
+		Sample:  func() (float64, float64) { return errs, 0 },
+	}})
+	ae.Tick(5 * time.Millisecond) // baseline sample
+	errs = 3
+	ae.Tick(10 * time.Millisecond)
+	srv := httptest.NewServer(NewAPIHandler(HandlerConfig{Store: NewStore(0), Alerts: ae}))
+	defer srv.Close()
+	status, body := get(t, srv, "/alerts")
+	if status != 200 {
+		t.Fatalf("status %d", status)
+	}
+	var ar AlertsResponse
+	if err := json.Unmarshal([]byte(body), &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Firing != 1 || len(ar.Alerts) != 1 || len(ar.Transitions) != 1 {
+		t.Fatalf("alerts = %+v", ar)
+	}
+	if ar.Alerts[0].Rule != "errs" || ar.Alerts[0].State != "firing" ||
+		ar.Transitions[0].State != "firing" || ar.Transitions[0].AtMS != 10 {
+		t.Fatalf("alert detail = %+v", ar)
+	}
+
+	// Without an engine the endpoint serves the empty shape, not an error.
+	bare := httptest.NewServer(NewAPIHandler(HandlerConfig{Store: NewStore(0)}))
+	defer bare.Close()
+	status, body = get(t, bare, "/alerts")
+	if err := json.Unmarshal([]byte(body), &ar); err != nil || status != 200 {
+		t.Fatalf("bare alerts: status=%d err=%v", status, err)
+	}
+	if ar.Firing != 0 || len(ar.Alerts) != 0 || len(ar.Transitions) != 0 {
+		t.Fatalf("bare alerts = %+v", ar)
 	}
 }

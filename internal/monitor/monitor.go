@@ -55,6 +55,10 @@ const (
 	EventFWHandoff        EventType = "fw-handoff"
 	EventFWHandoffTimeout EventType = "fw-handoff-timeout"
 	EventSEProtoError     EventType = "seproto-error"
+	// SLO alert engine (obs/alerts.go): a rule transitioning to firing,
+	// and a firing rule resolving.
+	EventAlertFiring   EventType = "alert-firing"
+	EventAlertResolved EventType = "alert-resolved"
 )
 
 // Event is one record in the global log.

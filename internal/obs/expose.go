@@ -132,6 +132,10 @@ func (r *Registry) Text() string {
 //     valid escapes, values parse as Go floats (+Inf/-Inf/NaN allowed);
 //   - a family's # TYPE, when present, precedes its samples, is one of
 //     the four v0.0.4 types, and appears at most once per name;
+//   - # HELP lines carry non-empty help text, and families declared
+//     counter are named with the conventional _total suffix (the rule is
+//     scoped to # TYPE counter lines, so gauges derived from cumulative
+//     stats may keep _total names);
 //   - histogram families carry a le label on every _bucket sample, have
 //     cumulative (non-decreasing) bucket counts per series, and close
 //     each series with a +Inf bucket equal to its _count.
@@ -169,6 +173,9 @@ func LintText(text string) error {
 			if !validMetricName(name) {
 				return fmt.Errorf("line %d: bad metric name %q in # %s", lineNo, name, strings.ToUpper(kind))
 			}
+			if kind == "help" && strings.TrimSpace(arg) == "" {
+				return fmt.Errorf("line %d: empty HELP for %s", lineNo, name)
+			}
 			if kind == "type" {
 				switch arg {
 				case "counter", "gauge", "histogram", "summary", "untyped":
@@ -180,6 +187,9 @@ func LintText(text string) error {
 				}
 				if seenSample[name] {
 					return fmt.Errorf("line %d: # TYPE for %s after its samples", lineNo, name)
+				}
+				if arg == "counter" && !strings.HasSuffix(name, "_total") {
+					return fmt.Errorf("line %d: counter %s lacks the _total suffix", lineNo, name)
 				}
 				typed[name] = arg
 			}

@@ -73,6 +73,24 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// CountAtOrBelow returns the cumulative count of samples that landed in
+// buckets whose upper bound is <= le (0 on nil). le should be one of the
+// registered bounds; a value between bounds counts only the buckets
+// fully at or below it.
+func (h *Histogram) CountAtOrBelow(le float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		if b > le {
+			break
+		}
+		cum += h.counts[i]
+	}
+	return cum
+}
+
 // BucketCount is one cumulative histogram bucket in a snapshot. LE is
 // the upper bound in seconds rendered as a string ("+Inf" for the
 // overflow bucket) so the JSON shape matches Prometheus conventions

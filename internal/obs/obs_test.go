@@ -194,7 +194,11 @@ func TestLintText(t *testing.T) {
 		{"unquoted label", `a{x=1} 2` + "\n", "bad label"},
 		{"unterminated labels", `a{x="1" 2` + "\n", "unterminated"},
 		{"bad type", "# TYPE a frobnicator\n", "bad type"},
-		{"dup type", "# TYPE a counter\n# TYPE a counter\n", "duplicate # TYPE"},
+		{"dup type", "# TYPE a_total counter\n# TYPE a_total counter\n", "duplicate # TYPE"},
+		{"counter no total suffix", "# TYPE a counter\na 1\n", "lacks the _total suffix"},
+		{"total gauge ok", "# TYPE a_total gauge\na_total 1\n", ""},
+		{"empty help", "# HELP a\na 1\n", "empty HELP"},
+		{"blank help", "# HELP a \na 1\n", "empty HELP"},
 		{"type after sample", "a 1\n# TYPE a counter\n", "after its samples"},
 		{"bucket no le", "# TYPE h histogram\nh_bucket 1\nh_count 1\n", "without le"},
 		{

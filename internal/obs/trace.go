@@ -108,12 +108,52 @@ func (o Outcome) Completed() bool {
 // longer than this are truncated in the trace, not in the network).
 const MaxSpanElements = 4
 
+// SpanKind classifies a span's role within a trace tree. Setup spans are
+// the roots recorded by the routing path since PR 5; the other kinds are
+// children attached to a setup (or takeover) trace so a cross-shard,
+// cross-element flow setup reads as one causal story.
+type SpanKind uint8
+
+// Span kinds.
+const (
+	// KindSetup is a flow-setup span (the PR 5 tracer's only kind).
+	KindSetup SpanKind = iota
+	// KindShardCoord is a deferred cross-shard coordination batch: the
+	// owner shard's install messages in flight to a peer shard's switch.
+	KindShardCoord
+	// KindShardTakeover is a shard failover takeover: shadow-table
+	// replay plus the drain of messages parked while the shard was down.
+	KindShardTakeover
+	// KindFWInstall is a firewall STATE_INSTALL→STATE_ACK handoff to the
+	// successor service element.
+	KindFWInstall
+
+	numSpanKinds = int(KindFWInstall) + 1
+)
+
+var kindNames = [numSpanKinds]string{"setup", "shard_coord", "shard_takeover", "fw_install"}
+
+// String returns the kind's snake_case label value.
+func (k SpanKind) String() string {
+	if int(k) < numSpanKinds {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
 // Span is one flow setup's trace. All fields are plain values so the
 // span ring can store spans by copy. Every setter is nil-receiver safe,
 // letting instrumented code run unconditionally.
 type Span struct {
 	// ID is the span's sequence number (1-based, per FlowObs).
 	ID uint64
+	// TraceID links every span of one causal tree. Root spans carry
+	// their own ID; children inherit the parent's TraceID.
+	TraceID uint64
+	// ParentID is the parent span within the trace (0 for roots).
+	ParentID uint64
+	// Kind classifies the span's role in the tree.
+	Kind SpanKind
 	// Switch is the ingress switch's datapath ID.
 	Switch uint64
 	// Key identifies the flow (zero except EthSrc for shed spans, which
@@ -149,6 +189,16 @@ func (sp *Span) Stage(st Stage) time.Duration {
 		return 0
 	}
 	return sp.Stages[st]
+}
+
+// SetParent links the span into an existing trace (nil-safe). The
+// identifiers are plain values copied in, so the parent span may be
+// returned to the pool before the child finishes.
+func (sp *Span) SetParent(traceID, parentID uint64) {
+	if sp != nil {
+		sp.TraceID = traceID
+		sp.ParentID = parentID
+	}
 }
 
 // SetOutcome records the span's outcome (nil-safe).
@@ -216,10 +266,11 @@ type FlowObs struct {
 	nextID   uint64
 	recorded uint64
 
-	stageHist [NumStages]*Histogram
-	totalHist *Histogram
-	completed *Counter
-	outcomes  [numOutcomes]*Counter
+	stageHist  [NumStages]*Histogram
+	totalHist  *Histogram
+	completed  *Counter
+	outcomes   [numOutcomes]*Counter
+	childSpans [numSpanKinds]*Counter
 
 	// PolicyCompile observes intent recompile latency (one sample per
 	// intent Upsert/Delete). Wall-clock, not virtual: recompilation is
@@ -268,6 +319,12 @@ func NewFlowObs(ringCap int) *FlowObs {
 			"Flow-setup trace spans recorded, by outcome.",
 			L("outcome", Outcome(o).String()))
 	}
+	for k := int(KindShardCoord); k < numSpanKinds; k++ {
+		fo.childSpans[k] = fo.Registry.Counter(
+			"livesec_trace_child_spans_total",
+			"Non-setup trace spans recorded, by kind (setup spans count in livesec_flow_setup_spans_total).",
+			L("kind", SpanKind(k).String()))
+	}
 	fo.PolicyCompile = fo.Registry.Histogram(
 		"livesec_policy_compile_seconds",
 		"Intent-to-rule recompile latency per intent edit (wall clock).",
@@ -297,26 +354,62 @@ func (fo *FlowObs) StartSpan(start time.Duration) *Span {
 	}
 	fo.nextID++
 	sp.ID = fo.nextID
+	sp.TraceID = sp.ID
 	sp.Start = start
 	return sp
 }
 
-// FinishSpan closes a span at virtual time now: completed outcomes feed
-// the stage histograms, every outcome counts, and the span is copied
-// into the ring and returned to the pool. Nil-safe in both arguments.
+// StartChild opens a child span of the given kind inside parent's trace.
+// The parent's identifiers and flow identity are copied immediately, so
+// the child may be finished long after the parent span returned to the
+// pool (deferred cross-shard batches, firewall handoff acks). Returns
+// nil when fo or parent is nil.
+func (fo *FlowObs) StartChild(parent *Span, kind SpanKind, start time.Duration) *Span {
+	if fo == nil || parent == nil {
+		return nil
+	}
+	sp := fo.StartSpan(start)
+	sp.Kind = kind
+	sp.TraceID = parent.TraceID
+	sp.ParentID = parent.ID
+	sp.Switch = parent.Switch
+	sp.Key = parent.Key
+	return sp
+}
+
+// StartRoot opens a root span of the given kind — the anchor of a trace
+// that is not a flow setup (a shard takeover). Returns nil when fo is
+// nil.
+func (fo *FlowObs) StartRoot(kind SpanKind, start time.Duration) *Span {
+	sp := fo.StartSpan(start)
+	if sp != nil {
+		sp.Kind = kind
+	}
+	return sp
+}
+
+// FinishSpan closes a span at virtual time now: completed setup
+// outcomes feed the stage histograms, every setup outcome counts (child
+// kinds count in their own family so the setup metrics keep their exact
+// per-setup semantics), and the span is copied into the ring and
+// returned to the pool. Nil-safe in both arguments.
 func (fo *FlowObs) FinishSpan(sp *Span, now time.Duration) {
 	if fo == nil || sp == nil {
 		return
 	}
 	sp.End = now
-	if sp.Outcome.Completed() {
-		for i := 0; i < NumStages; i++ {
-			fo.stageHist[i].ObserveDuration(sp.Stages[i])
+	if sp.Kind == KindSetup {
+		if sp.Outcome.Completed() {
+			for i := 0; i < NumStages; i++ {
+				fo.stageHist[i].ObserveDuration(sp.Stages[i])
+			}
+			fo.totalHist.ObserveDuration(sp.End - sp.Start)
+			fo.completed.Inc()
 		}
-		fo.totalHist.ObserveDuration(sp.End - sp.Start)
-		fo.completed.Inc()
+		fo.outcomes[sp.Outcome].Inc()
+	} else {
+		fo.childSpans[sp.Kind].Inc()
 	}
-	fo.outcomes[sp.Outcome].Inc()
 	fo.ring[fo.next] = *sp
 	fo.next++
 	if fo.next == len(fo.ring) {
@@ -380,6 +473,57 @@ func (fo *FlowObs) Spans(limit int, slowest bool) []Span {
 	return out
 }
 
+// Trace returns every retained span of one trace tree, ordered by span
+// ID (creation order, so parents precede children). Nil when the trace
+// has no retained spans.
+func (fo *FlowObs) Trace(traceID uint64) []Span {
+	if fo == nil || fo.filled == 0 || traceID == 0 {
+		return nil
+	}
+	var out []Span
+	start := fo.next - fo.filled
+	if start < 0 {
+		start += len(fo.ring)
+	}
+	for i := 0; i < fo.filled; i++ {
+		sp := fo.ring[(start+i)%len(fo.ring)]
+		if sp.TraceID == traceID {
+			out = append(out, sp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SlowestTraceSince returns the TraceID of the slowest retained setup
+// span that finished at or after since (ties broken toward the lower
+// span ID; 0 when none). The alert engine uses it to attach an exemplar
+// trace to each firing alert.
+func (fo *FlowObs) SlowestTraceSince(since time.Duration) uint64 {
+	if fo == nil || fo.filled == 0 {
+		return 0
+	}
+	var (
+		best    uint64
+		bestDur time.Duration = -1
+		bestID  uint64
+	)
+	start := fo.next - fo.filled
+	if start < 0 {
+		start += len(fo.ring)
+	}
+	for i := 0; i < fo.filled; i++ {
+		sp := &fo.ring[(start+i)%len(fo.ring)]
+		if sp.Kind != KindSetup || sp.End < since {
+			continue
+		}
+		if d := sp.End - sp.Start; d > bestDur || (d == bestDur && sp.ID < bestID) {
+			best, bestDur, bestID = sp.TraceID, d, sp.ID
+		}
+	}
+	return best
+}
+
 // StageSnapshot is one stage's distribution in a SetupSnapshot.
 type StageSnapshot struct {
 	Stage      string        `json:"stage"`
@@ -432,6 +576,9 @@ type StageMS struct {
 // SpanView is the JSON shape of one span for the /traces endpoint.
 type SpanView struct {
 	ID                uint64    `json:"id"`
+	TraceID           uint64    `json:"trace_id"`
+	ParentID          uint64    `json:"parent_id,omitempty"`
+	Kind              string    `json:"kind"`
 	Switch            uint64    `json:"switch"`
 	Flow              string    `json:"flow"`
 	Outcome           string    `json:"outcome"`
@@ -451,6 +598,9 @@ func (sp *Span) View() SpanView {
 	}
 	v := SpanView{
 		ID:                sp.ID,
+		TraceID:           sp.TraceID,
+		ParentID:          sp.ParentID,
+		Kind:              sp.Kind.String(),
 		Switch:            sp.Switch,
 		Flow:              sp.Key.String(),
 		Outcome:           sp.Outcome.String(),

@@ -127,6 +127,15 @@ type Options struct {
 	// FWHandoffTimeout bounds a state handoff's wait for its ack
 	// (0 = the core default).
 	FWHandoffTimeout time.Duration
+	// SLO builds the deterministic alert engine (obs/alerts.go) over Obs
+	// with the default rule pack, ticking on the controller engine.
+	// Requires Obs; ignored when Obs is nil. Transitions are recorded as
+	// monitor events when Monitor is on. Evaluation is read-only, so
+	// simulated network behaviour is unchanged.
+	SLO bool
+	// SLOInterval overrides the alert evaluation tick
+	// (0 = obs.DefaultAlertInterval).
+	SLOInterval time.Duration
 }
 
 // Net is an assembled deployment.
@@ -139,6 +148,9 @@ type Net struct {
 	Fabric     *legacy.Fabric
 	Controller *core.Controller
 	Store      *monitor.Store
+	// Alerts is the SLO alert engine, non-nil when Options.SLO is set
+	// together with Options.Obs.
+	Alerts *obs.AlertEngine
 
 	// Par drives a partitioned run; nil for a serial deployment.
 	Par *sim.ParallelEngine
@@ -319,6 +331,36 @@ func New(opts Options) *Net {
 					return 0
 				}, lbl)
 		}
+	}
+	if opts.SLO && opts.Obs != nil {
+		ae := obs.NewAlertEngine(opts.Obs, opts.SLOInterval, obs.DefaultRules(opts.Obs))
+		n.Alerts = ae
+		if store != nil {
+			ae.OnTransition = func(tr obs.AlertTransition) {
+				typ := monitor.EventAlertFiring
+				if tr.State == "resolved" {
+					typ = monitor.EventAlertResolved
+				}
+				sev := uint8(1)
+				if tr.Severity == "critical" {
+					sev = 2
+				}
+				store.Record(monitor.Event{At: tr.At, Type: typ, Severity: sev,
+					Detail: fmt.Sprintf("%s value=%.6g limit=%.6g trace=%d",
+						tr.Rule, tr.Value, tr.Limit, tr.ExemplarTraceID)})
+			}
+		}
+		// The evaluation tick self-reschedules on the controller engine for
+		// the lifetime of the run. Evaluation only reads the registry, so
+		// the simulated network is untouched; the extra engine events are
+		// invisible to every standard experiment row (only ESCALE reports
+		// raw event counts).
+		var tick func()
+		tick = func() {
+			ae.Tick(ctrlEng.Now())
+			ctrlEng.Schedule(ae.Interval(), tick)
+		}
+		ctrlEng.Schedule(ae.Interval(), tick)
 	}
 	return n
 }

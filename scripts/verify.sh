@@ -19,7 +19,9 @@
 #                  (-compiledpolicy -preciseinval), between firewall
 #                  state migration disarmed and armed (-statefulfw),
 #                  across two E12 runs (stateful firewall under
-#                  re-steers), and with observability both off and on
+#                  re-steers), with the SLO/alert engine disarmed and
+#                  armed (-slo), across two E13 runs (alert timeline +
+#                  MTTD), and with observability both off and on
 #   metrics     -> a short livesecd -obs run serves /metrics that passes
 #                  the exposition linter (scripts/check_metrics.sh)
 #
@@ -78,6 +80,17 @@ go run ./cmd/livesec-bench -scale ci -stable -parallel 1 -statefulfw -json "$tmp
 # stateful_fw is the only field allowed to differ (self-describing report).
 grep -v '"stateful_fw"' "$tmpdir/fw.json" >"$tmpdir/fw-stripped.json"
 cmp "$tmpdir/serial.json" "$tmpdir/fw-stripped.json"
+
+echo "==> experiment determinism (default vs -slo, byte-identical)"
+go run ./cmd/livesec-bench -scale ci -stable -parallel 1 -slo -json "$tmpdir/slo.json" >/dev/null
+# slo is the only field allowed to differ (self-describing report).
+grep -v '"slo"' "$tmpdir/slo.json" >"$tmpdir/slo-stripped.json"
+cmp "$tmpdir/serial.json" "$tmpdir/slo-stripped.json"
+
+echo "==> E13 determinism (alert timeline + MTTD, two runs byte-identical)"
+go run ./cmd/livesec-bench -scale ci -stable -parallel 1 -experiment E13 -json "$tmpdir/e13-a.json" >/dev/null
+go run ./cmd/livesec-bench -scale ci -stable -parallel 1 -experiment E13 -json "$tmpdir/e13-b.json" >/dev/null
+cmp "$tmpdir/e13-a.json" "$tmpdir/e13-b.json"
 
 echo "==> E12 determinism (stateful firewall, two runs byte-identical)"
 go run ./cmd/livesec-bench -scale ci -stable -parallel 1 -experiment E12 -json "$tmpdir/e12-a.json" >/dev/null
